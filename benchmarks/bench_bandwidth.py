@@ -1,0 +1,44 @@
+"""Experiment E10: the graph-bandwidth connection (Section VI ablation).
+
+Section VI relates k-AV to the graph bandwidth problem but notes that the
+special-case algorithms for GBW do not transfer.  This bench quantifies the
+relationship on concrete inputs: it times exact bandwidth computation on the
+cluster graphs of histories whose minimal k is known, and records both
+numbers so the divergence (small bandwidth with large k, and vice versa) is
+visible in the results table.  It also contrasts the cost of the exponential
+bandwidth search with the quasilinear FZF on the same history.
+"""
+
+import pytest
+
+from repro.algorithms.fzf import verify_2atomic_fzf
+from repro.core.api import minimal_k
+from repro.graphtools.bandwidth import cluster_graph, exact_bandwidth
+from repro.workloads.synthetic import exactly_k_atomic_history, serial_history
+
+from conftest import exactly_k
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_cluster_graph_bandwidth_vs_minimal_k(benchmark, k):
+    """Exact bandwidth of the cluster graph for histories of known minimal k."""
+    history = exactly_k(k, 8)
+    graph = cluster_graph(history)
+    bandwidth = benchmark(exact_bandwidth, graph)
+    benchmark.extra_info["minimal_k"] = k if k <= 2 else minimal_k(history, max_exact_ops=60)
+    benchmark.extra_info["bandwidth"] = bandwidth
+    benchmark.extra_info["nodes"] = graph.number_of_nodes()
+    # The headline observation of the ablation: bandwidth does not track k.
+    assert bandwidth <= 2
+
+
+@pytest.mark.parametrize("num_writes", [8, 16, 32])
+def test_bandwidth_search_cost_vs_fzf(benchmark, num_writes):
+    """The exponential bandwidth search vs quasilinear FZF on one history."""
+    history = serial_history(num_writes, reads_per_write=1)
+    graph = cluster_graph(history)
+    bandwidth = benchmark(exact_bandwidth, graph)
+    fzf = verify_2atomic_fzf(history)
+    benchmark.extra_info["bandwidth"] = bandwidth
+    benchmark.extra_info["fzf_verdict"] = bool(fzf)
+    benchmark.extra_info["operations"] = len(history)

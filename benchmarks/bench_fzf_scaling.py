@@ -1,0 +1,48 @@
+"""Experiment E6 (part 1): FZF's O(n log n) running time (Theorem 4.6).
+
+The same two sweeps as the LBT bench (fixed concurrency / fixed size), plus
+the practical-workload sweep, so the FZF and LBT numbers can be compared row
+by row.  The expectation from the paper: FZF's runtime depends on ``n`` but
+not on the write concurrency ``c``.
+"""
+
+import pytest
+
+from repro.algorithms.fzf import verify_2atomic_fzf
+
+from conftest import batched, practical
+
+GROWING_N = [(25, 8), (50, 8), (100, 8), (200, 8), (400, 8)]
+GROWING_C = [2, 8, 32, 128, 512]
+PRACTICAL_SIZES = [1000, 2000, 4000, 8000]
+
+
+@pytest.mark.parametrize("num_batches,batch_size", GROWING_N)
+def test_fzf_runtime_vs_n_fixed_c(benchmark, num_batches, batch_size):
+    """FZF runtime vs n at fixed write concurrency."""
+    history = batched(num_batches, batch_size)
+    result = benchmark(verify_2atomic_fzf, history)
+    assert result
+    benchmark.extra_info["operations"] = len(history)
+    benchmark.extra_info["chunks"] = result.stats["chunks"]
+
+
+@pytest.mark.parametrize("batch_size", GROWING_C)
+def test_fzf_runtime_vs_c_fixed_n(benchmark, batch_size):
+    """FZF runtime vs c at (roughly) fixed history size — should stay flat."""
+    num_batches = max(1, 2048 // (batch_size + 1))
+    history = batched(num_batches, batch_size)
+    result = benchmark(verify_2atomic_fzf, history)
+    assert result
+    benchmark.extra_info["operations"] = len(history)
+    benchmark.extra_info["max_concurrent_writes"] = history.max_concurrent_writes()
+
+
+@pytest.mark.parametrize("n", PRACTICAL_SIZES)
+def test_fzf_practical_scaling(benchmark, n):
+    """FZF on the same practical histories as the LBT bench."""
+    history = practical(n)
+    result = benchmark(verify_2atomic_fzf, history)
+    assert result
+    benchmark.extra_info["operations"] = len(history)
+    benchmark.extra_info["verdict"] = bool(result)

@@ -1,0 +1,39 @@
+"""Experiments E1/E2: LBT on practical (low write concurrency) histories.
+
+The paper argues LBT "is likely to run in nearly linear time in practice"
+because real workloads have few concurrent writes.  This bench measures LBT
+end to end (including witness construction, Figure 1's write slots / read
+containers) on realistic closed-loop-client histories of increasing size, and
+records the verdict plus the witness check so the timing is tied to a correct
+answer.
+"""
+
+import pytest
+
+from repro.algorithms.lbt import verify_2atomic, verify_2atomic_reference
+
+from conftest import practical
+
+SIZES = [1000, 2000, 4000, 8000]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_lbt_practical_scaling(benchmark, n):
+    """LBT runtime vs history size at fixed, small write concurrency."""
+    history = practical(n)
+    result = benchmark(verify_2atomic, history)
+    assert result, "practical histories with <=1 staleness must be 2-atomic"
+    assert result.check_witness(history)
+    benchmark.extra_info["operations"] = len(history)
+    benchmark.extra_info["max_concurrent_writes"] = history.max_concurrent_writes()
+    benchmark.extra_info["verdict"] = bool(result)
+    benchmark.extra_info["epochs"] = result.stats["epochs"]
+
+
+@pytest.mark.parametrize("n", [1000, 2000])
+def test_lbt_reference_practical(benchmark, n):
+    """The literal Figure 2 transcription, for comparison with the fast variant."""
+    history = practical(n)
+    result = benchmark(verify_2atomic_reference, history)
+    assert result
+    benchmark.extra_info["operations"] = len(history)

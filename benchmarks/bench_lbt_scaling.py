@@ -1,0 +1,44 @@
+"""Experiment E3: LBT's O(n log n + c·n) running time (Theorem 3.2).
+
+Two sweeps isolate the two terms of the bound:
+
+* fixed write concurrency ``c``, growing ``n`` — runtime should grow close to
+  linearly (the quasilinear "practical" regime);
+* fixed ``n``, growing ``c`` — runtime should grow with ``c`` (the ``c·n``
+  term), which is the knob that degrades LBT to quadratic when ``c = Θ(n)``.
+
+All inputs are 2-atomic concurrent-batch histories, so every measurement is a
+complete (YES + witness) run rather than an early rejection.
+"""
+
+import pytest
+
+from repro.algorithms.lbt import verify_2atomic
+
+from conftest import batched
+
+#: Fixed-concurrency sweep: (number of batches, batch size).
+GROWING_N = [(25, 8), (50, 8), (100, 8), (200, 8), (400, 8)]
+#: Fixed-size sweep (~2000 operations), growing concurrency.
+GROWING_C = [2, 8, 32, 128, 512]
+
+
+@pytest.mark.parametrize("num_batches,batch_size", GROWING_N)
+def test_lbt_runtime_vs_n_fixed_c(benchmark, num_batches, batch_size):
+    """Quasilinear regime: c fixed at 8 concurrent writes, n growing."""
+    history = batched(num_batches, batch_size)
+    result = benchmark(verify_2atomic, history)
+    assert result
+    benchmark.extra_info["operations"] = len(history)
+    benchmark.extra_info["max_concurrent_writes"] = history.max_concurrent_writes()
+
+
+@pytest.mark.parametrize("batch_size", GROWING_C)
+def test_lbt_runtime_vs_c_fixed_n(benchmark, batch_size):
+    """The c·n term: history size held near 2000 operations, c growing."""
+    num_batches = max(1, 2048 // (batch_size + 1))
+    history = batched(num_batches, batch_size)
+    result = benchmark(verify_2atomic, history)
+    assert result
+    benchmark.extra_info["operations"] = len(history)
+    benchmark.extra_info["max_concurrent_writes"] = history.max_concurrent_writes()

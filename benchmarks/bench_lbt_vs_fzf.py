@@ -1,0 +1,56 @@
+"""Experiment E6 (part 2): LBT vs FZF head-to-head in the adversarial regime.
+
+With write concurrency proportional to the history size (``c = n/4``), LBT's
+``O(c·n)`` term becomes quadratic while FZF stays quasilinear — the crossover
+the paper's Sections III-C and IV-C predict.  The Gibbons–Korach 1-AV checker
+and the zone-only partial checker are included as baselines: they are faster
+but answer a weaker (GK) or incomplete (zone-only) question.
+"""
+
+import pytest
+
+from repro.algorithms.fzf import verify_2atomic_fzf
+from repro.algorithms.gk import verify_1atomic
+from repro.algorithms.gls import verify_2atomic_zones_only
+from repro.algorithms.lbt import verify_2atomic
+
+from conftest import adversarial
+
+SIZES = [512, 1024, 2048, 4096]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_lbt_adversarial(benchmark, n):
+    """LBT with c = n/4 concurrent writes: the quadratic regime."""
+    history = adversarial(n)
+    result = benchmark(verify_2atomic, history)
+    assert result
+    benchmark.extra_info["operations"] = len(history)
+    benchmark.extra_info["max_concurrent_writes"] = history.max_concurrent_writes()
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fzf_adversarial(benchmark, n):
+    """FZF on the same inputs: should scale quasilinearly."""
+    history = adversarial(n)
+    result = benchmark(verify_2atomic_fzf, history)
+    assert result
+    benchmark.extra_info["operations"] = len(history)
+    benchmark.extra_info["max_concurrent_writes"] = history.max_concurrent_writes()
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_gk_baseline_adversarial(benchmark, n):
+    """Baseline: the 1-AV zone conditions on the same inputs."""
+    history = adversarial(n)
+    benchmark(verify_1atomic, history)
+    benchmark.extra_info["operations"] = len(history)
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_zone_only_baseline_adversarial(benchmark, n):
+    """Baseline: the pre-paper zone-only partial checker (may answer UNKNOWN)."""
+    history = adversarial(n)
+    result = benchmark(verify_2atomic_zones_only, history)
+    benchmark.extra_info["operations"] = len(history)
+    benchmark.extra_info["verdict"] = result.verdict.value

@@ -1,0 +1,72 @@
+"""Experiment E8: do sloppy-quorum stores provide 2-atomicity in practice?
+
+The paper's concluding remarks pose exactly this question.  The benchmark runs
+the bundled Dynamo-style simulator under several (N, R, W) configurations
+(simulation excluded from the timed region), then times the k-atomicity audit
+of the recorded histories and records, per configuration, which consistency
+band the store actually delivered.  The qualitative expectation:
+
+* strict quorums (R + W > N)  -> every register linearizable (k = 1);
+* mildly sloppy (N=5, R=1, W=2) -> mostly k = 2;
+* aggressive (N=5, R=1, W=1)  -> some registers need k >= 3.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis.spectrum import atomicity_spectrum
+from repro.core.api import verify_trace
+from repro.simulation import ExponentialLatency, QuorumConfig, SloppyQuorumStore, StoreConfig
+from repro.workloads import WorkloadSpec, ZipfianKeys
+
+CONFIGS = {
+    "N3-R2-W2-strict": (3, 2, 2),
+    "N5-R2-W2-sloppy": (5, 2, 2),
+    "N5-R1-W2-sloppy": (5, 1, 2),
+    "N5-R1-W1-sloppy": (5, 1, 1),
+}
+
+
+@lru_cache(maxsize=None)
+def recorded_trace(name):
+    """Run the simulator once per configuration and cache the trace."""
+    n, r, w = CONFIGS[name]
+    config = StoreConfig(
+        quorum=QuorumConfig(num_replicas=n, read_quorum=r, write_quorum=w),
+        latency=ExponentialLatency(mean_ms=3.0),
+    )
+    workload = WorkloadSpec(
+        num_clients=16,
+        operations_per_client=50,
+        write_ratio=0.4,
+        key_selector=ZipfianKeys(num_keys=4),
+        mean_think_time_ms=2.0,
+        seed=17,
+    )
+    return SloppyQuorumStore(config, seed=17).run(workload).history
+
+
+@pytest.mark.parametrize("name", list(CONFIGS))
+def test_audit_spectrum_per_configuration(benchmark, name):
+    """Time the staleness-spectrum audit; record the consistency it found."""
+    trace = recorded_trace(name)
+    spectrum = benchmark(atomicity_spectrum, trace)
+    benchmark.extra_info["configuration"] = name
+    benchmark.extra_info["keys"] = spectrum.num_keys
+    benchmark.extra_info["fraction_atomic"] = round(spectrum.fraction_atomic, 3)
+    benchmark.extra_info["fraction_within_2"] = round(spectrum.fraction_within_2, 3)
+    benchmark.extra_info["worst_bucket"] = spectrum.worst_bucket().value
+    n, r, w = CONFIGS[name]
+    if r + w > n:
+        assert spectrum.fraction_atomic == 1.0, "strict quorums must stay linearizable"
+
+
+@pytest.mark.parametrize("name", ["N3-R2-W2-strict", "N5-R1-W2-sloppy"])
+def test_verify_trace_2atomicity(benchmark, name):
+    """Time plain per-register 2-AV over a recorded trace (the FZF path)."""
+    trace = recorded_trace(name)
+    results = benchmark(verify_trace, trace, 2)
+    benchmark.extra_info["configuration"] = name
+    benchmark.extra_info["registers_2atomic"] = sum(bool(r) for r in results.values())
+    benchmark.extra_info["registers_total"] = len(results)

@@ -1,0 +1,61 @@
+"""Experiment E9: the consistency "tuning knob" sweep.
+
+The introduction motivates k-AV as the tool that tells an operator how far a
+consistency knob (here: the read-quorum size on a 5-replica register) can be
+relaxed.  For each knob position the simulator records a history (untimed);
+the benchmark times the per-register minimal-k style audit and records both
+the observed consistency band and the mean operation latency, i.e. the two
+axes of the trade-off the paper describes.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis.metrics import staleness_stats
+from repro.analysis.spectrum import staleness_bucket
+from repro.simulation import ExponentialLatency, QuorumConfig, SloppyQuorumStore, StoreConfig
+from repro.workloads import SingleKey, WorkloadSpec
+
+NUM_REPLICAS = 5
+WRITE_QUORUM = 2
+READ_QUORUMS = [1, 2, 3, 4, 5]
+
+
+@lru_cache(maxsize=None)
+def history_for_read_quorum(read_quorum):
+    config = StoreConfig(
+        quorum=QuorumConfig(
+            num_replicas=NUM_REPLICAS,
+            read_quorum=read_quorum,
+            write_quorum=WRITE_QUORUM,
+        ),
+        latency=ExponentialLatency(mean_ms=4.0),
+    )
+    workload = WorkloadSpec(
+        num_clients=12,
+        operations_per_client=50,
+        write_ratio=0.4,
+        key_selector=SingleKey(),
+        mean_think_time_ms=2.0,
+        seed=23,
+    )
+    result = SloppyQuorumStore(config, seed=23).run(workload)
+    return result.history["key-00000"]
+
+
+@pytest.mark.parametrize("read_quorum", READ_QUORUMS)
+def test_staleness_bucket_per_knob_position(benchmark, read_quorum):
+    """Time the bucket classification; record the trade-off it reveals."""
+    history = history_for_read_quorum(read_quorum)
+    bucket, minimal = benchmark(staleness_bucket, history)
+    durations = [op.finish - op.start for op in history.operations]
+    stats = staleness_stats(history)
+    benchmark.extra_info["read_quorum"] = read_quorum
+    benchmark.extra_info["strict"] = read_quorum + WRITE_QUORUM > NUM_REPLICAS
+    benchmark.extra_info["bucket"] = bucket.value
+    benchmark.extra_info["minimal_k"] = minimal
+    benchmark.extra_info["mean_latency_ms"] = round(sum(durations) / len(durations), 3)
+    benchmark.extra_info["stale_read_fraction"] = round(stats.stale_fraction, 3)
+    if read_quorum + WRITE_QUORUM > NUM_REPLICAS:
+        assert bucket.value == "k=1", "strict knob positions must be linearizable"

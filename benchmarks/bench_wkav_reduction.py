@@ -1,0 +1,93 @@
+"""Experiment E7: the weighted k-AV problem is as hard as bin packing (Thm 5.1).
+
+Three measurements around the Figure 5 construction:
+
+* building the reduction itself is cheap (linear in the instance size);
+* deciding the reduced weighted-k-AV instance with the exact solver exhibits
+  the exponential growth expected of an NP-complete problem as the number of
+  long writes (bin-packing items) grows;
+* the source bin-packing instances, solved directly, grow the same way —
+  the reduction preserves both the answer and the difficulty.
+
+Every timed verification is asserted against the bin-packing ground truth, so
+the benchmark doubles as an equivalence check.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.wkav import verify_weighted_k_atomic
+from repro.binpacking.model import BinPackingInstance
+from repro.binpacking.reduction import reduce_to_wkav
+from repro.binpacking.solver import is_feasible, solve_exact
+
+
+def tight_instance(num_items: int, *, feasible: bool) -> BinPackingInstance:
+    """A deterministic, tight instance of the requested difficulty.
+
+    The feasible variant is built bin-by-bin from groups that fill the
+    capacity exactly, then shuffled, so a packing exists by construction but
+    the bins have no slack.  The infeasible variant uses items of size 4 with
+    capacity 6 and one bin fewer than the item count: the volume bound is
+    satisfied (so the trivial filter does not fire) yet no two items share a
+    bin, so every search must fail exhaustively.
+    """
+    capacity = 6
+    rng = random.Random(num_items)
+    if feasible:
+        groups = [(2, 4), (3, 3), (2, 2, 2), (6,), (1, 5)]
+        sizes = []
+        num_bins = 0
+        while len(sizes) < num_items:
+            group = groups[rng.randrange(len(groups))]
+            sizes.extend(group)
+            num_bins += 1
+        rng.shuffle(sizes)
+        return BinPackingInstance(tuple(sizes), capacity, num_bins)
+    count = max(3, num_items)
+    sizes = [4] * count
+    return BinPackingInstance(tuple(sizes), capacity, count - 1)
+
+
+ITEM_COUNTS = [4, 6, 8, 10]
+
+
+@pytest.mark.parametrize("num_items", ITEM_COUNTS)
+def test_reduction_construction_cost(benchmark, num_items):
+    """Building the Figure 5 history is linear in the instance size."""
+    instance = tight_instance(num_items, feasible=True)
+    reduced = benchmark(reduce_to_wkav, instance)
+    benchmark.extra_info["history_operations"] = len(reduced.history)
+    benchmark.extra_info["k"] = reduced.k
+
+
+@pytest.mark.parametrize("num_items", ITEM_COUNTS)
+def test_wkav_exact_on_feasible_instances(benchmark, num_items):
+    """Exact weighted k-AV on reductions of feasible bin-packing instances."""
+    instance = tight_instance(num_items, feasible=True)
+    reduced = reduce_to_wkav(instance)
+    result = benchmark(verify_weighted_k_atomic, reduced.history, reduced.k)
+    assert bool(result) == is_feasible(instance)
+    benchmark.extra_info["items"] = num_items
+    benchmark.extra_info["feasible"] = bool(result)
+
+
+@pytest.mark.parametrize("num_items", ITEM_COUNTS[:3])
+def test_wkav_exact_on_infeasible_instances(benchmark, num_items):
+    """Exact weighted k-AV where the answer is NO (full search required)."""
+    instance = tight_instance(num_items, feasible=False)
+    reduced = reduce_to_wkav(instance)
+    result = benchmark(verify_weighted_k_atomic, reduced.history, reduced.k)
+    assert bool(result) == is_feasible(instance)
+    benchmark.extra_info["items"] = instance.num_items
+    benchmark.extra_info["feasible"] = bool(result)
+
+
+@pytest.mark.parametrize("num_items", ITEM_COUNTS)
+def test_binpacking_exact_solver(benchmark, num_items):
+    """The source problem solved directly, for difficulty comparison."""
+    instance = tight_instance(num_items, feasible=True)
+    packing = benchmark(solve_exact, instance)
+    assert packing is not None
+    benchmark.extra_info["items"] = num_items

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+History generation is excluded from the timed sections: fixtures build (and
+cache) the inputs once per parameterisation, so the benchmarks time only the
+verification algorithms themselves.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.core.preprocess import normalize
+from repro.workloads.adversarial import concurrent_batch_history, high_concurrency_history
+from repro.workloads.synthetic import exactly_k_atomic_history, practical_history
+
+
+@lru_cache(maxsize=None)
+def practical(n: int, staleness: float = 0.05, clients: int = 8, seed: int = 1):
+    """A cached, normalised practical (low write concurrency) history."""
+    rng = random.Random(seed)
+    history = practical_history(
+        rng,
+        n,
+        num_clients=clients,
+        write_ratio=0.2,
+        staleness_probability=staleness,
+        max_staleness=1,
+    )
+    return normalize(history)
+
+
+@lru_cache(maxsize=None)
+def batched(num_batches: int, batch_size: int):
+    """A cached concurrent-batch history (2-atomic, concurrency = batch_size)."""
+    return concurrent_batch_history(num_batches, batch_size)
+
+
+@lru_cache(maxsize=None)
+def adversarial(n: int, fraction: float = 0.25):
+    """A cached history whose write concurrency grows linearly with its size."""
+    return high_concurrency_history(n, concurrency_fraction=fraction)
+
+
+@lru_cache(maxsize=None)
+def exactly_k(k: int, writes: int):
+    """A cached serial history whose minimal staleness bound is exactly k."""
+    return exactly_k_atomic_history(k, writes)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Audit a simulated Dynamo-style store for k-atomicity (Experiment E8).
+
+The paper's motivating question — and its concluding open problem — is whether
+real sloppy-quorum stores actually provide 2-atomicity.  This example answers
+it for the bundled store simulator: it runs the same workload against several
+(N, R, W) replication configurations, records the histories each run produces,
+and audits every register with the GK / LBT / FZF verifiers.
+
+Run with:  python examples/dynamo_audit.py
+"""
+
+from repro.analysis import audit_trace
+from repro.analysis.report import format_table
+from repro.simulation import (
+    ExponentialLatency,
+    QuorumConfig,
+    SloppyQuorumStore,
+    StoreConfig,
+)
+from repro.workloads import WorkloadSpec, ZipfianKeys
+
+CONFIGURATIONS = [
+    # (N, R, W, read_repair)
+    (3, 2, 2, False),   # strict quorums: R + W > N
+    (3, 1, 3, False),   # strict via write-all
+    (5, 2, 2, False),   # sloppy: R + W <= N
+    (5, 1, 2, False),   # sloppier
+    (5, 1, 1, False),   # the fast-and-loose end of the dial
+    (5, 1, 1, True),    # same, but with read repair
+]
+
+
+def run_configuration(n, r, w, read_repair, *, seed=7):
+    config = StoreConfig(
+        quorum=QuorumConfig(
+            num_replicas=n, read_quorum=r, write_quorum=w, read_repair=read_repair
+        ),
+        latency=ExponentialLatency(mean_ms=3.0),
+    )
+    workload = WorkloadSpec(
+        num_clients=16,
+        operations_per_client=60,
+        write_ratio=0.4,
+        key_selector=ZipfianKeys(num_keys=4),
+        mean_think_time_ms=2.0,
+        seed=seed,
+    )
+    store = SloppyQuorumStore(config, seed=seed)
+    return store.run(workload)
+
+
+def main():
+    rows = []
+    for n, r, w, repair in CONFIGURATIONS:
+        result = run_configuration(n, r, w, repair)
+        report = audit_trace(result.history)
+        spectrum = report.spectrum
+        rows.append(
+            [
+                result.config.quorum.describe() + (" +RR" if repair else ""),
+                result.completed_operations,
+                f"{spectrum.fraction_atomic:.0%}",
+                f"{spectrum.fraction_within_2:.0%}",
+                spectrum.worst_bucket().value,
+                report.worst_observed_lag(),
+            ]
+        )
+    print("k-atomicity audit of the simulated sloppy-quorum store")
+    print()
+    print(
+        format_table(
+            [
+                "configuration",
+                "ops",
+                "keys 1-atomic",
+                "keys <=2-atomic",
+                "worst bucket",
+                "worst lag",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Reading the table: strict quorums (R+W>N) stay linearizable; shrinking\n"
+        "the quorums trades freshness for latency, first into the 2-atomic\n"
+        "band the paper's algorithms certify, then beyond it; read repair pulls\n"
+        "a sloppy configuration back towards atomicity."
+    )
+
+    # Show the full per-key report for the most interesting configuration.
+    print()
+    result = run_configuration(5, 1, 2, False)
+    print(audit_trace(result.history, title="detailed report for N=5 R=1 W=2").render())
+
+
+if __name__ == "__main__":
+    main()

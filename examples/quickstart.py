@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: verify the k-atomicity of small hand-written histories.
+
+This example walks through the paper's core notions on a five-minute scale:
+
+1. build a history of timed read/write operations,
+2. check linearizability (1-atomicity) with the Gibbons–Korach conditions,
+3. check 2-atomicity with both LBT (Section III) and FZF (Section IV),
+4. compute the minimal staleness bound k and inspect a witness order.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import History, minimal_k, read, verify, write
+from repro.algorithms import verify_2atomic, verify_2atomic_fzf
+
+
+def banner(title):
+    print()
+    print(title)
+    print("-" * len(title))
+
+
+def show(history, description):
+    banner(description)
+    for op in history.operations:
+        kind = "write" if op.is_write else "read "
+        print(f"  {kind} {op.value!r:>6}   [{op.start:g}, {op.finish:g}]")
+    for k in (1, 2, 3):
+        result = verify(history, k)
+        print(f"  {k}-atomic? {'YES' if result else 'NO':>3}   ({result.algorithm})")
+    print(f"  minimal k = {minimal_k(history)}")
+
+
+def main():
+    # A perfectly fresh, serial history: linearizable.
+    fresh = History(
+        [
+            write("v1", 0.0, 1.0),
+            read("v1", 2.0, 3.0),
+            write("v2", 4.0, 5.0),
+            read("v2", 6.0, 7.0),
+        ]
+    )
+    show(fresh, "A fresh, serial history")
+
+    # A read that is one write stale: 2-atomic but not linearizable.  This is
+    # the kind of history a Dynamo-style sloppy quorum produces when the read
+    # quorum misses the latest write.
+    stale_by_one = History(
+        [
+            write("v1", 0.0, 1.0),
+            write("v2", 2.0, 3.0),
+            read("v1", 4.0, 5.0),
+        ]
+    )
+    show(stale_by_one, "A read that is one write stale")
+
+    # Two writes intervene before the stale read: not even 2-atomic.
+    stale_by_two = History(
+        [
+            write("v1", 0.0, 1.0),
+            write("v2", 2.0, 3.0),
+            write("v3", 4.0, 5.0),
+            read("v1", 6.0, 7.0),
+        ]
+    )
+    show(stale_by_two, "A read that is two writes stale")
+
+    # Both 2-AV algorithms return a witness total order on YES; the witness is
+    # a certified 2-atomic linearisation you can inspect or replay.
+    banner("Witness order produced by LBT and FZF for the stale-by-one history")
+    for verifier in (verify_2atomic, verify_2atomic_fzf):
+        result = verifier(stale_by_one)
+        order = " -> ".join(
+            f"{'w' if op.is_write else 'r'}({op.value})" for op in result.require_witness()
+        )
+        print(f"  {result.algorithm:>4}: {order}")
+        assert result.check_witness(stale_by_one)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Consistency "tuning knobs": quorum size vs. latency vs. staleness (E9).
+
+The paper's introduction argues that verifying k-atomicity lets operators turn
+back consistency knobs (e.g. quorum sizes) when an application only needs
+bounded staleness.  This example quantifies that trade-off on the simulator:
+for a fixed replication factor it sweeps the read-quorum size, measuring
+
+* mean operation latency (the cost of larger quorums), and
+* the staleness spectrum of the recorded histories (the consistency obtained).
+
+Run with:  python examples/tuning_knobs.py
+"""
+
+from repro.analysis import atomicity_spectrum, staleness_stats
+from repro.analysis.report import format_table
+from repro.simulation import (
+    ExponentialLatency,
+    QuorumConfig,
+    SloppyQuorumStore,
+    StoreConfig,
+)
+from repro.workloads import SingleKey, WorkloadSpec
+
+NUM_REPLICAS = 5
+WRITE_QUORUM = 2
+
+
+def run_with_read_quorum(read_quorum, *, seed=11):
+    config = StoreConfig(
+        quorum=QuorumConfig(
+            num_replicas=NUM_REPLICAS,
+            read_quorum=read_quorum,
+            write_quorum=WRITE_QUORUM,
+        ),
+        latency=ExponentialLatency(mean_ms=4.0),
+    )
+    workload = WorkloadSpec(
+        num_clients=12,
+        operations_per_client=60,
+        write_ratio=0.4,
+        key_selector=SingleKey(),
+        mean_think_time_ms=2.0,
+        seed=seed,
+    )
+    return SloppyQuorumStore(config, seed=seed).run(workload)
+
+
+def mean_latency(history):
+    durations = [op.finish - op.start for op in history.operations]
+    return sum(durations) / len(durations)
+
+
+def main():
+    rows = []
+    for read_quorum in range(1, NUM_REPLICAS + 1):
+        result = run_with_read_quorum(read_quorum)
+        history = result.history["key-00000"]
+        spectrum = atomicity_spectrum(result.history)
+        stats = staleness_stats(history)
+        quorum = result.config.quorum
+        rows.append(
+            [
+                f"R={read_quorum} W={WRITE_QUORUM} (N={NUM_REPLICAS})",
+                "strict" if quorum.is_strict else "sloppy",
+                f"{mean_latency(history):.2f} ms",
+                spectrum.worst_bucket().value,
+                f"{stats.stale_fraction:.1%}",
+                stats.max_value_lag,
+            ]
+        )
+    print("Tuning the read quorum on a 5-replica register (write quorum fixed at 2)")
+    print()
+    print(
+        format_table(
+            [
+                "configuration",
+                "quorum type",
+                "mean op latency",
+                "staleness bucket",
+                "stale reads",
+                "worst lag",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Small read quorums answer faster but drift into the k>=2 buckets; the\n"
+        "k-AV verifiers tell the operator exactly how far the knob can be turned\n"
+        "before the application's staleness budget is exceeded."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Weighted k-atomicity and the bin-packing reduction (Section V, Figure 5).
+
+Two demonstrations:
+
+1. *Important writes.*  A storage system can mark certain writes as important
+   by giving them a larger weight; weighted k-AV then bounds how much
+   "important" staleness any read may observe.  We verify a small history
+   under several weight assignments.
+
+2. *NP-hardness in action.*  Theorem 5.1 reduces bin packing to weighted
+   k-AV.  We build the Figure 5 construction for a handful of bin-packing
+   instances, solve both sides with exact solvers, and show the answers always
+   coincide — including decoding a k-WAV witness back into a packing.
+
+Run with:  python examples/weighted_verification.py
+"""
+
+from repro import History, read, write
+from repro.algorithms import verify_weighted_k_atomic, with_weights
+from repro.analysis.report import format_table
+from repro.binpacking import (
+    BinPackingInstance,
+    decode_witness,
+    is_feasible,
+    reduce_to_wkav,
+)
+
+
+def important_writes_demo():
+    print("Important writes: the same history under different weight assignments")
+    history = History(
+        [
+            write("profile-update", 0.0, 1.0),
+            write("password-change", 2.0, 3.0),
+            read("profile-update", 4.0, 5.0),   # misses the password change
+        ]
+    )
+    rows = []
+    for label, weights in [
+        ("all writes weight 1", {}),
+        ("password-change weight 3", {"password-change": 3}),
+        ("both writes weight 3", {"profile-update": 3, "password-change": 3}),
+    ]:
+        weighted = with_weights(history, weights)
+        verdicts = [
+            "YES" if verify_weighted_k_atomic(weighted, k) else "NO" for k in (2, 4, 6)
+        ]
+        rows.append([label] + verdicts)
+    print(format_table(["weight assignment", "k=2", "k=4", "k=6"], rows))
+    print()
+
+
+def reduction_demo():
+    print("Theorem 5.1: bin packing <-> weighted k-AV on the Figure 5 construction")
+    instances = [
+        ("3 items of size 2 into 2 bins of 4", BinPackingInstance((2, 2, 2), 4, 2)),
+        ("3 items of size 3 into 2 bins of 4", BinPackingInstance((3, 3, 3), 4, 2)),
+        ("partition {4,3,3,2,2,2} into 2x8", BinPackingInstance((4, 3, 3, 2, 2, 2), 8, 2)),
+        ("same items into 2x7", BinPackingInstance((4, 3, 3, 2, 2, 2), 7, 2)),
+    ]
+    rows = []
+    for label, instance in instances:
+        reduced = reduce_to_wkav(instance)
+        packing_exists = is_feasible(instance)
+        verdict = verify_weighted_k_atomic(reduced.history, reduced.k)
+        decoded = ""
+        if verdict:
+            packing = decode_witness(reduced, verdict.require_witness())
+            decoded = str(packing.loads())
+        rows.append(
+            [
+                label,
+                len(reduced.history),
+                f"k={reduced.k}",
+                "feasible" if packing_exists else "infeasible",
+                "YES" if verdict else "NO",
+                decoded or "-",
+            ]
+        )
+        assert bool(verdict) == packing_exists
+    print(
+        format_table(
+            ["bin-packing instance", "history ops", "bound", "packing", "k-WAV", "decoded bin loads"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "The verdicts match in every row, as Theorem 5.1 requires; when the\n"
+        "instance is feasible, the k-WAV witness decodes into a concrete packing."
+    )
+
+
+def main():
+    important_writes_demo()
+    reduction_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — k-atomicity verification for replicated storage histories.
+
+A faithful, production-oriented reproduction of
+
+    Wojciech Golab, Jeremy Hurwitz, Xiaozhou (Steve) Li.
+    "On the k-Atomicity-Verification Problem."  ICDCS 2013.
+
+The library provides:
+
+* the operation/history model of the paper (Section II) with anomaly
+  detection and normalisation,
+* the **LBT** and **FZF** 2-atomicity-verification algorithms (Sections III
+  and IV), a Gibbons–Korach 1-AV baseline, and an exact oracle for any ``k``,
+* the **weighted k-AV** problem and its NP-completeness reduction from bin
+  packing (Section V),
+* a Dynamo-style sloppy-quorum store simulator, workload generators and
+  analysis tools for auditing the consistency that such systems actually
+  deliver — the motivating use case of the paper.
+
+Quickstart
+----------
+>>> from repro import History, read, write, verify
+>>> h = History([
+...     write("a", 0.0, 1.0),
+...     write("b", 2.0, 3.0),
+...     read("a", 4.0, 5.0),
+... ])
+>>> bool(verify(h, 1)), bool(verify(h, 2))
+(False, True)
+"""
+
+from .core import (
+    History,
+    MultiHistory,
+    Operation,
+    OpType,
+    VerificationResult,
+    find_anomalies,
+    minimal_k,
+    normalize,
+    read,
+    verify,
+    verify_trace,
+    write,
+)
+from .algorithms import (
+    verify_1atomic,
+    verify_2atomic,
+    verify_2atomic_fzf,
+    verify_k_atomic_exact,
+    verify_weighted_k_atomic,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "History",
+    "MultiHistory",
+    "Operation",
+    "OpType",
+    "VerificationResult",
+    "__version__",
+    "find_anomalies",
+    "minimal_k",
+    "normalize",
+    "read",
+    "verify",
+    "verify_1atomic",
+    "verify_2atomic",
+    "verify_2atomic_fzf",
+    "verify_k_atomic_exact",
+    "verify_trace",
+    "verify_weighted_k_atomic",
+    "write",
+]

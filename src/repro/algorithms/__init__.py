@@ -1,0 +1,57 @@
+"""Verification algorithms.
+
+* :mod:`repro.algorithms.gk` — Gibbons–Korach 1-AV (linearizability) baseline.
+* :mod:`repro.algorithms.lbt` — LBT 2-AV (Section III), reference and
+  efficient variants.
+* :mod:`repro.algorithms.fzf` — FZF 2-AV (Section IV), quasilinear worst case.
+* :mod:`repro.algorithms.exact` — exact exponential oracle for any ``k``
+  (plain and weighted).
+* :mod:`repro.algorithms.wkav` — weighted k-AV front end (Section V).
+* :mod:`repro.algorithms.gls` — zone-only partial 2-AV checker (pre-paper
+  state of the art, used as a baseline).
+* :mod:`repro.algorithms.registry` — name → algorithm lookup used by the
+  unified API and the benchmarks.
+"""
+
+from .exact import (
+    is_k_atomic_exact,
+    minimal_k_exact,
+    verify_k_atomic_exact,
+    verify_weighted_k_atomic_exact,
+)
+from .fzf import is_2atomic_fzf, verify_2atomic_fzf
+from .gk import is_1atomic, verify_1atomic
+from .gls import PartialResult, PartialVerdict, verify_2atomic_zones_only
+from .lbt import LBTChecker, is_2atomic, verify_2atomic, verify_2atomic_reference
+from .registry import REGISTRY, available_algorithms, get_algorithm
+from .wkav import (
+    is_weighted_k_atomic,
+    verify_weighted_k_atomic,
+    weighted_lower_bound,
+    with_weights,
+)
+
+__all__ = [
+    "LBTChecker",
+    "PartialResult",
+    "PartialVerdict",
+    "REGISTRY",
+    "available_algorithms",
+    "get_algorithm",
+    "is_1atomic",
+    "is_2atomic",
+    "is_2atomic_fzf",
+    "is_k_atomic_exact",
+    "is_weighted_k_atomic",
+    "minimal_k_exact",
+    "verify_1atomic",
+    "verify_2atomic",
+    "verify_2atomic_fzf",
+    "verify_2atomic_reference",
+    "verify_2atomic_zones_only",
+    "verify_k_atomic_exact",
+    "verify_weighted_k_atomic",
+    "verify_weighted_k_atomic_exact",
+    "weighted_lower_bound",
+    "with_weights",
+]

@@ -1,0 +1,245 @@
+"""Exact (exponential-time) k-atomicity and weighted k-atomicity oracle.
+
+The polynomial algorithms in this library (GK for ``k = 1``, LBT and FZF for
+``k = 2``) are cross-validated against this oracle, which decides k-AV and
+k-WAV for *any* ``k`` by a memoised branch-and-bound search over valid total
+orders.  It is exponential in the worst case and intended for
+
+* ground-truth checking in the test-suite (histories of up to a few dozen
+  operations),
+* the ``k >= 3`` fallback of the unified API, and
+* the NP-completeness experiments of Section V, where exponential behaviour
+  is exactly the point.
+
+Search formulation
+------------------
+A valid total order is built left to right.  An operation can be appended iff
+every operation that *precedes* it (finishes before it starts) has already
+been placed.  Placing a read additionally requires that its dictating write
+has been placed and that the writes placed after that dictating write keep the
+read within the staleness bound (at most ``k - 1`` intervening writes for
+k-AV, total separating weight at most ``k`` for k-WAV).  A branch is pruned as
+soon as some placed write with still-unplaced dictated reads can no longer
+satisfy the bound.  States are memoised on the set of remaining operations
+plus the bounded window of recently placed writes that still matter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import VerificationError
+from ..core.history import History
+from ..core.operation import Operation
+from ..core.preprocess import has_anomalies
+from ..core.result import VerificationResult
+
+__all__ = [
+    "verify_k_atomic_exact",
+    "is_k_atomic_exact",
+    "verify_weighted_k_atomic_exact",
+    "minimal_k_exact",
+]
+
+_ALGORITHM = "exact"
+_ALGORITHM_W = "wkav-exact"
+
+
+class _SearchSpace:
+    """Precomputed structure shared by every node of the search."""
+
+    def __init__(self, history: History, k: int, weighted: bool):
+        self.history = history
+        self.k = k
+        self.weighted = weighted
+        self.ops: List[Operation] = list(history.operations)
+        self.index: Dict[Operation, int] = {op: i for i, op in enumerate(self.ops)}
+        n = len(self.ops)
+        # preds[i] = indices of operations that must appear before op i.
+        self.preds: List[Tuple[int, ...]] = []
+        for i, op in enumerate(self.ops):
+            self.preds.append(
+                tuple(j for j, other in enumerate(self.ops) if other.precedes(op))
+            )
+        # For reads: index of the dictating write.  For writes: indices of
+        # dictated reads.
+        self.dictating: Dict[int, int] = {}
+        self.dictated: Dict[int, Tuple[int, ...]] = {}
+        for i, op in enumerate(self.ops):
+            if op.is_write:
+                self.dictated[i] = tuple(
+                    self.index[r] for r in history.dictated_reads(op)
+                )
+            else:
+                w = history.dictating_write(op)
+                self.dictating[i] = self.index[w]
+        self.weight: List[int] = [
+            op.weight if (weighted and op.is_write) else 1 for op in self.ops
+        ]
+        self.nodes_explored = 0
+
+    def write_cost(self, idx: int) -> int:
+        """The contribution of write ``idx`` to a separation budget."""
+        return self.weight[idx]
+
+
+def _search(
+    space: _SearchSpace,
+    remaining: FrozenSet[int],
+    # ``pending`` maps a placed write (with unplaced dictated reads) to the
+    # separation budget already consumed: for k-AV the number of writes placed
+    # after it; for k-WAV the total weight placed from it onward (inclusive).
+    pending: Tuple[Tuple[int, int], ...],
+    prefix: List[int],
+    failed: Set[Tuple[FrozenSet[int], Tuple[Tuple[int, int], ...]]],
+) -> bool:
+    if not remaining:
+        return True
+    key = (remaining, pending)
+    if key in failed:
+        return False
+    space.nodes_explored += 1
+    k = space.k
+    weighted = space.weighted
+    pending_dict = dict(pending)
+
+    # Candidate next operations: all predecessors placed already.
+    for idx in sorted(remaining):
+        if any(p in remaining for p in space.preds[idx]):
+            continue
+        op = space.ops[idx]
+        if op.is_read:
+            w_idx = space.dictating[idx]
+            if w_idx in remaining:
+                continue  # dictating write not placed yet
+            if w_idx in pending_dict:
+                consumed = pending_dict[w_idx]
+            else:
+                # The write was placed but is no longer tracked, which only
+                # happens when it had no unplaced reads — impossible here.
+                continue
+            if weighted:
+                if consumed > k:
+                    continue
+            else:
+                # ``consumed`` counts intervening writes; bound is k - 1.
+                if consumed > k - 1:
+                    continue
+        # Build the child state.
+        new_remaining = remaining - {idx}
+        new_pending: Dict[int, int] = dict(pending_dict)
+        feasible = True
+        if op.is_write:
+            # Every tracked write gains separation.
+            cost = space.write_cost(idx)
+            for w, consumed in list(new_pending.items()):
+                updated = consumed + (cost if not weighted else cost)
+                new_pending[w] = updated
+                limit = k if weighted else k - 1
+                if updated > limit:
+                    feasible = False
+                    break
+            if feasible:
+                unplaced_reads = [r for r in space.dictated[idx] if r in new_remaining]
+                if unplaced_reads:
+                    new_pending[idx] = space.weight[idx] if weighted else 0
+        else:
+            w_idx = space.dictating[idx]
+            still_unplaced = [
+                r for r in space.dictated[w_idx] if r in new_remaining
+            ]
+            if not still_unplaced:
+                new_pending.pop(w_idx, None)
+        if not feasible:
+            continue
+        pending_key = tuple(sorted(new_pending.items()))
+        prefix.append(idx)
+        if _search(space, frozenset(new_remaining), pending_key, prefix, failed):
+            return True
+        prefix.pop()
+    failed.add(key)
+    return False
+
+
+def _run_exact(history: History, k: int, weighted: bool, algorithm: str) -> VerificationResult:
+    if k < 1:
+        raise VerificationError(f"k must be a positive integer, got {k!r}")
+    if history.is_empty:
+        return VerificationResult.yes(k, algorithm, witness=())
+    if has_anomalies(history):
+        return VerificationResult.no(
+            k, algorithm, reason="history contains Section II-C anomalies"
+        )
+    space = _SearchSpace(history, k, weighted)
+    prefix: List[int] = []
+    failed: Set[Tuple[FrozenSet[int], Tuple[Tuple[int, int], ...]]] = set()
+    ok = _search(space, frozenset(range(len(space.ops))), (), prefix, failed)
+    stats = {"nodes_explored": space.nodes_explored, "memoized_failures": len(failed)}
+    if ok:
+        witness = tuple(space.ops[i] for i in prefix)
+        return VerificationResult.yes(k, algorithm, witness=witness, stats=stats)
+    return VerificationResult.no(
+        k,
+        algorithm,
+        reason="exhaustive search found no valid k-atomic total order",
+        stats=stats,
+    )
+
+
+def verify_k_atomic_exact(history: History, k: int) -> VerificationResult:
+    """Decide k-atomicity exactly, for any ``k >= 1``.
+
+    Exponential in the worst case; use only for small histories, testing, or
+    as the ``k >= 3`` fallback.  Produces a witness total order on YES.
+    """
+    return _run_exact(history, k, weighted=False, algorithm=_ALGORITHM)
+
+
+def is_k_atomic_exact(history: History, k: int) -> bool:
+    """Boolean convenience wrapper around :func:`verify_k_atomic_exact`."""
+    return bool(verify_k_atomic_exact(history, k))
+
+
+def verify_weighted_k_atomic_exact(history: History, k: int) -> VerificationResult:
+    """Decide *weighted* k-atomicity exactly (Section V).
+
+    The separation constraint counts the total weight of the writes between a
+    dictating write and its dictated read, including the dictating write
+    itself; it must not exceed ``k``.  With unit weights this coincides with
+    plain k-AV for the same ``k`` because the dictating write then contributes
+    exactly 1 and up to ``k - 1`` other writes may intervene.
+    """
+    return _run_exact(history, k, weighted=True, algorithm=_ALGORITHM_W)
+
+
+def minimal_k_exact(history: History, *, max_k: Optional[int] = None) -> int:
+    """Return the smallest ``k`` for which ``history`` is k-atomic.
+
+    Uses the monotonicity of k-atomicity in ``k`` (adding slack never breaks a
+    witness) and the fact that an anomaly-free history is always
+    ``max(1, W)``-atomic where ``W`` is its number of writes.  Raises
+    :class:`~repro.core.errors.VerificationError` if the history is anomalous
+    (no finite ``k`` exists).
+    """
+    if history.is_empty:
+        return 1
+    if has_anomalies(history):
+        raise VerificationError(
+            "history contains anomalies; it is not k-atomic for any k"
+        )
+    upper = max(1, len(history.writes)) if max_k is None else max_k
+    lo, hi = 1, upper
+    # Verify the upper bound actually holds (it must, see docstring), then
+    # binary search for the smallest satisfying k.
+    if not is_k_atomic_exact(history, hi):
+        raise VerificationError(
+            f"history unexpectedly not {hi}-atomic; "
+            "was max_k set below the true minimal k?"
+        )
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if is_k_atomic_exact(history, mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,144 @@
+"""Zone-based partial 2-AV checker (the pre-LBT/FZF state of the art).
+
+Before this paper, the 2-AV problem had only been solved for a restricted
+class of histories (Golab, Li and Shah, PODC 2011), and Section IV points out
+why a full solution cannot look at zones alone: two histories with identical
+zone sets can differ in 2-atomicity.  This module implements an honest
+*partial* checker in that spirit: it reasons purely about zones and therefore
+can return a definite verdict only on a restricted class of histories,
+answering ``UNKNOWN`` otherwise.
+
+Decision rules (all zone-level, all sound):
+
+* If the Gibbons–Korach 1-atomicity conditions hold, the history is 1-atomic
+  and therefore 2-atomic → ``YES``.
+* If some chunk contains three or more backward clusters, the history is not
+  2-atomic (Lemma 4.3, Case 4) → ``NO``.
+* If some chunk's forward zones have "property P" from the Lemma 4.2 proof —
+  three forward zones overlapping at a point, or one forward zone overlapping
+  more than two others — the history is not 2-atomic → ``NO``.
+* Otherwise → ``UNKNOWN`` (a full algorithm such as LBT or FZF is required).
+
+The checker is used as a baseline in the benchmarks: it shows how often zone
+information alone settles practical histories, and therefore how much of the
+work LBT/FZF actually do.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.chunks import Chunk, compute_chunk_set
+from ..core.history import History
+from ..core.preprocess import has_anomalies
+from ..core.zones import Cluster, build_clusters
+from .gk import find_1atomicity_violation
+
+__all__ = ["PartialVerdict", "PartialResult", "verify_2atomic_zones_only"]
+
+
+class PartialVerdict(enum.Enum):
+    """Three-valued verdict of a partial checker."""
+
+    YES = "yes"
+    NO = "no"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """Outcome of the zone-only partial 2-AV check."""
+
+    verdict: PartialVerdict
+    reason: str = ""
+
+    @property
+    def decided(self) -> bool:
+        """True iff the checker reached a definite YES or NO."""
+        return self.verdict is not PartialVerdict.UNKNOWN
+
+    def __bool__(self) -> bool:
+        return self.verdict is PartialVerdict.YES
+
+
+def _has_property_p(chunk: Chunk) -> Optional[Tuple[Cluster, ...]]:
+    """Detect "property P" among the chunk's forward zones.
+
+    Property P (Lemma 4.2 proof): three forward zones overlap at one point,
+    or one forward zone overlaps more than two others.  Either pattern forces
+    some forward dictating write to have separation at least two, so the
+    chunk cannot be 2-atomic.
+    Returns the offending clusters, or ``None``.
+    """
+    forward = sorted(chunk.forward_clusters, key=lambda cl: cl.zone.low)
+    # Three zones overlapping at one point: sweep over endpoints.
+    events: List[Tuple[float, int, Cluster]] = []
+    for cl in forward:
+        events.append((cl.zone.low, +1, cl))
+        events.append((cl.zone.high, -1, cl))
+    events.sort(key=lambda e: (e[0], -e[1]))
+    active: List[Cluster] = []
+    for _, delta, cl in events:
+        if delta == +1:
+            active.append(cl)
+            if len(active) >= 3:
+                return tuple(active[:3])
+        else:
+            if cl in active:
+                active.remove(cl)
+    # One zone overlapping more than two others: count overlaps per zone via
+    # binary search over the sorted endpoint lists (O(f log f) overall).
+    lows = sorted(cl.zone.low for cl in forward)
+    highs = sorted(cl.zone.high for cl in forward)
+    for cl in forward:
+        # Zones overlapping cl: low <= cl.high and high >= cl.low.
+        num_low_ok = bisect.bisect_right(lows, cl.zone.high)
+        num_high_too_small = bisect.bisect_left(highs, cl.zone.low)
+        overlapping = num_low_ok - num_high_too_small - 1  # exclude cl itself
+        if overlapping > 2:
+            offenders = [
+                other
+                for other in forward
+                if other is not cl and cl.zone.overlaps(other.zone)
+            ]
+            return (cl,) + tuple(offenders[:3])
+    return None
+
+
+def verify_2atomic_zones_only(history: History) -> PartialResult:
+    """Run the zone-only partial 2-AV check described in the module docstring."""
+    if history.is_empty:
+        return PartialResult(PartialVerdict.YES, "empty history")
+    if has_anomalies(history):
+        return PartialResult(
+            PartialVerdict.NO, "history contains Section II-C anomalies"
+        )
+    if find_1atomicity_violation(history) is None:
+        return PartialResult(
+            PartialVerdict.YES,
+            "Gibbons–Korach conditions hold: the history is 1-atomic, hence 2-atomic",
+        )
+    clusters = build_clusters(history)
+    chunk_set = compute_chunk_set(history, clusters)
+    for chunk in chunk_set.chunks:
+        if chunk.num_backward >= 3:
+            return PartialResult(
+                PartialVerdict.NO,
+                f"a chunk spanning [{chunk.interval[0]:g}, {chunk.interval[1]:g}] "
+                f"contains {chunk.num_backward} backward clusters",
+            )
+        offenders = _has_property_p(chunk)
+        if offenders is not None:
+            values = ", ".join(repr(cl.value) for cl in offenders)
+            return PartialResult(
+                PartialVerdict.NO,
+                f"forward zones of values {values} exhibit property P "
+                "(triple overlap or a zone overlapping more than two others)",
+            )
+    return PartialResult(
+        PartialVerdict.UNKNOWN,
+        "zone information alone cannot decide this history; run LBT or FZF",
+    )

@@ -1,0 +1,116 @@
+"""Registry mapping algorithm names to verifier callables.
+
+The unified API (:mod:`repro.core.api`) and the benchmark harness select
+algorithms by name; this registry is the single source of truth for which
+names exist and which staleness bounds each algorithm supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.errors import VerificationError
+from ..core.history import History
+from ..core.result import VerificationResult
+from . import exact, fzf, gk, lbt
+
+__all__ = ["AlgorithmSpec", "REGISTRY", "get_algorithm", "algorithms_for_k", "available_algorithms"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Metadata about a registered verification algorithm."""
+
+    name: str
+    #: The staleness bounds the algorithm can decide (``None`` = any k).
+    supported_k: Optional[Sequence[int]]
+    #: ``fn(history, k) -> VerificationResult``
+    fn: Callable[[History, int], VerificationResult]
+    description: str
+
+    def supports(self, k: int) -> bool:
+        """True iff the algorithm can decide k-atomicity for this ``k``."""
+        return self.supported_k is None or k in self.supported_k
+
+
+def _gk_adapter(history: History, k: int) -> VerificationResult:
+    if k != 1:
+        raise VerificationError("GK decides only 1-atomicity")
+    return gk.verify_1atomic(history)
+
+
+def _lbt_adapter(history: History, k: int) -> VerificationResult:
+    if k != 2:
+        raise VerificationError("LBT decides only 2-atomicity")
+    return lbt.verify_2atomic(history)
+
+
+def _lbt_reference_adapter(history: History, k: int) -> VerificationResult:
+    if k != 2:
+        raise VerificationError("LBT (reference) decides only 2-atomicity")
+    return lbt.verify_2atomic_reference(history)
+
+
+def _fzf_adapter(history: History, k: int) -> VerificationResult:
+    if k != 2:
+        raise VerificationError("FZF decides only 2-atomicity")
+    return fzf.verify_2atomic_fzf(history)
+
+
+def _exact_adapter(history: History, k: int) -> VerificationResult:
+    return exact.verify_k_atomic_exact(history, k)
+
+
+REGISTRY: Dict[str, AlgorithmSpec] = {
+    "gk": AlgorithmSpec(
+        name="gk",
+        supported_k=(1,),
+        fn=_gk_adapter,
+        description="Gibbons–Korach zone conditions for 1-atomicity (linearizability)",
+    ),
+    "lbt": AlgorithmSpec(
+        name="lbt",
+        supported_k=(2,),
+        fn=_lbt_adapter,
+        description="Limited-backtracking 2-AV (Section III), efficient variant",
+    ),
+    "lbt-reference": AlgorithmSpec(
+        name="lbt-reference",
+        supported_k=(2,),
+        fn=_lbt_reference_adapter,
+        description="Literal Figure 2 transcription of LBT (reference implementation)",
+    ),
+    "fzf": AlgorithmSpec(
+        name="fzf",
+        supported_k=(2,),
+        fn=_fzf_adapter,
+        description="Forward-Zones-First 2-AV (Section IV), O(n log n) worst case",
+    ),
+    "exact": AlgorithmSpec(
+        name="exact",
+        supported_k=None,
+        fn=_exact_adapter,
+        description="Exact exponential oracle for any k (testing / k >= 3 fallback)",
+    ),
+}
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up an algorithm by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in REGISTRY:
+        raise VerificationError(
+            f"unknown algorithm {name!r}; available: {', '.join(sorted(REGISTRY))}"
+        )
+    return REGISTRY[key]
+
+
+def algorithms_for_k(k: int) -> Dict[str, AlgorithmSpec]:
+    """All registered algorithms that can decide k-atomicity for ``k``."""
+    return {name: spec for name, spec in REGISTRY.items() if spec.supports(k)}
+
+
+def available_algorithms() -> Dict[str, str]:
+    """Mapping from algorithm name to its one-line description."""
+    return {name: spec.description for name, spec in REGISTRY.items()}

@@ -1,0 +1,110 @@
+"""Weighted k-atomicity verification (k-WAV, Section V).
+
+The weighted k-AV problem attaches a positive integer weight to every write
+and requires, for every read, that the total weight of the writes separating
+the read from its dictating write — *including the dictating write itself* —
+be at most ``k``.  Plain k-AV is the unit-weight special case.  Theorem 5.1
+shows k-WAV is NP-complete by reduction from bin packing, so this module only
+offers
+
+* an exact exponential solver (shared with :mod:`repro.algorithms.exact`),
+* helpers to attach weights to an existing history, and
+* a fast *necessary-condition* filter used to prune obviously-infeasible
+  instances before invoking the exact solver.
+
+The reduction from bin packing that establishes NP-hardness lives in
+:mod:`repro.binpacking.reduction`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional
+
+from dataclasses import replace
+
+from ..core.errors import VerificationError
+from ..core.history import History
+from ..core.preprocess import has_anomalies
+from ..core.result import VerificationResult
+from .exact import verify_weighted_k_atomic_exact
+
+__all__ = [
+    "with_weights",
+    "total_write_weight",
+    "weighted_lower_bound",
+    "verify_weighted_k_atomic",
+    "is_weighted_k_atomic",
+]
+
+
+def with_weights(history: History, weights: Mapping[Hashable, int]) -> History:
+    """Return a copy of ``history`` whose writes carry the given weights.
+
+    ``weights`` maps written values to positive integer weights; values not
+    present keep their current weight (1 by default).  Reads are unaffected.
+    """
+    for value, weight in weights.items():
+        if not isinstance(weight, int) or weight < 1:
+            raise VerificationError(
+                f"weight for value {value!r} must be a positive integer, got {weight!r}"
+            )
+    ops = []
+    for op in history.operations:
+        if op.is_write and op.value in weights:
+            ops.append(replace(op, weight=weights[op.value]))
+        else:
+            ops.append(op)
+    return History(ops, key=history.key)
+
+
+def total_write_weight(history: History) -> int:
+    """The total weight of all writes in the history."""
+    return sum(w.weight for w in history.writes)
+
+
+def weighted_lower_bound(history: History) -> int:
+    """A quick lower bound on the smallest feasible ``k`` for k-WAV.
+
+    Every read must at least tolerate the weight of its own dictating write
+    (the separation includes the dictating write), so ``k`` can never be
+    smaller than the maximum weight of a write that has dictated reads.
+    Returns 1 for histories without dictated reads.
+    """
+    bound = 1
+    for w in history.writes:
+        if history.dictated_reads(w):
+            bound = max(bound, w.weight)
+    return bound
+
+
+def verify_weighted_k_atomic(history: History, k: int) -> VerificationResult:
+    """Decide weighted k-atomicity of ``history`` for the bound ``k``.
+
+    k-WAV is NP-complete (Theorem 5.1), so the decision is delegated to the
+    exact branch-and-bound solver after two cheap filters: anomaly detection
+    and the :func:`weighted_lower_bound` necessary condition.
+    """
+    if k < 1:
+        raise VerificationError(f"k must be a positive integer, got {k!r}")
+    if history.is_empty:
+        return VerificationResult.yes(k, "wkav-exact", witness=())
+    if has_anomalies(history):
+        return VerificationResult.no(
+            k, "wkav-exact", reason="history contains Section II-C anomalies"
+        )
+    bound = weighted_lower_bound(history)
+    if bound > k:
+        return VerificationResult.no(
+            k,
+            "wkav-exact",
+            reason=(
+                f"some dictated write has weight {bound} > k={k}; the separation "
+                "bound counts the dictating write itself, so no total order can help"
+            ),
+        )
+    return verify_weighted_k_atomic_exact(history, k)
+
+
+def is_weighted_k_atomic(history: History, k: int) -> bool:
+    """Boolean convenience wrapper around :func:`verify_weighted_k_atomic`."""
+    return bool(verify_weighted_k_atomic(history, k))

@@ -1,0 +1,35 @@
+"""Consistency analysis: staleness metrics, spectra, and reports."""
+
+from .metrics import (
+    HistoryProfile,
+    StalenessStats,
+    profile_history,
+    read_time_lag,
+    read_value_lag,
+    staleness_stats,
+)
+from .report import ConsistencyReport, audit_trace, format_table
+from .spectrum import (
+    KeyVerdict,
+    StalenessBucket,
+    StalenessSpectrum,
+    atomicity_spectrum,
+    staleness_bucket,
+)
+
+__all__ = [
+    "ConsistencyReport",
+    "HistoryProfile",
+    "KeyVerdict",
+    "StalenessBucket",
+    "StalenessSpectrum",
+    "StalenessStats",
+    "atomicity_spectrum",
+    "audit_trace",
+    "format_table",
+    "profile_history",
+    "read_time_lag",
+    "read_value_lag",
+    "staleness_bucket",
+    "staleness_stats",
+]

@@ -1,0 +1,155 @@
+"""Descriptive metrics over histories.
+
+These metrics do not decide k-atomicity by themselves (that is what the
+algorithms are for); they quantify *how much* staleness and concurrency a
+history exhibits, which is the information an operator needs when deciding
+whether to turn the consistency "tuning knobs" the paper's introduction talks
+about (quorum sizes, replication factor).
+
+Two complementary staleness proxies are provided per read:
+
+* **value lag** — the number of writes that both *succeed* the read's
+  dictating write and *precede* the read in real time.  Every such write must
+  separate the read from its dictating write in any valid total order, so the
+  value lag is a certified lower bound on the read's staleness (a read with
+  value lag ``>= k`` proves the history is not k-atomic).
+* **time lag** — how long before the read's start its dictating write had
+  already been superseded by a newer (real-time-preceding) write; 0 for reads
+  of fresh values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.chunks import compute_chunk_set
+from ..core.history import History
+from ..core.operation import Operation
+from ..core.zones import build_clusters
+
+__all__ = [
+    "read_value_lag",
+    "read_time_lag",
+    "StalenessStats",
+    "staleness_stats",
+    "HistoryProfile",
+    "profile_history",
+]
+
+
+def read_value_lag(history: History, op: Operation) -> int:
+    """The certified staleness lower bound of a single read (see module docs)."""
+    if not op.is_read:
+        raise ValueError("read_value_lag expects a read operation")
+    dictating = history.dictating_write(op)
+    if dictating is None:
+        raise ValueError("read has no dictating write; normalise the history first")
+    lag = 0
+    for w in history.writes:
+        if dictating.precedes(w) and w.precedes(op):
+            lag += 1
+    return lag
+
+
+def read_time_lag(history: History, op: Operation) -> float:
+    """How stale (in time units) the read's value already was at its start."""
+    if not op.is_read:
+        raise ValueError("read_time_lag expects a read operation")
+    dictating = history.dictating_write(op)
+    if dictating is None:
+        raise ValueError("read has no dictating write; normalise the history first")
+    superseded = [
+        w for w in history.writes if dictating.precedes(w) and w.precedes(op)
+    ]
+    if not superseded:
+        return 0.0
+    earliest_newer_finish = min(w.finish for w in superseded)
+    return max(0.0, op.start - earliest_newer_finish)
+
+
+@dataclass(frozen=True)
+class StalenessStats:
+    """Aggregate staleness of the reads of one history."""
+
+    num_reads: int
+    stale_reads: int
+    max_value_lag: int
+    mean_value_lag: float
+    max_time_lag: float
+    lag_histogram: Tuple[Tuple[int, int], ...]
+
+    @property
+    def stale_fraction(self) -> float:
+        """Fraction of reads whose certified value lag is at least 1."""
+        if self.num_reads == 0:
+            return 0.0
+        return self.stale_reads / self.num_reads
+
+    def implies_not_k_atomic(self, k: int) -> bool:
+        """True iff some read's lag already certifies non-k-atomicity."""
+        return self.max_value_lag >= k
+
+
+def staleness_stats(history: History) -> StalenessStats:
+    """Compute :class:`StalenessStats` for a history."""
+    lags: List[int] = []
+    time_lags: List[float] = []
+    for r in history.reads:
+        lags.append(read_value_lag(history, r))
+        time_lags.append(read_time_lag(history, r))
+    histogram: Dict[int, int] = {}
+    for lag in lags:
+        histogram[lag] = histogram.get(lag, 0) + 1
+    return StalenessStats(
+        num_reads=len(lags),
+        stale_reads=sum(1 for lag in lags if lag >= 1),
+        max_value_lag=max(lags) if lags else 0,
+        mean_value_lag=(sum(lags) / len(lags)) if lags else 0.0,
+        max_time_lag=max(time_lags) if time_lags else 0.0,
+        lag_histogram=tuple(sorted(histogram.items())),
+    )
+
+
+@dataclass(frozen=True)
+class HistoryProfile:
+    """Structural statistics of a history (useful for benchmark reporting)."""
+
+    num_operations: int
+    num_writes: int
+    num_reads: int
+    max_concurrent_writes: int
+    num_forward_clusters: int
+    num_backward_clusters: int
+    num_chunks: int
+    num_dangling_clusters: int
+    largest_chunk_size: int
+    duration: float
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of operations that are writes."""
+        if self.num_operations == 0:
+            return 0.0
+        return self.num_writes / self.num_operations
+
+
+def profile_history(history: History) -> HistoryProfile:
+    """Compute a :class:`HistoryProfile` for a (anomaly-free) history."""
+    if history.is_empty:
+        return HistoryProfile(0, 0, 0, 0, 0, 0, 0, 0, 0, 0.0)
+    clusters = build_clusters(history)
+    chunk_set = compute_chunk_set(history, clusters)
+    lo, hi = history.span()
+    return HistoryProfile(
+        num_operations=len(history),
+        num_writes=len(history.writes),
+        num_reads=len(history.reads),
+        max_concurrent_writes=history.max_concurrent_writes(),
+        num_forward_clusters=sum(1 for cl in clusters if cl.is_forward),
+        num_backward_clusters=sum(1 for cl in clusters if cl.is_backward),
+        num_chunks=chunk_set.num_chunks,
+        num_dangling_clusters=chunk_set.num_dangling,
+        largest_chunk_size=chunk_set.largest_chunk_size(),
+        duration=hi - lo,
+    )

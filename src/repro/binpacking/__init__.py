@@ -1,0 +1,28 @@
+"""Bin packing: model, solvers, and the reduction to weighted k-AV (Section V)."""
+
+from .model import BinPackingAssignment, BinPackingInstance, random_instance
+from .reduction import ReducedInstance, decode_witness, encode_packing, reduce_to_wkav
+from .solver import (
+    best_fit_decreasing,
+    first_fit,
+    first_fit_decreasing,
+    is_feasible,
+    minimum_bins,
+    solve_exact,
+)
+
+__all__ = [
+    "BinPackingAssignment",
+    "BinPackingInstance",
+    "ReducedInstance",
+    "best_fit_decreasing",
+    "decode_witness",
+    "encode_packing",
+    "first_fit",
+    "first_fit_decreasing",
+    "is_feasible",
+    "minimum_bins",
+    "random_instance",
+    "reduce_to_wkav",
+    "solve_exact",
+]

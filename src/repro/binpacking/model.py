@@ -1,0 +1,126 @@
+"""Bin-packing problem model (the source problem of the Theorem 5.1 reduction).
+
+An instance asks whether ``n`` items with positive integer sizes can be
+partitioned into ``m`` bins of capacity ``B``.  The NP-hardness of weighted
+k-atomicity verification (Section V) is established by reducing bin packing to
+k-WAV, so the library carries a small but complete bin-packing toolkit:
+instance model, exact solvers, classic heuristics, and instance generators for
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import ReductionError
+
+__all__ = ["BinPackingInstance", "BinPackingAssignment", "random_instance"]
+
+
+@dataclass(frozen=True)
+class BinPackingInstance:
+    """A decision-version bin-packing instance.
+
+    Attributes
+    ----------
+    sizes:
+        Positive integer sizes of the items, in input order.
+    capacity:
+        The bin capacity ``B``.
+    num_bins:
+        The number of available bins ``m``.
+    """
+
+    sizes: Tuple[int, ...]
+    capacity: int
+    num_bins: int
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ReductionError(f"bin capacity must be positive, got {self.capacity}")
+        if self.num_bins < 1:
+            raise ReductionError(f"number of bins must be positive, got {self.num_bins}")
+        for s in self.sizes:
+            if not isinstance(s, int) or s < 1:
+                raise ReductionError(f"item sizes must be positive integers, got {s!r}")
+
+    @property
+    def num_items(self) -> int:
+        """The number of items ``n``."""
+        return len(self.sizes)
+
+    @property
+    def total_size(self) -> int:
+        """The sum of all item sizes."""
+        return sum(self.sizes)
+
+    def trivially_infeasible(self) -> bool:
+        """Cheap necessary conditions for feasibility.
+
+        Returns True when the instance certainly has no packing: some item
+        exceeds the capacity, or the total size exceeds the aggregate
+        capacity ``m * B``.
+        """
+        if any(s > self.capacity for s in self.sizes):
+            return True
+        return self.total_size > self.capacity * self.num_bins
+
+    def lower_bound_bins(self) -> int:
+        """A lower bound on the number of bins any packing needs."""
+        if not self.sizes:
+            return 0
+        ceiling = -(-self.total_size // self.capacity)
+        return max(1, ceiling)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BinPackingInstance items={self.num_items} capacity={self.capacity} "
+            f"bins={self.num_bins}>"
+        )
+
+
+@dataclass(frozen=True)
+class BinPackingAssignment:
+    """A (claimed) solution: ``bins[i]`` lists the item indices packed in bin i."""
+
+    instance: BinPackingInstance
+    bins: Tuple[Tuple[int, ...], ...]
+
+    def is_valid(self) -> bool:
+        """Check the assignment: a partition of all items, capacity respected."""
+        if len(self.bins) > self.instance.num_bins:
+            return False
+        assigned = [idx for b in self.bins for idx in b]
+        if sorted(assigned) != list(range(self.instance.num_items)):
+            return False
+        for b in self.bins:
+            if sum(self.instance.sizes[i] for i in b) > self.instance.capacity:
+                return False
+        return True
+
+    def loads(self) -> List[int]:
+        """The total size packed into each bin."""
+        return [sum(self.instance.sizes[i] for i in b) for b in self.bins]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BinPackingAssignment bins={self.loads()}>"
+
+
+def random_instance(
+    rng: random.Random,
+    *,
+    num_items: int,
+    capacity: int,
+    num_bins: int,
+    max_item: Optional[int] = None,
+) -> BinPackingInstance:
+    """Generate a random bin-packing instance with the given shape.
+
+    Item sizes are uniform in ``[1, max_item]`` (default ``capacity``).  The
+    instance may or may not be feasible; the benchmark harness uses both kinds.
+    """
+    cap_item = capacity if max_item is None else min(max_item, capacity)
+    sizes = tuple(rng.randint(1, cap_item) for _ in range(num_items))
+    return BinPackingInstance(sizes=sizes, capacity=capacity, num_bins=num_bins)

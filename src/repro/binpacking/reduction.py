@@ -1,0 +1,189 @@
+"""Bin packing → weighted k-AV reduction (Theorem 5.1, Figure 5).
+
+Given a bin-packing instance with ``n`` items of sizes ``s_1..s_n``, ``m``
+bins and capacity ``B``, the construction builds a history whose weighted
+k-atomicity for ``k = B + 2`` is equivalent to the packing's feasibility:
+
+* ``m + 1`` *short writes* ``w(1) .. w(m+1)`` of weight 1 and ``m`` reads
+  ``r(1) .. r(m)`` (``r(i)`` dictated by ``w(i)``), laid out so that their
+  real-time order forces the total order
+  ``w(1) w(2) r(1) w(3) r(2) … w(m) r(m-1) w(m+1) r(m)``;
+* ``n`` *long writes* with weights equal to the item sizes, each spanning from
+  just after ``w(1)`` finishes to just before ``w(m+1)`` starts, so their
+  commit points can be placed anywhere strictly between those two writes;
+* *bin i* is the region between ``w(i)`` and ``r(i)``: the k-WAV constraint
+  for ``r(i)`` allows at most ``B`` units of long-write weight there (the
+  budget ``B + 2`` minus the two short writes ``w(i)`` and ``w(i+1)``).
+
+Besides the forward construction, this module can *decode* a weighted-k-AV
+witness back into a bin assignment and *encode* a packing into a witness
+order, which is how the round-trip tests validate Theorem 5.1 empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ReductionError
+from ..core.history import History
+from ..core.operation import Operation, read, write
+from .model import BinPackingAssignment, BinPackingInstance
+
+__all__ = ["ReducedInstance", "reduce_to_wkav", "decode_witness", "encode_packing"]
+
+#: Width of each short operation's interval and the gap between consecutive
+#: short operations on the constructed timeline.
+_SLOT = 10.0
+_WIDTH = 1.0
+
+
+@dataclass(frozen=True)
+class ReducedInstance:
+    """The output of the reduction: a history, the bound ``k``, and bookkeeping."""
+
+    source: BinPackingInstance
+    history: History
+    k: int
+    short_writes: Tuple[Operation, ...]
+    reads: Tuple[Operation, ...]
+    long_writes: Tuple[Operation, ...]
+
+    @property
+    def num_bins(self) -> int:
+        """The number of bins ``m`` of the source instance."""
+        return self.source.num_bins
+
+    def long_write_for_item(self, item: int) -> Operation:
+        """The long write encoding item ``item`` (0-based)."""
+        return self.long_writes[item]
+
+
+def reduce_to_wkav(instance: BinPackingInstance) -> ReducedInstance:
+    """Build the Figure 5 history for a bin-packing instance.
+
+    The resulting history is weighted-(B+2)-atomic iff the instance has a
+    feasible packing (Theorem 5.1).
+    """
+    m = instance.num_bins
+    n = instance.num_items
+    if m < 1:
+        raise ReductionError("the reduction requires at least one bin")
+
+    # Short operations in their forced real-time order:
+    # w(1), w(2), r(1), w(3), r(2), ..., w(m+1), r(m).
+    short_writes: List[Operation] = []
+    reads: List[Operation] = []
+    timeline: List[Tuple[str, int]] = [("w", 1)]
+    for i in range(2, m + 2):
+        timeline.append(("w", i))
+        timeline.append(("r", i - 1))
+
+    ops: List[Operation] = []
+    op_by_label: Dict[Tuple[str, int], Operation] = {}
+    for position, (kind, idx) in enumerate(timeline):
+        start = position * _SLOT
+        finish = start + _WIDTH
+        if kind == "w":
+            op = write(f"w{idx}", start, finish, weight=1)
+            short_writes.append(op)
+        else:
+            op = read(f"w{idx}", start, finish)
+            reads.append(op)
+        op_by_label[(kind, idx)] = op
+        ops.append(op)
+
+    w1 = op_by_label[("w", 1)]
+    w_last = op_by_label[("w", m + 1)]
+
+    # Long writes: one per item, weight = item size, spanning from just after
+    # w(1) finishes to just before w(m+1) starts.  Distinct offsets keep all
+    # timestamps unique.
+    long_writes: List[Operation] = []
+    for item, size in enumerate(instance.sizes):
+        start = w1.finish + 0.001 * (item + 1)
+        finish = w_last.start - 0.001 * (item + 1)
+        if finish <= start:
+            raise ReductionError(
+                "degenerate construction: the timeline between w(1) and w(m+1) "
+                "is too short for the long writes"
+            )
+        op = write(f"item{item}", start, finish, weight=size)
+        long_writes.append(op)
+        ops.append(op)
+
+    history = History(ops)
+    return ReducedInstance(
+        source=instance,
+        history=history,
+        k=instance.capacity + 2,
+        short_writes=tuple(short_writes),
+        reads=tuple(reads),
+        long_writes=tuple(long_writes),
+    )
+
+
+def decode_witness(
+    reduced: ReducedInstance, witness: Sequence[Operation]
+) -> BinPackingAssignment:
+    """Extract a bin assignment from a weighted-k-AV witness order.
+
+    Each long write is assigned to the *last* bin whose region contains its
+    position in the witness: bin ``i`` where ``w(i)`` is the latest short
+    write placed before the long write.  The Theorem 5.1 argument shows this
+    choice always respects the capacities when the witness satisfies the
+    weighted (B+2)-atomicity constraint.
+    """
+    position = {op: idx for idx, op in enumerate(witness)}
+    for op in reduced.history.operations:
+        if op not in position:
+            raise ReductionError(f"witness is missing operation {op!r}")
+
+    short_positions = [position[w] for w in reduced.short_writes]
+    bins: List[List[int]] = [[] for _ in range(reduced.num_bins)]
+    for item, long_write in enumerate(reduced.long_writes):
+        p = position[long_write]
+        # Index of the last short write placed before the long write.
+        last = max(
+            (i for i, sp in enumerate(short_positions) if sp < p), default=None
+        )
+        if last is None:
+            raise ReductionError(
+                f"long write {long_write!r} is placed before w(1); "
+                "the witness does not respect the construction's precedences"
+            )
+        bin_index = min(last, reduced.num_bins - 1)
+        bins[bin_index].append(item)
+    return BinPackingAssignment(reduced.source, tuple(tuple(b) for b in bins))
+
+
+def encode_packing(
+    reduced: ReducedInstance, assignment: BinPackingAssignment
+) -> List[Operation]:
+    """Build a witness total order from a feasible packing.
+
+    Long writes of bin 1 are placed right after ``w(1)`` (before ``w(2)``);
+    long writes of bin ``i >= 2`` right after ``r(i-1)`` (before ``w(i+1)``).
+    The resulting order is valid and weighted-(B+2)-atomic whenever the
+    packing respects the capacities, which is the "if" direction of
+    Theorem 5.1.
+    """
+    if not assignment.is_valid():
+        raise ReductionError("cannot encode an invalid packing")
+    by_bin: Dict[int, List[Operation]] = {
+        b: [reduced.long_writes[i] for i in items]
+        for b, items in enumerate(assignment.bins)
+    }
+    m = reduced.num_bins
+    # Skeleton (forced short-operation order): w(1) w(2) r(1) w(3) r(2) ...
+    # with bin-1 long writes right after w(1) and bin-i long writes (i >= 2)
+    # right after r(i-1), i.e. before w(i+1).
+    order: List[Operation] = []
+    order.append(reduced.short_writes[0])            # w(1)
+    order.extend(by_bin.get(0, []))                   # bin 1 long writes
+    for i in range(2, m + 2):
+        order.append(reduced.short_writes[i - 1])     # w(i)
+        order.append(reduced.reads[i - 2])            # r(i-1)
+        if i - 1 < m:
+            order.extend(by_bin.get(i - 1, []))       # bin i long writes
+    return order

@@ -1,0 +1,155 @@
+"""Bin-packing solvers: exact branch and bound plus classic heuristics.
+
+The exact solver decides the bin-packing decision problem (and returns a
+packing witness) with a branch-and-bound over items in decreasing size order,
+using symmetry breaking on identical bin loads and memoisation of failed
+states.  It is exponential in the worst case — bin packing is NP-complete —
+which is exactly what the Section V experiments measure.
+
+The heuristics (first-fit, first-fit-decreasing, best-fit-decreasing) provide
+fast upper bounds and serve as baselines in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .model import BinPackingAssignment, BinPackingInstance
+
+__all__ = [
+    "solve_exact",
+    "is_feasible",
+    "first_fit",
+    "first_fit_decreasing",
+    "best_fit_decreasing",
+    "minimum_bins",
+]
+
+
+def _branch(
+    order: Sequence[int],
+    sizes: Sequence[int],
+    capacity: int,
+    loads: List[int],
+    assignment: List[List[int]],
+    pos: int,
+    failed: Set[Tuple[int, Tuple[int, ...]]],
+) -> bool:
+    if pos == len(order):
+        return True
+    key = (pos, tuple(sorted(loads)))
+    if key in failed:
+        return False
+    item = order[pos]
+    size = sizes[item]
+    tried_loads: Set[int] = set()
+    for b in range(len(loads)):
+        load = loads[b]
+        if load + size > capacity:
+            continue
+        # Symmetry breaking: bins with identical current load are
+        # interchangeable, so try only one of them.
+        if load in tried_loads:
+            continue
+        tried_loads.add(load)
+        loads[b] += size
+        assignment[b].append(item)
+        if _branch(order, sizes, capacity, loads, assignment, pos + 1, failed):
+            return True
+        loads[b] -= size
+        assignment[b].pop()
+    failed.add(key)
+    return False
+
+
+def solve_exact(instance: BinPackingInstance) -> Optional[BinPackingAssignment]:
+    """Decide the instance exactly; return a packing or ``None``.
+
+    Items are branched in decreasing size order (large items constrain the
+    search most), identical-load bins are collapsed, and failed
+    ``(position, sorted loads)`` states are memoised.
+    """
+    if instance.trivially_infeasible():
+        return None
+    if instance.num_items == 0:
+        return BinPackingAssignment(instance, tuple(() for _ in range(instance.num_bins)))
+    order = sorted(range(instance.num_items), key=lambda i: -instance.sizes[i])
+    loads = [0] * instance.num_bins
+    assignment: List[List[int]] = [[] for _ in range(instance.num_bins)]
+    failed: Set[Tuple[int, Tuple[int, ...]]] = set()
+    ok = _branch(order, instance.sizes, instance.capacity, loads, assignment, 0, failed)
+    if not ok:
+        return None
+    result = BinPackingAssignment(instance, tuple(tuple(b) for b in assignment))
+    assert result.is_valid(), "exact bin-packing solver produced an invalid packing"
+    return result
+
+
+def is_feasible(instance: BinPackingInstance) -> bool:
+    """Boolean form of :func:`solve_exact`."""
+    return solve_exact(instance) is not None
+
+
+# ----------------------------------------------------------------------
+# Heuristics
+# ----------------------------------------------------------------------
+def _fit(instance: BinPackingInstance, order: Sequence[int], *, best: bool) -> Optional[BinPackingAssignment]:
+    loads = [0] * instance.num_bins
+    bins: List[List[int]] = [[] for _ in range(instance.num_bins)]
+    for item in order:
+        size = instance.sizes[item]
+        candidates = [
+            b for b in range(instance.num_bins) if loads[b] + size <= instance.capacity
+        ]
+        if not candidates:
+            return None
+        if best:
+            chosen = max(candidates, key=lambda b: loads[b])
+        else:
+            chosen = candidates[0]
+        loads[chosen] += size
+        bins[chosen].append(item)
+    return BinPackingAssignment(instance, tuple(tuple(b) for b in bins))
+
+
+def first_fit(instance: BinPackingInstance) -> Optional[BinPackingAssignment]:
+    """First-fit in input order; returns a packing or ``None`` if it fails.
+
+    Failure does not imply infeasibility — this is a heuristic.
+    """
+    return _fit(instance, range(instance.num_items), best=False)
+
+
+def first_fit_decreasing(instance: BinPackingInstance) -> Optional[BinPackingAssignment]:
+    """First-fit over items sorted by decreasing size (FFD)."""
+    order = sorted(range(instance.num_items), key=lambda i: -instance.sizes[i])
+    return _fit(instance, order, best=False)
+
+
+def best_fit_decreasing(instance: BinPackingInstance) -> Optional[BinPackingAssignment]:
+    """Best-fit (fullest feasible bin) over items sorted by decreasing size."""
+    order = sorted(range(instance.num_items), key=lambda i: -instance.sizes[i])
+    return _fit(instance, order, best=True)
+
+
+def minimum_bins(sizes: Sequence[int], capacity: int, *, max_bins: Optional[int] = None) -> int:
+    """The optimisation version: the minimum number of bins needed.
+
+    Solved by binary search over the number of bins using the exact decision
+    solver.  ``max_bins`` defaults to the number of items (one item per bin is
+    always feasible when every item fits in a bin).
+    """
+    sizes = tuple(sizes)
+    if not sizes:
+        return 0
+    if any(s > capacity for s in sizes):
+        raise ValueError("some item exceeds the bin capacity; no packing exists")
+    hi = len(sizes) if max_bins is None else max_bins
+    lo = BinPackingInstance(sizes=sizes, capacity=capacity, num_bins=hi).lower_bound_bins()
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if is_feasible(BinPackingInstance(sizes=sizes, capacity=capacity, num_bins=mid)):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

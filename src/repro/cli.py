@@ -1,0 +1,178 @@
+"""Command-line interface for trace verification and store auditing.
+
+Three subcommands cover the offline-audit workflow end to end::
+
+    python -m repro verify TRACE --k 2        # per-register k-AV verdicts
+    python -m repro audit TRACE               # staleness spectrum + report
+    python -m repro simulate --out TRACE ...  # record a sloppy-quorum trace
+
+Traces are JSON Lines (``.jsonl``, the format of :mod:`repro.io`) or CSV
+(by extension).  The CLI is a thin layer over the library API so that
+everything it does can also be scripted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.report import audit_trace, format_table
+from .core.api import verify_trace
+from .core.history import MultiHistory
+from .io.formats import dump_jsonl, load_csv, load_jsonl
+from .simulation import ExponentialLatency, QuorumConfig, SloppyQuorumStore, StoreConfig
+from .workloads import UniformKeys, WorkloadSpec, ZipfianKeys
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_trace(path: str) -> MultiHistory:
+    p = Path(path)
+    if p.suffix.lower() == ".csv":
+        return load_csv(p)
+    return load_jsonl(p)
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_verify(args: argparse.Namespace, out) -> int:
+    trace = _load_trace(args.trace)
+    results = verify_trace(
+        trace, args.k, algorithm=args.algorithm, max_exact_ops=args.max_exact_ops
+    )
+    rows = []
+    failures = 0
+    for key in sorted(results, key=repr):
+        result = results[key]
+        if not result:
+            failures += 1
+        rows.append(
+            [
+                key,
+                len(trace[key]),
+                "YES" if result else "NO",
+                result.algorithm,
+                result.reason if not result else "",
+            ]
+        )
+    print(format_table(["key", "ops", f"{args.k}-atomic", "algorithm", "reason"], rows), file=out)
+    print(
+        f"\n{len(results) - failures}/{len(results)} registers are {args.k}-atomic",
+        file=out,
+    )
+    return 1 if failures and args.strict else 0
+
+
+def _cmd_audit(args: argparse.Namespace, out) -> int:
+    trace = _load_trace(args.trace)
+    report = audit_trace(
+        trace,
+        title=f"consistency audit of {Path(args.trace).name}",
+        resolve_exact=args.resolve_exact,
+    )
+    print(report.render(), file=out)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace, out) -> int:
+    config = StoreConfig(
+        quorum=QuorumConfig(
+            num_replicas=args.replicas,
+            read_quorum=args.read_quorum,
+            write_quorum=args.write_quorum,
+            read_repair=args.read_repair,
+        ),
+        latency=ExponentialLatency(mean_ms=args.mean_latency_ms),
+        drop_probability=args.drop_probability,
+    )
+    selector = UniformKeys(args.keys) if args.uniform_keys else ZipfianKeys(args.keys)
+    workload = WorkloadSpec(
+        num_clients=args.clients,
+        operations_per_client=args.ops_per_client,
+        write_ratio=args.write_ratio,
+        key_selector=selector,
+        mean_think_time_ms=args.think_time_ms,
+        seed=args.seed,
+    )
+    result = SloppyQuorumStore(config, seed=args.seed).run(workload)
+    count = dump_jsonl(result.history, args.out)
+    print(result.summary(), file=out)
+    print(f"wrote {count} operations to {args.out}", file=out)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="k-atomicity verification for replicated storage histories",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser("verify", help="verify k-atomicity of every register in a trace")
+    p_verify.add_argument("trace", help="trace file (.jsonl or .csv)")
+    p_verify.add_argument("--k", type=int, default=2, help="staleness bound to verify (default 2)")
+    p_verify.add_argument(
+        "--algorithm",
+        default="auto",
+        help="auto, gk, lbt, lbt-reference, fzf, or exact (default auto)",
+    )
+    p_verify.add_argument(
+        "--max-exact-ops",
+        type=int,
+        default=40,
+        dest="max_exact_ops",
+        help="size guard for the exponential k>=3 fallback",
+    )
+    p_verify.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit with status 1 if any register fails verification",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_audit = sub.add_parser("audit", help="full staleness-spectrum audit of a trace")
+    p_audit.add_argument("trace", help="trace file (.jsonl or .csv)")
+    p_audit.add_argument(
+        "--resolve-exact",
+        action="store_true",
+        dest="resolve_exact",
+        help="resolve minimal k exactly for small k>=3 registers (exponential)",
+    )
+    p_audit.set_defaults(func=_cmd_audit)
+
+    p_sim = sub.add_parser("simulate", help="record a trace from the sloppy-quorum simulator")
+    p_sim.add_argument("--out", required=True, help="output trace path (.jsonl)")
+    p_sim.add_argument("--replicas", type=int, default=5)
+    p_sim.add_argument("--read-quorum", type=int, default=1, dest="read_quorum")
+    p_sim.add_argument("--write-quorum", type=int, default=2, dest="write_quorum")
+    p_sim.add_argument("--read-repair", action="store_true", dest="read_repair")
+    p_sim.add_argument("--clients", type=int, default=12)
+    p_sim.add_argument("--ops-per-client", type=int, default=50, dest="ops_per_client")
+    p_sim.add_argument("--write-ratio", type=float, default=0.4, dest="write_ratio")
+    p_sim.add_argument("--keys", type=int, default=4)
+    p_sim.add_argument("--uniform-keys", action="store_true", dest="uniform_keys")
+    p_sim.add_argument("--mean-latency-ms", type=float, default=3.0, dest="mean_latency_ms")
+    p_sim.add_argument("--think-time-ms", type=float, default=2.0, dest="think_time_ms")
+    p_sim.add_argument("--drop-probability", type=float, default=0.0, dest="drop_probability")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Core data model and unified verification API.
+
+The ``core`` package contains everything the verification algorithms share:
+the operation/history model of Section II, the cluster/zone/chunk machinery
+of Section IV, anomaly detection and normalisation (Section II-C), the
+result type, and the top-level :func:`repro.core.api.verify` entry point.
+"""
+
+from .api import minimal_k, verify, verify_trace
+from .chunks import Chunk, ChunkSet, compute_chunk_set
+from .errors import (
+    AnomalyError,
+    DuplicateValueError,
+    HistoryError,
+    MalformedOperationError,
+    ReductionError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+    VerificationError,
+)
+from .history import History, MultiHistory
+from .operation import Operation, OpType, read, write
+from .preprocess import Anomaly, AnomalyKind, find_anomalies, has_anomalies, normalize
+from .result import VerificationResult
+from .zones import Cluster, Zone, build_clusters, zones_of
+
+__all__ = [
+    "Anomaly",
+    "AnomalyError",
+    "AnomalyKind",
+    "Chunk",
+    "ChunkSet",
+    "Cluster",
+    "DuplicateValueError",
+    "History",
+    "HistoryError",
+    "MalformedOperationError",
+    "MultiHistory",
+    "Operation",
+    "OpType",
+    "ReductionError",
+    "ReproError",
+    "SimulationError",
+    "TraceFormatError",
+    "VerificationError",
+    "VerificationResult",
+    "Zone",
+    "build_clusters",
+    "compute_chunk_set",
+    "find_anomalies",
+    "has_anomalies",
+    "minimal_k",
+    "normalize",
+    "read",
+    "verify",
+    "verify_trace",
+    "write",
+    "zones_of",
+]

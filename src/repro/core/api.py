@@ -1,0 +1,173 @@
+"""Unified verification API.
+
+This module is the front door of the library: given a history (or a
+multi-register trace) and a staleness bound ``k``, it picks an appropriate
+algorithm, applies the Section II-C preprocessing when requested, and returns
+a :class:`~repro.core.result.VerificationResult`.
+
+Algorithm selection (``algorithm="auto"``):
+
+* ``k = 1`` → Gibbons–Korach zone conditions,
+* ``k = 2`` → FZF (worst-case ``O(n log n)``); LBT can be requested by name,
+* ``k >= 3`` → the exact exponential oracle (no polynomial algorithm is known;
+  the paper leaves this case open), guarded by ``max_exact_ops``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from ..algorithms.registry import get_algorithm
+from .errors import VerificationError
+from .history import History, MultiHistory
+from .preprocess import find_anomalies, normalize
+from .result import VerificationResult
+
+__all__ = ["verify", "verify_trace", "minimal_k", "DEFAULT_MAX_EXACT_OPS"]
+
+#: Histories larger than this are refused by the exact oracle in "auto" mode
+#: (the caller can always invoke the oracle directly, or raise the limit).
+DEFAULT_MAX_EXACT_OPS = 40
+
+
+def _select_algorithm(k: int, algorithm: str, history: History, max_exact_ops: int) -> str:
+    if algorithm != "auto":
+        return algorithm
+    if k == 1:
+        return "gk"
+    if k == 2:
+        return "fzf"
+    if len(history) > max_exact_ops:
+        raise VerificationError(
+            f"k={k} requires the exact (exponential) oracle, but the history has "
+            f"{len(history)} operations (> max_exact_ops={max_exact_ops}); "
+            "no polynomial algorithm for k >= 3 is known (the paper leaves it open). "
+            "Pass algorithm='exact' or raise max_exact_ops to force the search."
+        )
+    return "exact"
+
+
+def verify(
+    history: History,
+    k: int,
+    *,
+    algorithm: str = "auto",
+    preprocess: bool = True,
+    max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+) -> VerificationResult:
+    """Decide whether ``history`` is k-atomic.
+
+    Parameters
+    ----------
+    history:
+        The single-register history to verify.
+    k:
+        The staleness bound (``k >= 1``).
+    algorithm:
+        ``"auto"`` (default) or one of the registered algorithm names
+        (``"gk"``, ``"lbt"``, ``"lbt-reference"``, ``"fzf"``, ``"exact"``).
+    preprocess:
+        When true (default), anomalies yield an immediate NO verdict and the
+        history is normalised (timestamp tie-breaking, write shortening)
+        before verification, per Section II-C.
+    max_exact_ops:
+        Size guard for the automatic ``k >= 3`` fallback to the exponential
+        oracle.
+
+    Returns
+    -------
+    VerificationResult
+    """
+    if k < 1:
+        raise VerificationError(f"k must be a positive integer, got {k!r}")
+    if preprocess and not history.is_empty:
+        anomalies = find_anomalies(history)
+        if anomalies:
+            reasons = "; ".join(a.describe() for a in anomalies[:3])
+            more = "" if len(anomalies) <= 3 else f" (+{len(anomalies) - 3} more)"
+            return VerificationResult.no(
+                k,
+                "preprocess",
+                reason=f"history contains anomalies that rule out k-atomicity: {reasons}{more}",
+            )
+        history = normalize(history)
+    name = _select_algorithm(k, algorithm, history, max_exact_ops)
+    spec = get_algorithm(name)
+    if not spec.supports(k):
+        raise VerificationError(
+            f"algorithm {spec.name!r} cannot decide {k}-atomicity; "
+            f"it supports k in {tuple(spec.supported_k)}"
+        )
+    return spec.fn(history, k)
+
+
+def verify_trace(
+    trace: MultiHistory,
+    k: int,
+    *,
+    algorithm: str = "auto",
+    preprocess: bool = True,
+    max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+) -> Dict[Hashable, VerificationResult]:
+    """Verify every per-register history of a multi-register trace.
+
+    k-atomicity is a local property (Section II-B), so the trace is k-atomic
+    iff every returned result is positive.
+    """
+    return {
+        key: verify(
+            trace[key],
+            k,
+            algorithm=algorithm,
+            preprocess=preprocess,
+            max_exact_ops=max_exact_ops,
+        )
+        for key in trace.keys()
+    }
+
+
+def minimal_k(
+    history: History,
+    *,
+    preprocess: bool = True,
+    max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+    max_k: Optional[int] = None,
+) -> Optional[int]:
+    """Compute the smallest ``k`` for which ``history`` is k-atomic.
+
+    Returns ``None`` when the history contains anomalies (no finite ``k``
+    exists).  For ``k <= 2`` the polynomial algorithms are used; beyond that
+    the exact oracle takes over, so for histories larger than
+    ``max_exact_ops`` the function returns ``3`` as a *lower bound* flagged by
+    raising :class:`~repro.core.errors.VerificationError` — callers that only
+    need "1, 2, or more" should catch it or use
+    :func:`repro.analysis.spectrum.staleness_bucket` instead.
+    """
+    if history.is_empty:
+        return 1
+    if preprocess:
+        if find_anomalies(history):
+            return None
+        history = normalize(history)
+    if verify(history, 1, preprocess=False):
+        return 1
+    if verify(history, 2, preprocess=False):
+        return 2
+    if len(history) > max_exact_ops:
+        raise VerificationError(
+            f"history needs k >= 3 and has {len(history)} operations "
+            f"(> max_exact_ops={max_exact_ops}); the exact search would be exponential"
+        )
+    upper = max_k if max_k is not None else max(1, len(history.writes))
+    lo, hi = 3, upper
+    if not verify(history, hi, algorithm="exact", preprocess=False):
+        raise VerificationError(
+            f"history unexpectedly not {hi}-atomic; was max_k set too low?"
+        )
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if verify(history, mid, algorithm="exact", preprocess=False):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

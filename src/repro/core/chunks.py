@@ -1,0 +1,203 @@
+"""Chunk decomposition of a history (FZF Stage 1, Section IV-A).
+
+A *chunk* of a history ``H`` is a set of clusters such that
+
+1. the union of the forward zones of these clusters is a continuous and
+   non-empty time interval, and
+2. the union of the backward zones of these clusters is a subset of that
+   interval.
+
+A chunk is *maximal* if adding another cluster breaks one of the properties.
+The *chunk set* ``CS(H)`` is the set of maximal chunks such that every
+forward cluster belongs to some chunk.  Clusters in no chunk are *dangling*;
+every dangling cluster is necessarily a backward cluster.
+
+The decomposition is computed by a sweep over forward zones sorted by their
+low endpoints: overlapping forward zones merge into chains (the continuous
+intervals of property 1), and each backward cluster is then assigned to the
+unique chain interval that contains its zone, or declared dangling.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .history import History
+from .operation import Operation
+from .zones import Cluster, build_clusters
+
+__all__ = ["Chunk", "ChunkSet", "compute_chunk_set"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A maximal chunk: its clusters and the spanned time interval.
+
+    ``forward_clusters`` are kept sorted by the low endpoints of their zones,
+    which is exactly the order FZF needs to build the candidate total order
+    ``T_F`` in Stage 2.
+    """
+
+    forward_clusters: Tuple[Cluster, ...]
+    backward_clusters: Tuple[Cluster, ...]
+
+    @property
+    def clusters(self) -> Tuple[Cluster, ...]:
+        """All clusters of the chunk (forward first, then backward)."""
+        return self.forward_clusters + self.backward_clusters
+
+    @property
+    def low(self) -> float:
+        """``K.l`` — the minimum zone low endpoint over the chunk's clusters."""
+        return min(cl.zone.low for cl in self.clusters)
+
+    @property
+    def high(self) -> float:
+        """``K.h`` — the maximum zone high endpoint over the chunk's clusters."""
+        return max(cl.zone.high for cl in self.clusters)
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """The continuous interval covered by the union of forward zones."""
+        lows = [cl.zone.low for cl in self.forward_clusters]
+        highs = [cl.zone.high for cl in self.forward_clusters]
+        return (min(lows), max(highs))
+
+    @property
+    def num_forward(self) -> int:
+        """Number of forward clusters in the chunk."""
+        return len(self.forward_clusters)
+
+    @property
+    def num_backward(self) -> int:
+        """Number of backward clusters in the chunk (``B`` in Stage 2)."""
+        return len(self.backward_clusters)
+
+    def operations(self) -> List[Operation]:
+        """All operations belonging to clusters of this chunk."""
+        ops: List[Operation] = []
+        for cl in self.clusters:
+            ops.extend(cl.operations)
+        return ops
+
+    def projection(self, history: History) -> History:
+        """The sub-history ``H|K`` containing exactly this chunk's operations."""
+        return history.restrict(self.operations())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Chunk fwd={self.num_forward} bwd={self.num_backward} "
+            f"interval=[{self.interval[0]:g},{self.interval[1]:g}]>"
+        )
+
+
+@dataclass(frozen=True)
+class ChunkSet:
+    """The chunk set ``CS(H)`` plus the dangling clusters of a history."""
+
+    chunks: Tuple[Chunk, ...]
+    dangling: Tuple[Cluster, ...]
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of maximal chunks."""
+        return len(self.chunks)
+
+    @property
+    def num_dangling(self) -> int:
+        """Number of dangling (necessarily backward) clusters."""
+        return len(self.dangling)
+
+    def largest_chunk_size(self) -> int:
+        """The operation count of the largest chunk (0 if there are none)."""
+        if not self.chunks:
+            return 0
+        return max(len(chunk.operations()) for chunk in self.chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChunkSet chunks={self.num_chunks} dangling={self.num_dangling}>"
+
+
+def _merge_forward_chains(forward: List[Cluster]) -> List[List[Cluster]]:
+    """Group forward clusters into chains with continuous zone unions.
+
+    The input must be sorted by zone low endpoint.  Two consecutive zones
+    belong to the same chain iff the next zone starts no later than the
+    running high endpoint of the chain (their union stays continuous).
+    """
+    chains: List[List[Cluster]] = []
+    current: List[Cluster] = []
+    current_high = float("-inf")
+    for cl in forward:
+        if not current:
+            current = [cl]
+            current_high = cl.zone.high
+            continue
+        if cl.zone.low <= current_high:
+            current.append(cl)
+            current_high = max(current_high, cl.zone.high)
+        else:
+            chains.append(current)
+            current = [cl]
+            current_high = cl.zone.high
+    if current:
+        chains.append(current)
+    return chains
+
+
+def compute_chunk_set(history: History, clusters: Optional[List[Cluster]] = None) -> ChunkSet:
+    """Compute ``CS(H)`` and the dangling clusters of ``history``.
+
+    Parameters
+    ----------
+    history:
+        The (anomaly-free) history to decompose.
+    clusters:
+        Optional pre-computed cluster list (as returned by
+        :func:`repro.core.zones.build_clusters`); recomputed when omitted.
+
+    Returns
+    -------
+    ChunkSet
+        Maximal chunks sorted by their interval's low endpoint, and the
+        dangling clusters sorted by zone low endpoint.
+    """
+    if clusters is None:
+        clusters = build_clusters(history)
+    forward = sorted((cl for cl in clusters if cl.is_forward), key=lambda cl: cl.zone.low)
+    backward = [cl for cl in clusters if cl.is_backward]
+
+    chains = _merge_forward_chains(forward)
+    chain_intervals: List[Tuple[float, float]] = []
+    for chain in chains:
+        low = min(cl.zone.low for cl in chain)
+        high = max(cl.zone.high for cl in chain)
+        chain_intervals.append((low, high))
+
+    # Chain intervals are pairwise disjoint and sorted by their low endpoint,
+    # so the only chain that can contain a backward zone is the last one whose
+    # low endpoint does not exceed the zone's low endpoint — found by binary
+    # search rather than a linear scan.
+    chain_lows = [low for low, _ in chain_intervals]
+    chunk_backward: List[List[Cluster]] = [[] for _ in chains]
+    dangling: List[Cluster] = []
+    for cl in backward:
+        zone_low = cl.zone.low
+        zone_high = cl.zone.high
+        idx = bisect.bisect_right(chain_lows, zone_low) - 1
+        if idx >= 0:
+            low, high = chain_intervals[idx]
+            if low <= zone_low and zone_high <= high:
+                chunk_backward[idx].append(cl)
+                continue
+        dangling.append(cl)
+
+    chunks = [
+        Chunk(forward_clusters=tuple(chain), backward_clusters=tuple(bwd))
+        for chain, bwd in zip(chains, chunk_backward)
+    ]
+    chunks.sort(key=lambda k: k.interval[0])
+    dangling.sort(key=lambda cl: cl.zone.low)
+    return ChunkSet(chunks=tuple(chunks), dangling=tuple(dangling))

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the k-atomicity-verification library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish malformed inputs (:class:`HistoryError` and its
+subclasses) from misuse of the API (:class:`VerificationError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class HistoryError(ReproError):
+    """A history violates a structural requirement of the model (Section II)."""
+
+
+class MalformedOperationError(HistoryError):
+    """An operation has an invalid shape (e.g. finish time before start time)."""
+
+
+class DuplicateValueError(HistoryError):
+    """Two writes assign the same value.
+
+    The paper assumes writes are uniquely valued (Section II-C); without that
+    assumption even 1-AV is NP-complete, so the library refuses such input
+    rather than silently producing an unsound answer.
+    """
+
+
+class AnomalyError(HistoryError):
+    """The history contains an anomaly that trivially breaks k-atomicity.
+
+    The two anomalies from Section II-C are a read without a dictating write
+    and a read that precedes its dictating write.  The anomaly detector in
+    :mod:`repro.core.preprocess` reports them; algorithms raise this error if
+    they are handed a history that still contains one.
+    """
+
+    def __init__(self, message: str, anomalies=None):
+        super().__init__(message)
+        #: The list of :class:`repro.core.preprocess.Anomaly` objects found.
+        self.anomalies = list(anomalies) if anomalies is not None else []
+
+
+class VerificationError(ReproError):
+    """The verification API was used incorrectly (e.g. unsupported ``k``)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was configured inconsistently."""
+
+
+class ReductionError(ReproError):
+    """A problem reduction received an invalid source instance."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed into a history."""

@@ -1,0 +1,379 @@
+"""History model (Section II-A / II-B).
+
+A :class:`History` is a collection of operations on the *same* register.  It
+provides the derived structure every verification algorithm needs:
+
+* the mapping from written values to their (unique) writer,
+* clusters (a write plus its dictated reads),
+* the *precedes* partial order,
+* concurrency statistics such as the maximum number of concurrent writes
+  (the ``c`` parameter in Theorem 3.2).
+
+Multi-register traces are represented by :class:`MultiHistory`, which exploits
+the locality of k-atomicity (Section II-B): a trace is k-atomic iff each
+per-register projection is.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .errors import DuplicateValueError, HistoryError
+from .operation import Operation, OpType
+
+__all__ = ["History", "MultiHistory"]
+
+
+class History:
+    """An immutable collection of operations on a single register.
+
+    Parameters
+    ----------
+    operations:
+        The operations of the history.  They may be given in any order; the
+        history keeps them sorted by start time (with the operation id as a
+        deterministic tie-breaker).
+    key:
+        Optional register name.  Purely informational.
+
+    Raises
+    ------
+    DuplicateValueError
+        If two writes assign the same value (Section II-C assumption).
+    HistoryError
+        If operations carry conflicting keys.
+    """
+
+    __slots__ = (
+        "_ops",
+        "_key",
+        "_writes",
+        "_reads",
+        "_write_of_value",
+        "_reads_of_value",
+    )
+
+    def __init__(self, operations: Iterable[Operation], key: Optional[Hashable] = None):
+        ops = sorted(operations, key=lambda op: (op.start, op.finish, op.op_id))
+        self._ops: Tuple[Operation, ...] = tuple(ops)
+        self._key = key
+
+        keys = {op.key for op in self._ops if op.key is not None}
+        if key is not None:
+            keys.add(key)
+        if len(keys) > 1:
+            raise HistoryError(
+                f"a History must contain operations on a single register, got keys {sorted(map(repr, keys))}; "
+                "use MultiHistory for multi-register traces"
+            )
+        if self._key is None and keys:
+            self._key = next(iter(keys))
+
+        self._writes: Tuple[Operation, ...] = tuple(op for op in self._ops if op.is_write)
+        self._reads: Tuple[Operation, ...] = tuple(op for op in self._ops if op.is_read)
+
+        write_of_value: Dict[Hashable, Operation] = {}
+        for w in self._writes:
+            if w.value in write_of_value:
+                raise DuplicateValueError(
+                    f"two writes assign the value {w.value!r} "
+                    f"(operations #{write_of_value[w.value].op_id} and #{w.op_id}); "
+                    "the model requires uniquely-valued writes (Section II-C)"
+                )
+            write_of_value[w.value] = w
+        self._write_of_value: Mapping[Hashable, Operation] = write_of_value
+
+        reads_of_value: Dict[Hashable, List[Operation]] = defaultdict(list)
+        for r in self._reads:
+            reads_of_value[r.value].append(r)
+        self._reads_of_value: Dict[Hashable, Tuple[Operation, ...]] = {
+            v: tuple(rs) for v, rs in reads_of_value.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def __contains__(self, op: Operation) -> bool:
+        return op in set(self._ops)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, History):
+            return NotImplemented
+        return self._ops == other._ops
+
+    def __hash__(self) -> int:
+        return hash(self._ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        key = "" if self._key is None else f" key={self._key!r}"
+        return f"<History{key} |ops|={len(self._ops)} writes={len(self._writes)} reads={len(self._reads)}>"
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> Optional[Hashable]:
+        """The register this history belongs to (``None`` if unspecified)."""
+        return self._key
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """All operations sorted by start time."""
+        return self._ops
+
+    @property
+    def writes(self) -> Tuple[Operation, ...]:
+        """All write operations sorted by start time."""
+        return self._writes
+
+    @property
+    def reads(self) -> Tuple[Operation, ...]:
+        """All read operations sorted by start time."""
+        return self._reads
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff the history contains no operations."""
+        return not self._ops
+
+    # ------------------------------------------------------------------
+    # Dictating writes / dictated reads (Section II-A)
+    # ------------------------------------------------------------------
+    def dictating_write(self, op: Operation) -> Optional[Operation]:
+        """Return the unique write whose value ``op`` (a read) obtained.
+
+        Returns ``None`` if no write in the history wrote that value — which
+        is one of the anomalies of Section II-C.
+        """
+        if not op.is_read:
+            raise HistoryError(f"dictating_write() requires a read, got {op!r}")
+        return self._write_of_value.get(op.value)
+
+    def dictated_reads(self, op: Operation) -> Tuple[Operation, ...]:
+        """Return the reads that obtained the value written by ``op`` (a write)."""
+        if not op.is_write:
+            raise HistoryError(f"dictated_reads() requires a write, got {op!r}")
+        return self._reads_of_value.get(op.value, ())
+
+    def writer_of(self, value: Hashable) -> Optional[Operation]:
+        """Return the write that assigned ``value``, or ``None``."""
+        return self._write_of_value.get(value)
+
+    def readers_of(self, value: Hashable) -> Tuple[Operation, ...]:
+        """Return all reads that observed ``value``."""
+        return self._reads_of_value.get(value, ())
+
+    def clusters(self) -> Dict[Operation, Tuple[Operation, ...]]:
+        """Return the cluster map: dictating write -> its dictated reads.
+
+        Every write appears as a key, including writes with zero dictated
+        reads (Section II-A explicitly allows those).
+        """
+        return {w: self.dictated_reads(w) for w in self._writes}
+
+    # ------------------------------------------------------------------
+    # Concurrency structure
+    # ------------------------------------------------------------------
+    def max_concurrent_writes(self) -> int:
+        """The maximum number of writes concurrently in progress at any time.
+
+        This is the parameter ``c`` of Theorem 3.2 governing LBT's running
+        time.  Computed by a sweep over write start/finish events.
+        """
+        events: List[Tuple[float, int]] = []
+        for w in self._writes:
+            events.append((w.start, 1))
+            events.append((w.finish, -1))
+        # Finishes sort before starts at equal timestamps, which is the
+        # conservative choice (the model assumes distinct timestamps anyway).
+        events.sort(key=lambda e: (e[0], e[1]))
+        best = 0
+        current = 0
+        for _, delta in events:
+            current += delta
+            best = max(best, current)
+        return best
+
+    def concurrency_profile(self) -> List[Tuple[float, int]]:
+        """Return ``(time, #concurrent writes)`` breakpoints of the history."""
+        events: List[Tuple[float, int]] = []
+        for w in self._writes:
+            events.append((w.start, 1))
+            events.append((w.finish, -1))
+        events.sort(key=lambda e: (e[0], e[1]))
+        profile: List[Tuple[float, int]] = []
+        current = 0
+        for t, delta in events:
+            current += delta
+            profile.append((t, current))
+        return profile
+
+    def span(self) -> Tuple[float, float]:
+        """Return the ``(earliest start, latest finish)`` of the history."""
+        if not self._ops:
+            raise HistoryError("an empty history has no time span")
+        return (min(op.start for op in self._ops), max(op.finish for op in self._ops))
+
+    # ------------------------------------------------------------------
+    # Derived histories
+    # ------------------------------------------------------------------
+    def restrict(self, ops: Iterable[Operation]) -> "History":
+        """Return the sub-history containing exactly ``ops``.
+
+        Used by FZF to form the projection ``H|K`` of the history onto a
+        chunk (Section IV-A, Stage 1).
+        """
+        keep = set(ops)
+        return History([op for op in self._ops if op in keep], key=self._key)
+
+    def without(self, ops: Iterable[Operation]) -> "History":
+        """Return the sub-history with ``ops`` removed."""
+        drop = set(ops)
+        return History([op for op in self._ops if op not in drop], key=self._key)
+
+    def with_operations(self, extra: Iterable[Operation]) -> "History":
+        """Return a new history with ``extra`` operations added."""
+        return History(list(self._ops) + list(extra), key=self._key)
+
+    # ------------------------------------------------------------------
+    # Validity of candidate total orders
+    # ------------------------------------------------------------------
+    def is_valid_total_order(self, order: Sequence[Operation]) -> bool:
+        """Check that ``order`` respects the *precedes* partial order.
+
+        ``order`` must contain every operation of the history exactly once.
+        This is the validity notion of Section II-A.  The check runs in
+        ``O(n log n)`` by verifying that, scanning the order left to right,
+        no operation starts after the minimum finish time of the operations
+        placed after it — equivalently, for each position the operation's
+        finish must exceed the largest start seen so far only in allowed ways.
+        """
+        ops = list(order)
+        if len(ops) != len(self._ops) or set(ops) != set(self._ops):
+            return False
+        # op1 < op2 (op1.finish < op2.start) requires op1 placed before op2.
+        # Scan left to right keeping the minimal finish time of all operations
+        # placed so far *after* the current prefix; simpler: keep max start of
+        # prefix?  Direct O(n^2) is too slow for large n, so we use the
+        # standard trick: order is valid iff for every i<j it is NOT the case
+        # that ops[j].finish < ops[i].start, i.e. min finish over suffix(i+1)
+        # is never < start of some earlier op.  We verify by scanning right to
+        # left and tracking the minimum finish of the suffix.
+        suffix_min_finish = float("inf")
+        for op in reversed(ops):
+            if suffix_min_finish < op.start:
+                return False
+            suffix_min_finish = min(suffix_min_finish, op.finish)
+        return True
+
+    def is_k_atomic_total_order(self, order: Sequence[Operation], k: int) -> bool:
+        """Check that ``order`` is a valid *k-atomic* total order.
+
+        A valid total order is k-atomic iff every read follows its dictating
+        write and is separated from it by at most ``k - 1`` other writes
+        (Section II-A).
+        """
+        if k < 1:
+            return False
+        if not self.is_valid_total_order(order):
+            return False
+        writes_seen: List[Operation] = []
+        position_of_write: Dict[Operation, int] = {}
+        for op in order:
+            if op.is_write:
+                position_of_write[op] = len(writes_seen)
+                writes_seen.append(op)
+            else:
+                w = self.dictating_write(op)
+                if w is None or w not in position_of_write:
+                    return False
+                intervening = len(writes_seen) - 1 - position_of_write[w]
+                if intervening > k - 1:
+                    return False
+        return True
+
+    def is_weighted_k_atomic_total_order(self, order: Sequence[Operation], k: int) -> bool:
+        """Check the weighted k-atomicity condition of Section V.
+
+        The total weight of the writes separating a dictating write from any
+        of its dictated reads — *including the dictating write itself* — must
+        be at most ``k``.
+        """
+        if k < 1:
+            return False
+        if not self.is_valid_total_order(order):
+            return False
+        writes_seen: List[Operation] = []
+        prefix_weight: List[int] = [0]
+        position_of_write: Dict[Operation, int] = {}
+        for op in order:
+            if op.is_write:
+                position_of_write[op] = len(writes_seen)
+                writes_seen.append(op)
+                prefix_weight.append(prefix_weight[-1] + op.weight)
+            else:
+                w = self.dictating_write(op)
+                if w is None or w not in position_of_write:
+                    return False
+                idx = position_of_write[w]
+                total = prefix_weight[len(writes_seen)] - prefix_weight[idx]
+                if total > k:
+                    return False
+        return True
+
+
+class MultiHistory:
+    """A collection of per-register histories.
+
+    k-atomicity is a *local* property (Section II-B): a trace over many
+    registers is k-atomic iff the projection onto each register is.  This
+    class groups raw operations by their ``key`` attribute and exposes the
+    per-register :class:`History` objects.
+    """
+
+    __slots__ = ("_histories",)
+
+    def __init__(self, operations: Iterable[Operation] = (), *,
+                 histories: Optional[Mapping[Hashable, History]] = None):
+        if histories is not None:
+            self._histories: Dict[Hashable, History] = dict(histories)
+            return
+        by_key: Dict[Hashable, List[Operation]] = defaultdict(list)
+        for op in operations:
+            by_key[op.key].append(op)
+        self._histories = {key: History(ops, key=key) for key, ops in by_key.items()}
+
+    def __len__(self) -> int:
+        return len(self._histories)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._histories)
+
+    def __getitem__(self, key: Hashable) -> History:
+        return self._histories[key]
+
+    def keys(self):
+        """Register identifiers present in the trace."""
+        return self._histories.keys()
+
+    def items(self):
+        """``(key, History)`` pairs."""
+        return self._histories.items()
+
+    def histories(self) -> List[History]:
+        """All per-register histories."""
+        return list(self._histories.values())
+
+    def total_operations(self) -> int:
+        """Total number of operations across all registers."""
+        return sum(len(h) for h in self._histories.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MultiHistory keys={len(self._histories)} ops={self.total_operations()}>"

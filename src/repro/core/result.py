@@ -1,0 +1,128 @@
+"""Verification results with witnesses and refutations.
+
+Every verifier in :mod:`repro.algorithms` returns a
+:class:`VerificationResult` rather than a bare boolean so that callers can
+
+* inspect a *witness* — a valid k-atomic total order — when the answer is YES,
+* read a human-oriented *reason* when the answer is NO,
+* and record which algorithm produced the verdict (useful when
+  cross-validating LBT, FZF and the exact oracle).
+
+Results are truthy exactly when the history was verified k-atomic, so the
+common idiom ``if verify_2atomic(h): ...`` works as expected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .history import History
+from .operation import Operation
+
+__all__ = ["VerificationResult", "Verdict"]
+
+
+# Backwards-compatible alias used in a few call sites and examples.
+Verdict = bool
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """The outcome of a k-atomicity (or weighted k-atomicity) verification.
+
+    Attributes
+    ----------
+    is_k_atomic:
+        The verdict: ``True`` iff the history admits a valid k-atomic total
+        order for the ``k`` that was asked about.
+    k:
+        The staleness bound that was verified.
+    algorithm:
+        Short name of the algorithm that produced the verdict (``"LBT"``,
+        ``"FZF"``, ``"GK"``, ``"exact"``, ``"wkav-exact"`` …).
+    witness:
+        A valid k-atomic total order over all operations when the verdict is
+        YES and the algorithm produces one (LBT and the exact oracle do; FZF
+        produces per-chunk witnesses that are stitched together).  ``None``
+        when the verdict is NO or the algorithm is purely decision-based.
+    reason:
+        A human-readable explanation, primarily for NO verdicts (e.g. which
+        chunk failed, or which zone condition was violated).
+    stats:
+        Free-form counters the algorithm chose to expose (epochs run,
+        candidates tried, chunks examined…), for benchmarking and debugging.
+    """
+
+    is_k_atomic: bool
+    k: int
+    algorithm: str
+    witness: Optional[Tuple[Operation, ...]] = None
+    reason: str = ""
+    stats: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.is_k_atomic
+
+    def require_witness(self) -> Tuple[Operation, ...]:
+        """Return the witness order, raising if there is none."""
+        if self.witness is None:
+            raise ValueError(
+                f"verification result from {self.algorithm} carries no witness "
+                f"(verdict={self.is_k_atomic})"
+            )
+        return self.witness
+
+    def check_witness(self, history: History) -> bool:
+        """Re-validate the witness against ``history``.
+
+        Returns ``True`` iff the stored witness is a valid k-atomic total
+        order of the history.  Useful in tests and when results cross module
+        boundaries.
+        """
+        if self.witness is None:
+            return False
+        return history.is_k_atomic_total_order(self.witness, self.k)
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the result."""
+        verdict = "YES" if self.is_k_atomic else "NO"
+        parts = [f"{self.algorithm}: {verdict} (k={self.k})"]
+        if self.reason:
+            parts.append(self.reason)
+        return " — ".join(parts)
+
+    @staticmethod
+    def yes(
+        k: int,
+        algorithm: str,
+        witness: Optional[Sequence[Operation]] = None,
+        reason: str = "",
+        stats: Optional[dict] = None,
+    ) -> "VerificationResult":
+        """Construct a positive result."""
+        return VerificationResult(
+            is_k_atomic=True,
+            k=k,
+            algorithm=algorithm,
+            witness=tuple(witness) if witness is not None else None,
+            reason=reason,
+            stats=dict(stats or {}),
+        )
+
+    @staticmethod
+    def no(
+        k: int,
+        algorithm: str,
+        reason: str = "",
+        stats: Optional[dict] = None,
+    ) -> "VerificationResult":
+        """Construct a negative result."""
+        return VerificationResult(
+            is_k_atomic=False,
+            k=k,
+            algorithm=algorithm,
+            witness=None,
+            reason=reason,
+            stats=dict(stats or {}),
+        )

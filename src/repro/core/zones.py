@@ -1,0 +1,156 @@
+"""Clusters and zones (Gibbons–Korach terminology, Section IV).
+
+A *cluster* is a write together with its dictated reads.  Its *zone* is the
+time interval between the minimum finish time of any operation in the cluster
+(``Z.f``) and the maximum start time of any such operation (``Z.s_bar``).  A
+zone is *forward* if ``Z.f < Z.s_bar`` and *backward* otherwise.  The low and
+high endpoints are the min and max of the two quantities respectively.
+
+These definitions drive both the Gibbons–Korach 1-AV conditions
+(:mod:`repro.algorithms.gk`) and the chunk decomposition used by FZF
+(:mod:`repro.core.chunks`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .errors import HistoryError
+from .history import History
+from .operation import Operation
+
+__all__ = ["Zone", "Cluster", "build_clusters", "zones_of", "zone_table"]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """The zone of a cluster.
+
+    Attributes
+    ----------
+    min_finish:
+        ``Z.f`` — the minimum finish time of any operation in the cluster.
+    max_start:
+        ``Z.s_bar`` — the maximum start time of any operation in the cluster.
+    """
+
+    min_finish: float
+    max_start: float
+
+    @property
+    def is_forward(self) -> bool:
+        """True iff ``Z.f < Z.s_bar`` (the zone covers a real time interval)."""
+        return self.min_finish < self.max_start
+
+    @property
+    def is_backward(self) -> bool:
+        """True iff the zone is not forward."""
+        return not self.is_forward
+
+    @property
+    def low(self) -> float:
+        """``Z.l = min(Z.f, Z.s_bar)`` — the low endpoint."""
+        return min(self.min_finish, self.max_start)
+
+    @property
+    def high(self) -> float:
+        """``Z.h = max(Z.f, Z.s_bar)`` — the high endpoint."""
+        return max(self.min_finish, self.max_start)
+
+    @property
+    def length(self) -> float:
+        """The length ``Z.h - Z.l`` of the zone."""
+        return self.high - self.low
+
+    def overlaps(self, other: "Zone") -> bool:
+        """True iff the closed intervals ``[low, high]`` intersect."""
+        return self.low <= other.high and other.low <= self.high
+
+    def contains_zone(self, other: "Zone") -> bool:
+        """True iff ``other`` lies entirely within this zone's interval."""
+        return self.low <= other.low and other.high <= self.high
+
+    def contains_point(self, t: float) -> bool:
+        """True iff the point ``t`` lies in ``[low, high]``."""
+        return self.low <= t <= self.high
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "FZ" if self.is_forward else "BZ"
+        return f"{kind}[{self.low:g},{self.high:g}]"
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A write and its dictated reads, together with the derived zone."""
+
+    write: Operation
+    reads: Tuple[Operation, ...]
+    zone: Zone
+
+    @property
+    def value(self):
+        """The value assigned by the dictating write."""
+        return self.write.value
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """All operations of the cluster (write first, then reads)."""
+        return (self.write,) + self.reads
+
+    @property
+    def is_forward(self) -> bool:
+        """True iff the cluster's zone is a forward zone."""
+        return self.zone.is_forward
+
+    @property
+    def is_backward(self) -> bool:
+        """True iff the cluster's zone is a backward zone."""
+        return self.zone.is_backward
+
+    @property
+    def size(self) -> int:
+        """Number of operations in the cluster."""
+        return 1 + len(self.reads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster value={self.value!r} reads={len(self.reads)} zone={self.zone!r}>"
+
+
+def _zone_for(write: Operation, reads: Tuple[Operation, ...]) -> Zone:
+    ops = (write,) + reads
+    min_finish = min(op.finish for op in ops)
+    max_start = max(op.start for op in ops)
+    return Zone(min_finish=min_finish, max_start=max_start)
+
+
+def build_clusters(history: History) -> List[Cluster]:
+    """Build the cluster list of a history, sorted by zone low endpoint.
+
+    Every write yields exactly one cluster (possibly with zero reads).  The
+    reads of a cluster are the dictated reads of the write.  The history must
+    be anomaly-free; reads without a dictating write raise
+    :class:`~repro.core.errors.HistoryError`.
+    """
+    for r in history.reads:
+        if history.dictating_write(r) is None:
+            raise HistoryError(
+                f"read #{r.op_id} has no dictating write; normalise the history "
+                "with repro.core.preprocess.normalize() first"
+            )
+    clusters = []
+    for w in history.writes:
+        reads = history.dictated_reads(w)
+        clusters.append(Cluster(write=w, reads=reads, zone=_zone_for(w, reads)))
+    clusters.sort(key=lambda cl: (cl.zone.low, cl.zone.high, cl.write.op_id))
+    return clusters
+
+
+def zones_of(history: History) -> List[Zone]:
+    """Return the zones of all clusters, sorted by low endpoint."""
+    return [cl.zone for cl in build_clusters(history)]
+
+
+def zone_table(history: History) -> Dict[Operation, Zone]:
+    """Return a mapping from each dictating write to its cluster's zone."""
+    return {cl.write: cl.zone for cl in build_clusters(history)}

@@ -1,0 +1,17 @@
+"""Graph tools for the Section VI related-work connection (graph bandwidth)."""
+
+from .bandwidth import (
+    bandwidth_at_most,
+    bandwidth_lower_bound,
+    cluster_graph,
+    exact_bandwidth,
+    interval_graph,
+)
+
+__all__ = [
+    "bandwidth_at_most",
+    "bandwidth_lower_bound",
+    "cluster_graph",
+    "exact_bandwidth",
+    "interval_graph",
+]

@@ -1,0 +1,162 @@
+"""Graph-bandwidth tools (the related-work connection of Section VI).
+
+The paper relates k-AV to the graph bandwidth problem (GBW): arrange the
+vertices of a graph on a line so that adjacent vertices are at most ``k``
+apart.  GBW is NP-complete in general, polynomial for fixed ``k`` (Saxe), and
+efficiently solvable on interval graphs (Kleitman–Vohra) — but, as Section VI
+notes, neither special case transfers to k-AV.  This module provides the
+machinery needed to explore that relationship empirically:
+
+* :func:`cluster_graph` — the natural graph associated with a history
+  (vertices are operations, edges join each write to its dictated reads);
+* :func:`interval_graph` — the interval graph of operation overlap;
+* :func:`bandwidth_at_most` / :func:`exact_bandwidth` — exact bandwidth
+  decision/optimisation by branch-and-bound (small graphs only; the problem
+  is NP-complete, which is rather the point);
+* :func:`bandwidth_lower_bound` — the classic density lower bound.
+
+The E10 ablation benchmark uses these to show that a small bandwidth of the
+cluster graph neither implies nor is implied by a small k for the history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..core.history import History
+
+__all__ = [
+    "cluster_graph",
+    "interval_graph",
+    "bandwidth_lower_bound",
+    "bandwidth_at_most",
+    "exact_bandwidth",
+]
+
+
+def cluster_graph(history: History) -> "nx.Graph":
+    """The write/dictated-read graph of a history.
+
+    Vertices are operation ids; an edge joins every write to each of its
+    dictated reads.  In a k-atomic total order, the endpoints of each edge are
+    separated by at most ``k - 1`` *writes* — which resembles, but is not the
+    same as, a bandwidth-``k`` layout (bandwidth counts all vertices).
+    """
+    graph = nx.Graph()
+    for op in history.operations:
+        graph.add_node(op.op_id, kind="write" if op.is_write else "read", value=op.value)
+    for w in history.writes:
+        for r in history.dictated_reads(w):
+            graph.add_edge(w.op_id, r.op_id)
+    return graph
+
+
+def interval_graph(history: History) -> "nx.Graph":
+    """The interval graph of operation overlap (vertices = operations)."""
+    graph = nx.Graph()
+    ops = list(history.operations)
+    for op in ops:
+        graph.add_node(op.op_id)
+    for i, a in enumerate(ops):
+        for b in ops[i + 1:]:
+            if a.concurrent_with(b):
+                graph.add_edge(a.op_id, b.op_id)
+    return graph
+
+
+def bandwidth_lower_bound(graph: "nx.Graph") -> int:
+    """The density lower bound ``max over connected subgraphs of (n-1)/diameter``.
+
+    We use the standard cheap variant: ``ceil((degree_max) / 2)`` combined with
+    the connected-component size bound, which is enough to prune the
+    branch-and-bound on the small graphs used in the ablation.
+    """
+    if graph.number_of_nodes() <= 1:
+        return 0
+    max_degree = max(dict(graph.degree()).values()) if graph.number_of_edges() else 0
+    bound = (max_degree + 1) // 2
+    return max(1 if graph.number_of_edges() else 0, bound)
+
+
+def _extends_ok(layout: List, position: Dict, graph: "nx.Graph", k: int, remaining: int) -> bool:
+    """Prune: a placed vertex with unplaced neighbours must still have room."""
+    n_placed = len(layout)
+    for idx, vertex in enumerate(layout):
+        slack = k - (n_placed - 1 - idx)
+        if slack < 0:
+            unplaced_neighbours = any(nb not in position for nb in graph.neighbors(vertex))
+            if unplaced_neighbours:
+                return False
+    return True
+
+
+def bandwidth_at_most(graph: "nx.Graph", k: int) -> Optional[List]:
+    """Decide whether the graph has bandwidth at most ``k``.
+
+    Returns a linear layout (list of vertices) witnessing bandwidth ``<= k``
+    or ``None``.  Exponential-time branch and bound; intended for the small
+    graphs of the ablation experiments and the test-suite.
+    """
+    if k < 0:
+        return None
+    vertices = list(graph.nodes())
+    n = len(vertices)
+    if n == 0:
+        return []
+    position: Dict = {}
+    layout: List = []
+    failed = set()
+
+    def place(depth: int) -> bool:
+        if depth == n:
+            return True
+        state = frozenset(layout[-(k + 1):]) if k else frozenset(layout[-1:])
+        key = (depth, frozenset(position), )
+        if key in failed:
+            return False
+        for v in vertices:
+            if v in position:
+                continue
+            ok = True
+            for nb in graph.neighbors(v):
+                if nb in position and depth - position[nb] > k:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            # Any already-placed vertex that still has unplaced neighbours must
+            # be within distance k of the *next* position as well.
+            for placed_v, placed_pos in position.items():
+                if depth - placed_pos >= k:
+                    if any(nb not in position and nb != v for nb in graph.neighbors(placed_v)):
+                        ok = False
+                        break
+            if not ok:
+                continue
+            position[v] = depth
+            layout.append(v)
+            if place(depth + 1):
+                return True
+            layout.pop()
+            del position[v]
+        failed.add(key)
+        return False
+
+    if place(0):
+        return list(layout)
+    return None
+
+
+def exact_bandwidth(graph: "nx.Graph") -> int:
+    """The exact bandwidth of a (small) graph, by increasing-``k`` search."""
+    n = graph.number_of_nodes()
+    if n <= 1:
+        return 0
+    k = bandwidth_lower_bound(graph)
+    while k < n:
+        if bandwidth_at_most(graph, k) is not None:
+            return k
+        k += 1
+    return n - 1

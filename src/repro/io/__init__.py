@@ -1,0 +1,19 @@
+"""Trace input/output (JSON Lines and CSV)."""
+
+from .formats import (
+    dump_csv,
+    dump_jsonl,
+    load_csv,
+    load_jsonl,
+    operation_from_dict,
+    operation_to_dict,
+)
+
+__all__ = [
+    "dump_csv",
+    "dump_jsonl",
+    "load_csv",
+    "load_jsonl",
+    "operation_from_dict",
+    "operation_to_dict",
+]

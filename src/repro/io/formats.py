@@ -1,0 +1,156 @@
+"""Trace serialisation: JSON Lines and CSV.
+
+Real audits run against traces captured from a live system, so the library
+can round-trip histories through two simple, tool-friendly formats:
+
+* **JSON Lines** (one operation object per line) — the primary format; it
+  preserves keys, client identifiers and write weights exactly;
+* **CSV** — a lowest-common-denominator export for spreadsheets and ad-hoc
+  scripts.
+
+Both formats store, per operation: type (``read``/``write``), key, value,
+start, finish, client, and (for writes) the weight.  Values are stored as
+strings; the uniqueness assumption of Section II-C is checked when the trace
+is loaded back into :class:`~repro.core.history.History` objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..core.errors import TraceFormatError
+from ..core.history import History, MultiHistory
+from ..core.operation import Operation, OpType
+
+__all__ = [
+    "operation_to_dict",
+    "operation_from_dict",
+    "dump_jsonl",
+    "load_jsonl",
+    "dump_csv",
+    "load_csv",
+]
+
+_CSV_FIELDS = ["op_type", "key", "value", "start", "finish", "client", "weight"]
+
+
+def operation_to_dict(op: Operation) -> Dict:
+    """Convert an operation to a JSON-serialisable dictionary."""
+    record = {
+        "op_type": op.op_type.value,
+        "key": op.key,
+        "value": op.value,
+        "start": op.start,
+        "finish": op.finish,
+        "client": op.client,
+    }
+    if op.is_write:
+        record["weight"] = op.weight
+    return record
+
+
+def operation_from_dict(record: Dict) -> Operation:
+    """Build an operation from a dictionary produced by :func:`operation_to_dict`."""
+    try:
+        op_type = OpType(record["op_type"])
+        start = float(record["start"])
+        finish = float(record["finish"])
+        value = record["value"]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceFormatError(f"malformed operation record: {record!r}") from exc
+    weight = int(record.get("weight", 1) or 1)
+    return Operation(
+        op_type=op_type,
+        value=value,
+        start=start,
+        finish=finish,
+        key=record.get("key"),
+        client=record.get("client"),
+        weight=weight if op_type is OpType.WRITE else 1,
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON Lines
+# ----------------------------------------------------------------------
+def dump_jsonl(trace: Union[History, MultiHistory, Iterable[Operation]], path: Union[str, Path]) -> int:
+    """Write a trace to a JSON Lines file; returns the number of operations."""
+    ops = _iter_operations(trace)
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for op in ops:
+            fh.write(json.dumps(operation_to_dict(op), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: Union[str, Path]) -> MultiHistory:
+    """Load a JSON Lines trace into a :class:`MultiHistory`."""
+    operations: List[Operation] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_number, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            operations.append(operation_from_dict(record))
+    return MultiHistory(operations)
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def dump_csv(trace: Union[History, MultiHistory, Iterable[Operation]], path: Union[str, Path]) -> int:
+    """Write a trace to CSV; returns the number of operations."""
+    ops = _iter_operations(trace)
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for op in ops:
+            record = operation_to_dict(op)
+            record.setdefault("weight", "")
+            writer.writerow({field: record.get(field, "") for field in _CSV_FIELDS})
+            count += 1
+    return count
+
+
+def load_csv(path: Union[str, Path]) -> MultiHistory:
+    """Load a CSV trace into a :class:`MultiHistory`."""
+    operations: List[Operation] = []
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        reader = csv.DictReader(fh)
+        for row_number, row in enumerate(reader, start=2):
+            record = dict(row)
+            if record.get("weight") in ("", None):
+                record["weight"] = 1
+            if record.get("client") in ("", None):
+                record["client"] = None
+            if record.get("key") in ("", None):
+                record["key"] = None
+            try:
+                operations.append(operation_from_dict(record))
+            except TraceFormatError as exc:
+                raise TraceFormatError(f"{path}:{row_number}: {exc}") from exc
+    return MultiHistory(operations)
+
+
+# ----------------------------------------------------------------------
+def _iter_operations(trace: Union[History, MultiHistory, Iterable[Operation]]) -> List[Operation]:
+    if isinstance(trace, History):
+        return list(trace.operations)
+    if isinstance(trace, MultiHistory):
+        ops: List[Operation] = []
+        for key in sorted(trace.keys(), key=repr):
+            ops.extend(trace[key].operations)
+        return ops
+    return list(trace)

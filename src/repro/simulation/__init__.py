@@ -1,0 +1,55 @@
+"""Discrete-event simulation of a Dynamo-style sloppy-quorum store.
+
+The paper motivates k-atomicity with Internet-scale stores that use non-strict
+("sloppy") quorums; this package provides a faithful, laptop-scale stand-in:
+a deterministic discrete-event simulator with configurable replication factor,
+read/write quorum sizes, latency distributions, message loss, replica crashes,
+network partitions and read repair.  The recorded histories feed directly
+into the verification algorithms, reproducing the audit workflow the paper's
+introduction and conclusion describe.
+"""
+
+from .client import Client
+from .coordinator import Coordinator, CoordinatorStats, QuorumConfig
+from .events import Event, EventLoop
+from .faults import FaultEvent, FaultKind, FaultSchedule, crash_window, partition_window
+from .network import (
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    LogNormalLatency,
+    Network,
+    NetworkStats,
+    UniformLatency,
+)
+from .recorder import HistoryRecorder
+from .replica import Replica, ReplicaStats, StoredVersion
+from .store import RunResult, SloppyQuorumStore, StoreConfig
+
+__all__ = [
+    "Client",
+    "Coordinator",
+    "CoordinatorStats",
+    "Event",
+    "EventLoop",
+    "ExponentialLatency",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "FixedLatency",
+    "HistoryRecorder",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Network",
+    "NetworkStats",
+    "QuorumConfig",
+    "Replica",
+    "ReplicaStats",
+    "RunResult",
+    "SloppyQuorumStore",
+    "StoreConfig",
+    "StoredVersion",
+    "UniformLatency",
+    "crash_window",
+    "partition_window",
+]

@@ -1,0 +1,97 @@
+"""Closed-loop clients driving the simulated store.
+
+Each client issues one operation at a time: it picks a key from the
+workload's key distribution, flips a read/write coin, calls its coordinator,
+and — once the response arrives and is recorded — waits an exponential think
+time before issuing the next operation.  Clients write globally unique values
+(``"c<client>-<seq>"``), satisfying the uniquely-valued-writes assumption the
+verification algorithms rely on (Section II-C).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Optional
+
+from ..workloads.spec import WorkloadSpec
+from .coordinator import Coordinator
+from .events import EventLoop
+from .recorder import HistoryRecorder
+
+__all__ = ["Client"]
+
+
+class Client:
+    """A closed-loop client bound to one coordinator."""
+
+    def __init__(
+        self,
+        client_id: int,
+        loop: EventLoop,
+        coordinator: Coordinator,
+        recorder: HistoryRecorder,
+        spec: WorkloadSpec,
+    ):
+        self.client_id = client_id
+        self.loop = loop
+        self.coordinator = coordinator
+        self.recorder = recorder
+        self.spec = spec
+        self.rng: random.Random = spec.client_rng(client_id)
+        self.remaining = spec.operations_per_client
+        self._write_seq = 0
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    def start(self, initial_delay_ms: Optional[float] = None) -> None:
+        """Schedule the client's first operation.
+
+        A small random initial delay de-synchronises the clients so they do
+        not all fire at simulated time zero.
+        """
+        if initial_delay_ms is None:
+            initial_delay_ms = self.rng.uniform(0.0, self.spec.mean_think_time_ms)
+        self.loop.schedule(initial_delay_ms, self._issue_next)
+
+    # ------------------------------------------------------------------
+    def _think_time(self) -> float:
+        mean = self.spec.mean_think_time_ms
+        if mean <= 0:
+            return 0.0
+        return self.rng.expovariate(1.0 / mean)
+
+    def _next_value(self) -> str:
+        value = f"c{self.client_id}-{self._write_seq}"
+        self._write_seq += 1
+        return value
+
+    def _issue_next(self) -> None:
+        if self.remaining <= 0:
+            self.finished = True
+            return
+        self.remaining -= 1
+        key = self.spec.key_selector.select(self.rng)
+        if self.rng.random() < self.spec.write_ratio:
+            self._issue_write(key)
+        else:
+            self._issue_read(key)
+
+    def _issue_write(self, key: Hashable) -> None:
+        value = self._next_value()
+        token = self.recorder.begin_write(self.client_id, key, value)
+
+        def on_done(ok: bool) -> None:
+            self.recorder.complete(token, ok=ok)
+            self.loop.schedule(self._think_time(), self._issue_next)
+
+        self.coordinator.write(key, value, on_done)
+
+    def _issue_read(self, key: Hashable) -> None:
+        token = self.recorder.begin_read(self.client_id, key)
+
+        def on_done(value, version) -> None:
+            ok = value is not None
+            self.recorder.complete(token, value=value, ok=ok)
+            self.loop.schedule(self._think_time(), self._issue_next)
+
+        self.coordinator.read(key, on_done)

@@ -1,0 +1,267 @@
+"""Quorum coordinator: the client-facing read/write protocol.
+
+The coordinator implements the Dynamo-style *sloppy quorum* protocol the
+paper's introduction refers to:
+
+* a **write** is sent to all ``N`` replicas and acknowledged to the client as
+  soon as ``W`` replicas have applied it;
+* a **read** queries all ``N`` replicas and returns as soon as ``R`` replies
+  have arrived, answering with the highest-versioned value among them;
+* optionally, **read repair** pushes that freshest value back to the replicas
+  that returned older versions.
+
+Nothing forces the ``R`` replies of a read to intersect the ``W`` acks of the
+latest write — with ``R + W <= N``, or with lossy links and per-request
+timeouts, reads can return stale values.  Those are precisely the histories
+whose staleness the k-AV algorithms quantify.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.errors import SimulationError
+from .events import EventLoop
+from .network import Network
+from .replica import Replica, StoredVersion
+
+__all__ = ["QuorumConfig", "Coordinator", "CoordinatorStats"]
+
+
+@dataclass(frozen=True)
+class QuorumConfig:
+    """Replication and quorum parameters of the store.
+
+    ``N`` is the replication factor, ``R``/``W`` the read/write quorum sizes.
+    The classic strong setting has ``R + W > N``; sloppy configurations
+    (``R + W <= N``) trade consistency for latency and availability, which is
+    what the k-atomicity audit experiments explore.
+    """
+
+    num_replicas: int = 3
+    read_quorum: int = 1
+    write_quorum: int = 2
+    read_repair: bool = False
+    #: Per-request timeout; a request that has not reached quorum by then
+    #: completes with the replies it has (reads) or retries (writes), which
+    #: mirrors the behaviour of production sloppy-quorum stores.
+    request_timeout_ms: float = 50.0
+
+    def __post_init__(self):
+        if self.num_replicas < 1:
+            raise SimulationError("num_replicas must be positive")
+        if not 1 <= self.read_quorum <= self.num_replicas:
+            raise SimulationError("read_quorum must lie in [1, num_replicas]")
+        if not 1 <= self.write_quorum <= self.num_replicas:
+            raise SimulationError("write_quorum must lie in [1, num_replicas]")
+        if self.request_timeout_ms <= 0:
+            raise SimulationError("request_timeout_ms must be positive")
+
+    @property
+    def is_strict(self) -> bool:
+        """True iff read and write quorums are guaranteed to intersect."""
+        return self.read_quorum + self.write_quorum > self.num_replicas
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``"N=3 R=1 W=2 (sloppy)"``."""
+        kind = "strict" if self.is_strict else "sloppy"
+        return (
+            f"N={self.num_replicas} R={self.read_quorum} W={self.write_quorum} ({kind})"
+        )
+
+
+@dataclass
+class CoordinatorStats:
+    """Counters shared by all coordinators of a store."""
+
+    writes_started: int = 0
+    writes_completed: int = 0
+    writes_timed_out: int = 0
+    reads_started: int = 0
+    reads_completed: int = 0
+    reads_timed_out: int = 0
+    read_repairs_sent: int = 0
+
+
+class Coordinator:
+    """Executes quorum reads and writes on behalf of one client."""
+
+    def __init__(
+        self,
+        name: str,
+        loop: EventLoop,
+        network: Network,
+        replicas: Sequence[Replica],
+        config: QuorumConfig,
+        stats: Optional[CoordinatorStats] = None,
+    ):
+        self.name = name
+        self.loop = loop
+        self.network = network
+        self.replicas = list(replicas)
+        self.config = config
+        self.stats = stats if stats is not None else CoordinatorStats()
+        self._version_seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    def next_version(self) -> Tuple:
+        """A monotonically increasing, globally unique write version.
+
+        Versions order by (issue time, coordinator name, local sequence), the
+        standard last-writer-wins timestamp of Dynamo-style stores.
+        """
+        return (self.loop.now, self.name, next(self._version_seq))
+
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        key: Hashable,
+        value: Hashable,
+        callback: Callable[[bool], None],
+        *,
+        version: Optional[Tuple] = None,
+    ) -> None:
+        """Perform a quorum write; ``callback(ok)`` fires on completion.
+
+        ``ok`` is True when ``W`` acknowledgements arrived before the request
+        timeout; otherwise the write is reported as failed (the value may
+        still be partially replicated — exactly like a real store).
+        """
+        self.stats.writes_started += 1
+        version = self.next_version() if version is None else version
+        acks: List[str] = []
+        done = {"value": False}
+
+        def finish(ok: bool) -> None:
+            if done["value"]:
+                return
+            done["value"] = True
+            timeout_event.cancel()
+            if ok:
+                self.stats.writes_completed += 1
+            else:
+                self.stats.writes_timed_out += 1
+            callback(ok)
+
+        def on_ack(replica_id: str) -> None:
+            if done["value"]:
+                return
+            acks.append(replica_id)
+            if len(acks) >= self.config.write_quorum:
+                finish(True)
+
+        timeout_event = self.loop.schedule(
+            self.config.request_timeout_ms, lambda: finish(False)
+        )
+
+        for replica in self.replicas:
+            self._send_write(replica, key, value, version, on_ack)
+
+    def _send_write(
+        self,
+        replica: Replica,
+        key: Hashable,
+        value: Hashable,
+        version: Tuple,
+        on_ack: Callable[[str], None],
+    ) -> None:
+        def deliver():
+            # The acknowledgement travels back over the network as well.
+            replica.handle_write(
+                key,
+                value,
+                version,
+                lambda rid: self.network.send(replica.replica_id, self.name, on_ack, rid),
+            )
+
+        self.network.send(self.name, replica.replica_id, deliver)
+
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        key: Hashable,
+        callback: Callable[[Optional[Hashable], Optional[Tuple]], None],
+    ) -> None:
+        """Perform a quorum read; ``callback(value, version)`` on completion.
+
+        The read completes when ``R`` replies have arrived (returning the
+        highest-versioned value among them), or at the timeout with whatever
+        replies exist (possibly ``(None, None)`` if none arrived — the caller
+        records such reads as failed and excludes them from the history).
+        """
+        self.stats.reads_started += 1
+        replies: Dict[str, Optional[StoredVersion]] = {}
+        done = {"value": False}
+
+        def finish(timed_out: bool) -> None:
+            if done["value"]:
+                return
+            done["value"] = True
+            timeout_event.cancel()
+            freshest: Optional[StoredVersion] = None
+            for stored in replies.values():
+                if stored is None:
+                    continue
+                if freshest is None or stored.version > freshest.version:
+                    freshest = stored
+            if timed_out:
+                self.stats.reads_timed_out += 1
+            else:
+                self.stats.reads_completed += 1
+            if freshest is None:
+                callback(None, None)
+                return
+            if self.config.read_repair:
+                self._read_repair(key, freshest, replies)
+            callback(freshest.value, freshest.version)
+
+        def on_reply(replica_id: str, stored: Optional[StoredVersion]) -> None:
+            if done["value"]:
+                return
+            replies[replica_id] = stored
+            if len(replies) >= self.config.read_quorum:
+                finish(False)
+
+        timeout_event = self.loop.schedule(
+            self.config.request_timeout_ms, lambda: finish(True)
+        )
+
+        for replica in self.replicas:
+            self._send_read(replica, key, on_reply)
+
+    def _send_read(
+        self,
+        replica: Replica,
+        key: Hashable,
+        on_reply: Callable[[str, Optional[StoredVersion]], None],
+    ) -> None:
+        def deliver():
+            replica.handle_read(
+                key,
+                lambda rid, stored: self.network.send(
+                    replica.replica_id, self.name, on_reply, rid, stored
+                ),
+            )
+
+        self.network.send(self.name, replica.replica_id, deliver)
+
+    def _read_repair(
+        self,
+        key: Hashable,
+        freshest: StoredVersion,
+        replies: Dict[str, Optional[StoredVersion]],
+    ) -> None:
+        """Push the freshest observed version to replicas that returned older ones."""
+        stale_ids = {
+            rid
+            for rid, stored in replies.items()
+            if stored is None or stored.version < freshest.version
+        }
+        for replica in self.replicas:
+            if replica.replica_id in stale_ids:
+                self.stats.read_repairs_sent += 1
+                self._send_write(
+                    replica, key, freshest.value, freshest.version, lambda rid: None
+                )

@@ -1,0 +1,137 @@
+"""Discrete-event simulation core.
+
+A minimal but complete event loop: callbacks are scheduled at absolute
+simulated times (or relative delays), executed in timestamp order with a
+deterministic FIFO tie-break, and may schedule further events.  All other
+simulator components (network, replicas, coordinators, clients, fault
+injector) share one :class:`EventLoop` instance, so a whole cluster run is a
+single-threaded, perfectly reproducible computation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..core.errors import SimulationError
+
+__all__ = ["EventLoop", "Event"]
+
+
+class Event:
+    """A scheduled callback.  Exposes :meth:`cancel` for timeouts."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:g} {name} cancelled={self.cancelled}>"
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler.
+
+    Simulated time is a float in milliseconds (the unit only matters for
+    interpreting latency-model parameters).  Events scheduled for the same
+    timestamp run in scheduling order.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """The current simulated time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (now={self._now:g}, asked {time:g})"
+            )
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.  Returns False when empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, *, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` is reached).
+
+        Returns the number of events executed by this call.  ``max_events``
+        guards against runaway simulations (e.g. a client that keeps
+        rescheduling itself); exceeding it raises
+        :class:`~repro.core.errors.SimulationError`.
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                if self._queue and any(not e.cancelled for e in self._queue):
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events} with work remaining"
+                    )
+                break
+        return executed
+
+    def run_until(self, time: float) -> int:
+        """Run events with timestamps up to ``time`` (inclusive)."""
+        executed = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            executed += 1
+        self._now = max(self._now, time)
+        return executed

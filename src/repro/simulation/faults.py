@@ -1,0 +1,118 @@
+"""Fault injection for the store simulator.
+
+A :class:`FaultSchedule` is a declarative list of events — replica crashes
+and recoveries, network partitions and heals — applied to a running
+simulation at fixed simulated times.  Fault injection is how the audit
+experiments explore the regimes where sloppy quorums visibly diverge from
+atomicity: a crashed replica or a partition makes it far more likely that a
+read quorum misses the latest write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.errors import SimulationError
+from .events import EventLoop
+from .network import Network
+from .replica import Replica
+
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "crash_window", "partition_window"]
+
+
+class FaultKind:
+    """String constants naming the supported fault actions."""
+
+    CRASH = "crash"
+    RECOVER = "recover"
+    PARTITION = "partition"
+    HEAL = "heal"
+
+    ALL = (CRASH, RECOVER, PARTITION, HEAL)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action.
+
+    ``target`` names a replica for crash/recover, or a pair of endpoint names
+    for partition/heal.
+    """
+
+    time_ms: float
+    kind: str
+    target: Tuple
+
+    def __post_init__(self):
+        if self.kind not in FaultKind.ALL:
+            raise SimulationError(f"unknown fault kind {self.kind!r}")
+        if self.time_ms < 0:
+            raise SimulationError("fault time must be non-negative")
+
+
+@dataclass
+class FaultSchedule:
+    """A set of fault events to apply to a simulation run."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def add_crash(self, replica_id: str, at_ms: float) -> "FaultSchedule":
+        """Crash ``replica_id`` at the given simulated time."""
+        self.events.append(FaultEvent(at_ms, FaultKind.CRASH, (replica_id,)))
+        return self
+
+    def add_recover(self, replica_id: str, at_ms: float) -> "FaultSchedule":
+        """Recover ``replica_id`` at the given simulated time."""
+        self.events.append(FaultEvent(at_ms, FaultKind.RECOVER, (replica_id,)))
+        return self
+
+    def add_partition(self, a: str, b: str, at_ms: float) -> "FaultSchedule":
+        """Partition endpoints ``a`` and ``b`` at the given time."""
+        self.events.append(FaultEvent(at_ms, FaultKind.PARTITION, (a, b)))
+        return self
+
+    def add_heal(self, a: str, b: str, at_ms: float) -> "FaultSchedule":
+        """Heal a previously installed partition."""
+        self.events.append(FaultEvent(at_ms, FaultKind.HEAL, (a, b)))
+        return self
+
+    def install(self, loop: EventLoop, network: Network, replicas: Dict[str, Replica]) -> None:
+        """Schedule every fault event on the given simulation."""
+        for event in sorted(self.events, key=lambda e: e.time_ms):
+            if event.kind in (FaultKind.CRASH, FaultKind.RECOVER):
+                (replica_id,) = event.target
+                replica = replicas.get(replica_id)
+                if replica is None:
+                    raise SimulationError(f"fault targets unknown replica {replica_id!r}")
+                action = replica.crash if event.kind == FaultKind.CRASH else replica.recover
+                loop.schedule_at(event.time_ms, action)
+            else:
+                a, b = event.target
+                if event.kind == FaultKind.PARTITION:
+                    loop.schedule_at(event.time_ms, network.partition, a, b)
+                else:
+                    loop.schedule_at(event.time_ms, network.heal, a, b)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def crash_window(replica_id: str, start_ms: float, end_ms: float) -> FaultSchedule:
+    """A schedule that crashes a replica for the window ``[start, end]``."""
+    if end_ms <= start_ms:
+        raise SimulationError("crash window must have positive length")
+    schedule = FaultSchedule()
+    schedule.add_crash(replica_id, start_ms)
+    schedule.add_recover(replica_id, end_ms)
+    return schedule
+
+
+def partition_window(a: str, b: str, start_ms: float, end_ms: float) -> FaultSchedule:
+    """A schedule that partitions two endpoints for the window ``[start, end]``."""
+    if end_ms <= start_ms:
+        raise SimulationError("partition window must have positive length")
+    schedule = FaultSchedule()
+    schedule.add_partition(a, b, start_ms)
+    schedule.add_heal(a, b, end_ms)
+    return schedule

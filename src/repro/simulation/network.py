@@ -1,0 +1,186 @@
+"""Network model: message latency distributions, loss, and partitions.
+
+The paper's motivating systems are geo-replicated stores whose consistency
+behaviour is driven by message delay variance: a write coordinator may return
+after ``W`` acknowledgements while the remaining replicas are still catching
+up, so a subsequent read that contacts a disjoint set of replicas observes a
+stale value.  The :class:`Network` class models exactly that: every message
+between two endpoints is delivered after a sampled latency, possibly dropped,
+and possibly blocked by an active partition.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional, Set, Tuple
+
+from ..core.errors import SimulationError
+from .events import EventLoop
+
+__all__ = [
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "LogNormalLatency",
+    "Network",
+    "NetworkStats",
+]
+
+
+class LatencyModel:
+    """Base class for one-way message latency distributions (milliseconds)."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw a single one-way latency."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """The distribution mean, used for sanity checks and reporting."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``latency_ms``."""
+
+    latency_ms: float = 1.0
+
+    def sample(self, rng: random.Random) -> float:
+        return self.latency_ms
+
+    def mean(self) -> float:
+        return self.latency_ms
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Latency uniform in ``[low_ms, high_ms]``."""
+
+    low_ms: float = 0.5
+    high_ms: float = 2.0
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low_ms, self.high_ms)
+
+    def mean(self) -> float:
+        return (self.low_ms + self.high_ms) / 2.0
+
+
+@dataclass(frozen=True)
+class ExponentialLatency(LatencyModel):
+    """Exponential latency with the given mean plus a propagation floor."""
+
+    mean_ms: float = 2.0
+    floor_ms: float = 0.2
+
+    def sample(self, rng: random.Random) -> float:
+        return self.floor_ms + rng.expovariate(1.0 / self.mean_ms)
+
+    def mean(self) -> float:
+        return self.floor_ms + self.mean_ms
+
+
+@dataclass(frozen=True)
+class LogNormalLatency(LatencyModel):
+    """Log-normal latency — heavy-tailed, the classic datacenter RPC shape."""
+
+    median_ms: float = 1.5
+    sigma: float = 0.6
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(math.log(self.median_ms), self.sigma)
+
+    def mean(self) -> float:
+        return self.median_ms * math.exp(self.sigma ** 2 / 2.0)
+
+
+@dataclass
+class NetworkStats:
+    """Counters the network keeps while a simulation runs."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    blocked_by_partition: int = 0
+
+
+class Network:
+    """Delivers messages between named endpoints over the shared event loop.
+
+    Parameters
+    ----------
+    loop:
+        The simulation's event loop.
+    latency:
+        The one-way latency distribution.
+    rng:
+        Random stream used for latency samples and drop decisions.
+    drop_probability:
+        Probability that any given message is silently lost.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        latency: LatencyModel,
+        rng: random.Random,
+        *,
+        drop_probability: float = 0.0,
+    ):
+        if not 0.0 <= drop_probability < 1.0:
+            raise SimulationError("drop_probability must lie in [0, 1)")
+        self.loop = loop
+        self.latency = latency
+        self.rng = rng
+        self.drop_probability = drop_probability
+        self.stats = NetworkStats()
+        self._partitioned: Set[Tuple[Hashable, Hashable]] = set()
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, a: Hashable, b: Hashable) -> None:
+        """Block all traffic between endpoints ``a`` and ``b`` (both ways)."""
+        self._partitioned.add((a, b))
+        self._partitioned.add((b, a))
+
+    def heal(self, a: Hashable, b: Hashable) -> None:
+        """Remove a partition previously installed with :meth:`partition`."""
+        self._partitioned.discard((a, b))
+        self._partitioned.discard((b, a))
+
+    def is_partitioned(self, a: Hashable, b: Hashable) -> bool:
+        """True iff traffic between ``a`` and ``b`` is currently blocked."""
+        return (a, b) in self._partitioned
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        deliver: Callable,
+        *args,
+    ) -> None:
+        """Send a message: ``deliver(*args)`` runs at the destination later.
+
+        The message is dropped silently with ``drop_probability`` or when the
+        two endpoints are partitioned — exactly like a lost datagram; the
+        coordinator protocols are responsible for coping (quorums, timeouts).
+        """
+        self.stats.sent += 1
+        if self.is_partitioned(src, dst):
+            self.stats.blocked_by_partition += 1
+            return
+        if self.drop_probability > 0 and self.rng.random() < self.drop_probability:
+            self.stats.dropped += 1
+            return
+        delay = max(0.0, self.latency.sample(self.rng))
+
+        def _deliver():
+            self.stats.delivered += 1
+            deliver(*args)
+
+        self.loop.schedule(delay, _deliver)

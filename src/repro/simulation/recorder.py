@@ -1,0 +1,168 @@
+"""History recorder: turns client-observed invocations/responses into histories.
+
+The recorder captures exactly what an external consistency auditor can see —
+for each completed operation: its type, the key, the value written or
+returned, and the invocation/response timestamps on the global simulated
+clock (optionally perturbed by a bounded clock error, modelling imperfect
+TrueTime-style timestamping).  Operations that never complete (quorum never
+reached before the workload ends) are excluded, mirroring how real audits
+treat in-flight operations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from ..core.history import MultiHistory
+from ..core.operation import Operation, OpType
+from .events import EventLoop
+
+__all__ = ["PendingOperation", "HistoryRecorder"]
+
+
+@dataclass
+class PendingOperation:
+    """An invocation awaiting its response."""
+
+    token: int
+    op_type: OpType
+    key: Hashable
+    client: Hashable
+    start: float
+    value: Optional[Hashable] = None
+
+
+class HistoryRecorder:
+    """Records completed operations and assembles a :class:`MultiHistory`.
+
+    Parameters
+    ----------
+    loop:
+        The simulation event loop (source of timestamps).
+    clock_error_ms:
+        Half-width of a uniform timestamp error applied independently to each
+        recorded start/finish, modelling bounded clock uncertainty.  The
+        default 0.0 gives perfect timestamps (the paper's assumption); small
+        positive values let experiments probe sensitivity to clock error.
+    rng:
+        Random stream for the clock error (required when it is non-zero).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        *,
+        clock_error_ms: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        self.loop = loop
+        self.clock_error_ms = clock_error_ms
+        self.rng = rng if rng is not None else random.Random(0)
+        self._tokens = itertools.count()
+        self._pending: Dict[int, PendingOperation] = {}
+        self._completed: List[Operation] = []
+        self._failed = 0
+
+    # ------------------------------------------------------------------
+    def _stamp(self, t: float) -> float:
+        if self.clock_error_ms <= 0:
+            return t
+        return t + self.rng.uniform(-self.clock_error_ms, self.clock_error_ms)
+
+    # ------------------------------------------------------------------
+    def begin_write(self, client: Hashable, key: Hashable, value: Hashable) -> int:
+        """Record a write invocation; returns a token for :meth:`complete`."""
+        token = next(self._tokens)
+        self._pending[token] = PendingOperation(
+            token=token,
+            op_type=OpType.WRITE,
+            key=key,
+            client=client,
+            start=self._stamp(self.loop.now),
+            value=value,
+        )
+        return token
+
+    def begin_read(self, client: Hashable, key: Hashable) -> int:
+        """Record a read invocation; returns a token for :meth:`complete`."""
+        token = next(self._tokens)
+        self._pending[token] = PendingOperation(
+            token=token,
+            op_type=OpType.READ,
+            key=key,
+            client=client,
+            start=self._stamp(self.loop.now),
+        )
+        return token
+
+    def complete(self, token: int, *, value: Optional[Hashable] = None, ok: bool = True) -> None:
+        """Record the response for a pending operation.
+
+        For reads, ``value`` is the value returned by the store.  Setting
+        ``ok=False`` (timeout, no reply) drops the operation from the history
+        and counts it as failed.
+        """
+        pending = self._pending.pop(token, None)
+        if pending is None:
+            return
+        if not ok:
+            self._failed += 1
+            return
+        finish = self._stamp(self.loop.now)
+        if finish <= pending.start:
+            finish = pending.start + 1e-6
+        if pending.op_type is OpType.WRITE:
+            op_value = pending.value
+        else:
+            op_value = value
+        self._completed.append(
+            Operation(
+                op_type=pending.op_type,
+                value=op_value,
+                start=pending.start,
+                finish=finish,
+                key=pending.key,
+                client=pending.client,
+            )
+        )
+
+    def record_instant_write(self, client: Hashable, key: Hashable, value: Hashable,
+                             start: float, finish: float) -> None:
+        """Record a write with explicit timestamps (used for seed writes)."""
+        self._completed.append(
+            Operation(
+                op_type=OpType.WRITE,
+                value=value,
+                start=start,
+                finish=finish,
+                key=key,
+                client=client,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def completed_count(self) -> int:
+        """Number of operations recorded so far."""
+        return len(self._completed)
+
+    @property
+    def failed_count(self) -> int:
+        """Number of operations that completed unsuccessfully (excluded)."""
+        return self._failed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of invocations still awaiting a response."""
+        return len(self._pending)
+
+    def multi_history(self) -> MultiHistory:
+        """Assemble the per-register histories of all completed operations."""
+        return MultiHistory(self._completed)
+
+    def operations(self) -> List[Operation]:
+        """All completed operations in completion order."""
+        return list(self._completed)

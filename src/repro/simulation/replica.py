@@ -1,0 +1,134 @@
+"""Replica nodes of the simulated sloppy-quorum store.
+
+Each replica holds a versioned copy of every register it has heard about and
+answers read/write requests from coordinators.  Versions are totally ordered
+tuples assigned by coordinators (last-writer-wins); a replica only installs a
+write whose version exceeds the one it currently stores, so message
+reordering never rolls a register back.
+
+Replicas can crash and recover (dropping all requests while down), and can be
+configured with an *apply delay* that models slow local persistence: the
+acknowledgement is only sent once the write has actually been applied, so the
+delay lengthens write latency rather than faking durability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from .events import EventLoop
+
+__all__ = ["Replica", "StoredVersion", "ReplicaStats"]
+
+
+@dataclass(frozen=True)
+class StoredVersion:
+    """A versioned value held by a replica."""
+
+    version: Tuple
+    value: Hashable
+
+
+@dataclass
+class ReplicaStats:
+    """Counters a replica maintains for reporting."""
+
+    writes_applied: int = 0
+    writes_ignored_stale: int = 0
+    reads_served: int = 0
+    requests_dropped_while_down: int = 0
+
+
+class Replica:
+    """A single storage replica."""
+
+    def __init__(
+        self,
+        replica_id: str,
+        loop: EventLoop,
+        *,
+        apply_delay_ms: float = 0.0,
+    ):
+        self.replica_id = replica_id
+        self.loop = loop
+        self.apply_delay_ms = apply_delay_ms
+        self.store: Dict[Hashable, StoredVersion] = {}
+        self.alive = True
+        self.stats = ReplicaStats()
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Stop serving requests.  In-memory state is retained (fail-stop)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Resume serving requests with whatever state survived the crash."""
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # Request handlers (invoked by the network on message delivery)
+    # ------------------------------------------------------------------
+    def handle_write(
+        self,
+        key: Hashable,
+        value: Hashable,
+        version: Tuple,
+        reply: Callable[[str], None],
+    ) -> None:
+        """Install ``value`` under ``key`` if ``version`` is newer, then ack.
+
+        ``reply(replica_id)`` is invoked (through the network, by the caller's
+        closure) once the write is applied — after ``apply_delay_ms`` of local
+        work.  Requests arriving while the replica is down are dropped.
+        """
+        if not self.alive:
+            self.stats.requests_dropped_while_down += 1
+            return
+
+        def _apply():
+            if not self.alive:
+                self.stats.requests_dropped_while_down += 1
+                return
+            current = self.store.get(key)
+            if current is None or version > current.version:
+                self.store[key] = StoredVersion(version=version, value=value)
+                self.stats.writes_applied += 1
+            else:
+                self.stats.writes_ignored_stale += 1
+            reply(self.replica_id)
+
+        if self.apply_delay_ms > 0:
+            self.loop.schedule(self.apply_delay_ms, _apply)
+        else:
+            _apply()
+
+    def handle_read(
+        self,
+        key: Hashable,
+        reply: Callable[[str, Optional[StoredVersion]], None],
+    ) -> None:
+        """Return the replica's current version of ``key`` (or ``None``)."""
+        if not self.alive:
+            self.stats.requests_dropped_while_down += 1
+            return
+        self.stats.reads_served += 1
+        reply(self.replica_id, self.store.get(key))
+
+    # ------------------------------------------------------------------
+    def install(self, key: Hashable, value: Hashable, version: Tuple) -> None:
+        """Directly install a value, bypassing the network.
+
+        Used to seed the initial value of each register before a workload
+        starts (the seed is also recorded in the history as a real write so
+        that early reads have a dictating write).
+        """
+        current = self.store.get(key)
+        if current is None or version > current.version:
+            self.store[key] = StoredVersion(version=version, value=value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"<Replica {self.replica_id} {state} keys={len(self.store)}>"

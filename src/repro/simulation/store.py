@@ -1,0 +1,176 @@
+"""The simulated sloppy-quorum replicated store, end to end.
+
+:class:`SloppyQuorumStore` wires together the event loop, network, replicas,
+per-client coordinators, the fault injector and the history recorder, runs a
+client workload to completion, and returns the recorded multi-register
+history together with run statistics.  This is the substitute for the
+Internet-scale stores (Dynamo-style systems) that motivate the paper: the
+verification algorithms only ever see the recorded history, so any system
+producing the same interface exercises the same code paths.
+
+Typical use::
+
+    from repro.simulation import SloppyQuorumStore, StoreConfig
+    from repro.workloads import WorkloadSpec, ZipfianKeys
+
+    config = StoreConfig(quorum=QuorumConfig(num_replicas=5, read_quorum=1, write_quorum=2))
+    store = SloppyQuorumStore(config, seed=7)
+    result = store.run(WorkloadSpec(num_clients=16, operations_per_client=100,
+                                    key_selector=ZipfianKeys(num_keys=10)))
+    trace = result.history          # a MultiHistory, one History per key
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.errors import SimulationError
+from ..core.history import MultiHistory
+from ..workloads.spec import WorkloadSpec
+from .client import Client
+from .coordinator import Coordinator, CoordinatorStats, QuorumConfig
+from .events import EventLoop
+from .faults import FaultSchedule
+from .network import ExponentialLatency, LatencyModel, Network, NetworkStats
+from .recorder import HistoryRecorder
+from .replica import Replica
+
+__all__ = ["StoreConfig", "RunResult", "SloppyQuorumStore"]
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Complete configuration of a simulated store."""
+
+    quorum: QuorumConfig = field(default_factory=QuorumConfig)
+    latency: LatencyModel = field(default_factory=ExponentialLatency)
+    drop_probability: float = 0.0
+    replica_apply_delay_ms: float = 0.0
+    #: Bounded uniform error added to recorded timestamps (0 = perfect clocks,
+    #: the paper's assumption backed by TrueTime-style infrastructure).
+    clock_error_ms: float = 0.0
+    #: Hard cap on simulated events, guarding against runaway configurations.
+    max_events: int = 2_000_000
+
+
+@dataclass
+class RunResult:
+    """Everything a store run produces."""
+
+    history: MultiHistory
+    config: StoreConfig
+    workload: WorkloadSpec
+    simulated_duration_ms: float
+    completed_operations: int
+    failed_operations: int
+    network: NetworkStats
+    coordinator: CoordinatorStats
+
+    def summary(self) -> str:
+        """One-line human-readable description of the run."""
+        return (
+            f"{self.config.quorum.describe()}: {self.completed_operations} ops "
+            f"({self.failed_operations} failed) over {len(self.history)} keys in "
+            f"{self.simulated_duration_ms:.1f} simulated ms"
+        )
+
+
+class SloppyQuorumStore:
+    """A reproducible, single-process simulation of a replicated KV store."""
+
+    def __init__(self, config: Optional[StoreConfig] = None, *, seed: int = 0):
+        self.config = config if config is not None else StoreConfig()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: WorkloadSpec,
+        *,
+        faults: Optional[FaultSchedule] = None,
+    ) -> RunResult:
+        """Execute ``workload`` against a fresh cluster and record its history.
+
+        Every run builds a brand-new cluster (replicas, network, clients) from
+        the store seed and the workload seed, so results are deterministic and
+        independent across runs.
+        """
+        config = self.config
+        loop = EventLoop()
+        rng = random.Random(f"{self.seed}-{workload.seed}")
+        network = Network(
+            loop, config.latency, rng, drop_probability=config.drop_probability
+        )
+        recorder = HistoryRecorder(
+            loop,
+            clock_error_ms=config.clock_error_ms,
+            rng=random.Random(f"{self.seed}-clock"),
+        )
+
+        replicas: Dict[str, Replica] = {}
+        for i in range(config.quorum.num_replicas):
+            replica_id = f"replica-{i}"
+            replicas[replica_id] = Replica(
+                replica_id, loop, apply_delay_ms=config.replica_apply_delay_ms
+            )
+
+        coordinator_stats = CoordinatorStats()
+        clients: List[Client] = []
+        for client_id in range(workload.num_clients):
+            coordinator = Coordinator(
+                name=f"client-{client_id}",
+                loop=loop,
+                network=network,
+                replicas=list(replicas.values()),
+                config=config.quorum,
+                stats=coordinator_stats,
+            )
+            clients.append(Client(client_id, loop, coordinator, recorder, workload))
+
+        self._seed_registers(workload, replicas, recorder)
+
+        if faults is not None:
+            faults.install(loop, network, replicas)
+
+        for client in clients:
+            client.start()
+
+        loop.run(max_events=config.max_events)
+
+        history = recorder.multi_history()
+        return RunResult(
+            history=history,
+            config=config,
+            workload=workload,
+            simulated_duration_ms=loop.now,
+            completed_operations=recorder.completed_count,
+            failed_operations=recorder.failed_count,
+            network=network.stats,
+            coordinator=coordinator_stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _seed_registers(
+        self,
+        workload: WorkloadSpec,
+        replicas: Dict[str, Replica],
+        recorder: HistoryRecorder,
+    ) -> None:
+        """Install an initial value for every key on every replica.
+
+        The seed writes are recorded in the history (with a tiny interval just
+        before the workload starts) so that reads served before the first
+        client write still have a dictating write — otherwise the history
+        would contain Section II-C anomalies by construction rather than by
+        system behaviour.
+        """
+        keys = workload.key_selector.keys()
+        for index, key in enumerate(keys):
+            value = f"seed-{key}"
+            version = (-1.0, "seed", index)
+            for replica in replicas.values():
+                replica.install(key, value, version)
+            start = -1.0 + index * 1e-6
+            recorder.record_instant_write("seed", key, value, start, start + 1e-7)

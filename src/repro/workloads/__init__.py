@@ -1,0 +1,37 @@
+"""Workload and history generators for tests, examples, and benchmarks."""
+
+from .adversarial import (
+    concurrent_batch_history,
+    high_concurrency_history,
+    non_2atomic_batch_history,
+)
+from .spec import (
+    HotspotKeys,
+    KeySelector,
+    SingleKey,
+    UniformKeys,
+    WorkloadSpec,
+    ZipfianKeys,
+)
+from .synthetic import (
+    exactly_k_atomic_history,
+    practical_history,
+    random_history,
+    serial_history,
+)
+
+__all__ = [
+    "HotspotKeys",
+    "KeySelector",
+    "SingleKey",
+    "UniformKeys",
+    "WorkloadSpec",
+    "ZipfianKeys",
+    "concurrent_batch_history",
+    "exactly_k_atomic_history",
+    "high_concurrency_history",
+    "non_2atomic_batch_history",
+    "practical_history",
+    "random_history",
+    "serial_history",
+]

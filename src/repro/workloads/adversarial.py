@@ -1,0 +1,133 @@
+"""Adversarial history generators for worst-case benchmarking.
+
+Theorem 3.2 bounds LBT's running time by ``O(n log n + c·n)`` where ``c`` is
+the maximum number of concurrent writes; with ``c`` proportional to ``n`` the
+bound degrades to quadratic, whereas FZF stays quasilinear (Theorem 4.6).
+The generators here produce histories with *controlled* write concurrency so
+the benchmark harness can sweep ``c`` and exhibit exactly that behaviour:
+
+* :func:`concurrent_batch_history` — batches of ``c`` mutually concurrent
+  writes, each batch followed by a read of one designated write; 2-atomic by
+  construction, but every LBT epoch sees ``Θ(c)`` candidate writes;
+* :func:`high_concurrency_history` — a single-parameter wrapper that sets
+  ``c = Θ(n)``, the true worst-case regime for LBT;
+* :func:`non_2atomic_batch_history` — the same batched structure with reads
+  that force three distinct stale values, so verifiers must answer NO (used to
+  benchmark rejection paths and to test refutation reporting).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.history import History
+from ..core.operation import Operation, read, write
+
+__all__ = [
+    "concurrent_batch_history",
+    "high_concurrency_history",
+    "non_2atomic_batch_history",
+]
+
+
+def concurrent_batch_history(
+    num_batches: int,
+    batch_size: int,
+    *,
+    reads_per_batch: int = 1,
+    key=None,
+) -> History:
+    """Batches of mutually concurrent writes, 2-atomic by construction.
+
+    Each batch ``b`` contains ``batch_size`` writes that all span the same
+    interval (so they are pairwise concurrent, giving max write concurrency
+    ``c = batch_size``), followed by ``reads_per_batch`` serial reads of the
+    batch's *last* write.  The unread writes can be linearised in any order,
+    so the history is 2-atomic (indeed 1-atomic); what the construction
+    stresses is LBT's per-epoch candidate scan, which must consider all
+    ``batch_size`` concurrent writes.
+    """
+    if num_batches < 1 or batch_size < 1:
+        raise ValueError("num_batches and batch_size must be positive")
+    ops: List[Operation] = []
+    value = 0
+    t = 0.0
+    batch_span = 10.0
+    for b in range(num_batches):
+        base = t
+        last_value = None
+        for i in range(batch_size):
+            # All writes of the batch overlap: starts ramp up slightly while
+            # finishes ramp down, keeping every pair concurrent.
+            start = base + 0.001 * i
+            finish = base + batch_span - 0.001 * i
+            ops.append(write(value, start, finish, key=key))
+            last_value = value
+            value += 1
+        t = base + batch_span + 1.0
+        for r in range(reads_per_batch):
+            ops.append(read(last_value, t, t + 0.5, key=key))
+            t += 1.0
+        t += 1.0
+    return History(ops, key=key)
+
+
+def high_concurrency_history(
+    num_operations: int,
+    *,
+    concurrency_fraction: float = 0.25,
+    key=None,
+) -> History:
+    """A history whose write concurrency grows linearly with its size.
+
+    ``c`` is set to ``concurrency_fraction * num_operations`` (at least 2),
+    producing the regime where LBT's ``O(c·n)`` term dominates and becomes
+    quadratic, while FZF remains quasilinear.
+    """
+    if num_operations < 4:
+        raise ValueError("need at least 4 operations")
+    c = max(2, int(num_operations * concurrency_fraction))
+    # Each batch contributes (c writes + 1 read); build enough batches to
+    # reach the requested operation count.
+    per_batch = c + 1
+    num_batches = max(1, num_operations // per_batch)
+    return concurrent_batch_history(num_batches, c, key=key)
+
+
+def non_2atomic_batch_history(
+    num_batches: int,
+    batch_size: int,
+    *,
+    key=None,
+) -> History:
+    """Batched concurrent writes whose reads rule out 2-atomicity.
+
+    After each batch of ``batch_size >= 3`` concurrent writes, three serial
+    reads return three *distinct* values from the batch.  In any valid total
+    order all batch writes precede those reads, so at most the last two writes
+    can satisfy their readers — the third stale value forces a NO answer for
+    ``k = 2``.  Useful for benchmarking the rejection path of LBT/FZF and for
+    testing refutation messages.
+    """
+    if batch_size < 3:
+        raise ValueError("batch_size must be >= 3 to rule out 2-atomicity")
+    ops: List[Operation] = []
+    value = 0
+    t = 0.0
+    batch_span = 10.0
+    for b in range(num_batches):
+        base = t
+        batch_values = []
+        for i in range(batch_size):
+            start = base + 0.001 * i
+            finish = base + batch_span - 0.001 * i
+            ops.append(write(value, start, finish, key=key))
+            batch_values.append(value)
+            value += 1
+        t = base + batch_span + 1.0
+        for stale in batch_values[:3]:
+            ops.append(read(stale, t, t + 0.5, key=key))
+            t += 1.0
+        t += 1.0
+    return History(ops, key=key)

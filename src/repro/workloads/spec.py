@@ -1,0 +1,175 @@
+"""Workload specifications and key-selection distributions.
+
+The simulator clients (:mod:`repro.simulation.client`) draw their behaviour
+from a :class:`WorkloadSpec`: the read/write mix, think-time distribution and
+key-popularity distribution.  The key selectors implement the distributions
+used by standard storage benchmarks (uniform, zipfian, hotspot, single-key),
+so the quorum-audit experiments can mirror the workloads the paper's
+motivating systems actually serve.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "KeySelector",
+    "UniformKeys",
+    "ZipfianKeys",
+    "HotspotKeys",
+    "SingleKey",
+    "WorkloadSpec",
+]
+
+
+class KeySelector:
+    """Base class for key-popularity distributions."""
+
+    def select(self, rng: random.Random) -> str:
+        """Return the key the next operation should target."""
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        """All keys the selector can ever return."""
+        raise NotImplementedError
+
+
+def _key_name(i: int) -> str:
+    return f"key-{i:05d}"
+
+
+class UniformKeys(KeySelector):
+    """Every key is equally likely."""
+
+    def __init__(self, num_keys: int):
+        if num_keys < 1:
+            raise ValueError("num_keys must be positive")
+        self.num_keys = num_keys
+
+    def select(self, rng: random.Random) -> str:
+        return _key_name(rng.randrange(self.num_keys))
+
+    def keys(self) -> List[str]:
+        return [_key_name(i) for i in range(self.num_keys)]
+
+
+class ZipfianKeys(KeySelector):
+    """Zipf-distributed key popularity (rank ``r`` has weight ``1 / r**theta``).
+
+    ``theta ~ 0.99`` matches the skew used by YCSB-style benchmarks; higher
+    values concentrate more traffic on the hottest keys, which increases the
+    chance that concurrent accesses to the same register expose staleness.
+    """
+
+    def __init__(self, num_keys: int, theta: float = 0.99):
+        if num_keys < 1:
+            raise ValueError("num_keys must be positive")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.num_keys = num_keys
+        self.theta = theta
+        weights = [1.0 / ((i + 1) ** theta) for i in range(num_keys)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        self._cumulative = cumulative
+
+    def select(self, rng: random.Random) -> str:
+        u = rng.random()
+        rank = bisect.bisect_left(self._cumulative, u)
+        rank = min(rank, self.num_keys - 1)
+        return _key_name(rank)
+
+    def keys(self) -> List[str]:
+        return [_key_name(i) for i in range(self.num_keys)]
+
+
+class HotspotKeys(KeySelector):
+    """A fraction of "hot" keys receives a fraction of the traffic."""
+
+    def __init__(self, num_keys: int, hot_fraction: float = 0.1, hot_traffic: float = 0.9):
+        if num_keys < 1:
+            raise ValueError("num_keys must be positive")
+        if not 0.0 < hot_fraction <= 1.0 or not 0.0 <= hot_traffic <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1] and hot_traffic in [0, 1]")
+        self.num_keys = num_keys
+        self.num_hot = max(1, int(num_keys * hot_fraction))
+        self.hot_traffic = hot_traffic
+
+    def select(self, rng: random.Random) -> str:
+        if rng.random() < self.hot_traffic:
+            return _key_name(rng.randrange(self.num_hot))
+        if self.num_hot >= self.num_keys:
+            return _key_name(rng.randrange(self.num_keys))
+        return _key_name(rng.randrange(self.num_hot, self.num_keys))
+
+    def keys(self) -> List[str]:
+        return [_key_name(i) for i in range(self.num_keys)]
+
+
+class SingleKey(KeySelector):
+    """All traffic targets one register — the highest-contention workload."""
+
+    def __init__(self, key: str = "key-00000"):
+        self.key = key
+
+    def select(self, rng: random.Random) -> str:
+        return self.key
+
+    def keys(self) -> List[str]:
+        return [self.key]
+
+
+@dataclass
+class WorkloadSpec:
+    """A complete client workload description for the store simulator.
+
+    Attributes
+    ----------
+    num_clients:
+        Number of closed-loop clients issuing operations.
+    operations_per_client:
+        How many operations each client issues before stopping.
+    write_ratio:
+        Probability that an operation is a write.
+    key_selector:
+        The key-popularity distribution (defaults to a single hot key, the
+        most consistency-stressing choice).
+    mean_think_time_ms:
+        Mean of the exponential think time between a client's operations.
+    seed:
+        Workload-level seed; each client derives its own stream from it.
+    """
+
+    num_clients: int = 8
+    operations_per_client: int = 50
+    write_ratio: float = 0.5
+    key_selector: KeySelector = field(default_factory=SingleKey)
+    mean_think_time_ms: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_clients < 1:
+            raise ValueError("num_clients must be positive")
+        if self.operations_per_client < 1:
+            raise ValueError("operations_per_client must be positive")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ValueError("write_ratio must lie in [0, 1]")
+        if self.mean_think_time_ms < 0:
+            raise ValueError("mean_think_time_ms must be non-negative")
+
+    @property
+    def total_operations(self) -> int:
+        """Total number of operations the workload will issue."""
+        return self.num_clients * self.operations_per_client
+
+    def client_rng(self, client_id: int) -> random.Random:
+        """A deterministic per-client random stream."""
+        return random.Random(f"{self.seed}-client-{client_id}")

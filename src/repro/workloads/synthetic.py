@@ -1,0 +1,208 @@
+"""Synthetic single-register history generators.
+
+These generators produce the controlled inputs used by the tests and the
+benchmark harness:
+
+* :func:`serial_history` — non-overlapping operations, 1-atomic by
+  construction (the "perfect store" baseline);
+* :func:`exactly_k_atomic_history` — a serial history engineered so that its
+  minimal staleness bound is *exactly* ``k`` (useful for validating
+  ``minimal_k`` and the staleness spectrum analysis);
+* :func:`practical_history` — the "common case" the paper argues LBT handles
+  in quasilinear time: many clients, short operations, writes that are rarely
+  concurrent, occasional bounded staleness;
+* :func:`random_history` — unconstrained random intervals and read values,
+  which may or may not be k-atomic (the fuzzing input for cross-validation
+  tests).
+
+All generators take an explicit :class:`random.Random` instance so every
+experiment is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.history import History
+from ..core.operation import Operation, read, write
+
+__all__ = [
+    "serial_history",
+    "exactly_k_atomic_history",
+    "practical_history",
+    "random_history",
+]
+
+
+def serial_history(
+    num_writes: int,
+    reads_per_write: int = 1,
+    *,
+    op_duration: float = 1.0,
+    gap: float = 0.5,
+    key=None,
+) -> History:
+    """A fully serial history: every operation finishes before the next starts.
+
+    Reads always return the most recently completed write, so the history is
+    1-atomic (and its unique valid total order is the issue order).
+    """
+    ops: List[Operation] = []
+    t = 0.0
+    for i in range(num_writes):
+        ops.append(write(i, t, t + op_duration, key=key))
+        t += op_duration + gap
+        for _ in range(reads_per_write):
+            ops.append(read(i, t, t + op_duration, key=key))
+            t += op_duration + gap
+    return History(ops, key=key)
+
+
+def exactly_k_atomic_history(
+    k: int,
+    num_writes: int,
+    *,
+    reads_per_write: int = 1,
+    op_duration: float = 1.0,
+    gap: float = 0.5,
+    key=None,
+) -> History:
+    """A serial history whose minimal staleness bound is exactly ``k``.
+
+    After each write ``w_i`` with ``i >= k - 1``, the generator emits reads of
+    the value written ``k - 1`` writes earlier.  Because every operation is
+    serial, the valid total order is unique, so those reads are separated from
+    their dictating writes by exactly ``k - 1`` other writes: the history is
+    k-atomic but not (k-1)-atomic (for ``k >= 2``).
+
+    Raises ``ValueError`` when ``num_writes < k`` (the pattern cannot be
+    realised with fewer writes).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if num_writes < k:
+        raise ValueError(
+            f"need at least k={k} writes to build an exactly-{k}-atomic history"
+        )
+    ops: List[Operation] = []
+    t = 0.0
+    for i in range(num_writes):
+        ops.append(write(i, t, t + op_duration, key=key))
+        t += op_duration + gap
+        if i >= k - 1:
+            for _ in range(reads_per_write):
+                ops.append(read(i - (k - 1), t, t + op_duration, key=key))
+                t += op_duration + gap
+    return History(ops, key=key)
+
+
+def practical_history(
+    rng: random.Random,
+    num_operations: int,
+    *,
+    num_clients: int = 8,
+    write_ratio: float = 0.2,
+    mean_duration: float = 1.0,
+    mean_think_time: float = 4.0,
+    staleness_probability: float = 0.05,
+    max_staleness: int = 1,
+    key=None,
+) -> History:
+    """A realistic low-write-concurrency history.
+
+    ``num_clients`` closed-loop clients issue operations one at a time
+    (uniform think times), so at most ``num_clients`` operations are ever
+    concurrent and concurrent *writes* are rare — the regime in which the
+    paper expects LBT to run in quasilinear time.  Reads usually return the
+    latest completed write; with probability ``staleness_probability`` they
+    return a value up to ``max_staleness`` writes older, modelling a sloppy
+    quorum that missed recent updates.
+
+    The generated history is anomaly-free by construction (reads never return
+    values that have not been written, and never precede their dictating
+    write).
+    """
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError("write_ratio must lie in [0, 1]")
+
+    # Phase 1: lay out the operation skeleton (client, interval, read/write)
+    # with closed-loop clients.  The seed write guarantees early reads have a
+    # value to return.
+    skeleton: List[tuple] = [("write", 0, 0.0, 0.01)]  # (kind, client, start, finish)
+    client_free_at = [0.0] * max(1, num_clients)
+    client_free_at[0] = 0.01
+    while len(skeleton) < num_operations:
+        client = min(range(len(client_free_at)), key=lambda c: client_free_at[c])
+        start = client_free_at[client] + rng.uniform(0.0, mean_think_time)
+        duration = max(1e-4, rng.expovariate(1.0 / mean_duration))
+        finish = start + duration
+        kind = "write" if rng.random() < write_ratio else "read"
+        skeleton.append((kind, client, start, finish))
+        client_free_at[client] = finish
+
+    # Phase 2: assign values with global knowledge of the final timeline, so
+    # that "fresh" really means the latest write that finished before the read
+    # started and the injected staleness bound is honoured exactly.
+    skeleton.sort(key=lambda item: item[2])
+    ops: List[Operation] = []
+    finished_writes: List[Operation] = []  # sorted by finish time
+    next_value = 0
+    writes_in_flight: List[Operation] = []
+    for kind, client, start, finish in skeleton:
+        # Move writes whose interval has ended before `start` into the
+        # finished pool (kept sorted by finish time).
+        still_flying = []
+        for w in writes_in_flight:
+            if w.finish < start:
+                finished_writes.append(w)
+            else:
+                still_flying.append(w)
+        writes_in_flight = still_flying
+        finished_writes.sort(key=lambda w: w.finish)
+        if kind == "write":
+            op = write(next_value, start, finish, key=key, client=client)
+            next_value += 1
+            writes_in_flight.append(op)
+        else:
+            visible = finished_writes
+            if not visible:
+                # Only possible before the seed write finishes; fall back to
+                # the seed value (the read overlaps it, which is harmless).
+                target_value = 0
+            else:
+                if rng.random() < staleness_probability and len(visible) > 1:
+                    lag = rng.randint(1, min(max_staleness, len(visible) - 1))
+                else:
+                    lag = 0
+                target_value = visible[-1 - lag].value
+            op = read(target_value, start, finish, key=key, client=client)
+        ops.append(op)
+    return History(ops, key=key)
+
+
+def random_history(
+    rng: random.Random,
+    num_writes: int,
+    num_reads: int,
+    *,
+    span: float = 20.0,
+    max_duration: float = 3.0,
+    key=None,
+) -> History:
+    """A fully random history (may contain anomalies and arbitrary staleness).
+
+    Writes get uniform start times in ``[0, span)``; reads pick a uniformly
+    random written value and a uniform start time in ``[0, span + max_duration)``.
+    Used as fuzzing input: callers typically filter with
+    :func:`repro.core.preprocess.has_anomalies` or normalise first.
+    """
+    ops: List[Operation] = []
+    for i in range(num_writes):
+        start = rng.uniform(0.0, span)
+        ops.append(write(i, start, start + rng.uniform(1e-3, max_duration), key=key))
+    for _ in range(num_reads):
+        value = rng.randrange(max(1, num_writes))
+        start = rng.uniform(0.0, span + max_duration)
+        ops.append(read(value, start, start + rng.uniform(1e-3, max_duration), key=key))
+    return History(ops, key=key)

@@ -1,0 +1,78 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.history import History
+from repro.core.operation import read, write
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random stream for tests that need randomness."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def stale_by_one_history():
+    """w(a), w(b), then a read of 'a': 2-atomic but not 1-atomic."""
+    return History(
+        [
+            write("a", 0.0, 1.0),
+            write("b", 2.0, 3.0),
+            read("a", 4.0, 5.0),
+        ]
+    )
+
+
+@pytest.fixture
+def stale_by_two_history():
+    """w(a), w(b), w(c), then a read of 'a': needs k = 3."""
+    return History(
+        [
+            write("a", 0.0, 1.0),
+            write("b", 2.0, 3.0),
+            write("c", 4.0, 5.0),
+            read("a", 6.0, 7.0),
+        ]
+    )
+
+
+@pytest.fixture
+def atomic_history():
+    """A serial, perfectly fresh history: 1-atomic."""
+    return History(
+        [
+            write("a", 0.0, 1.0),
+            read("a", 2.0, 3.0),
+            write("b", 4.0, 5.0),
+            read("b", 6.0, 7.0),
+        ]
+    )
+
+
+@pytest.fixture
+def concurrent_overlap_history():
+    """A write concurrent with its read: trivially 1-atomic."""
+    return History(
+        [
+            write("a", 0.0, 4.0),
+            read("a", 1.0, 5.0),
+        ]
+    )
+
+
+def make_random_history(rng, num_writes, num_reads, span=10.0, max_duration=2.0):
+    """Build a random single-register history (may contain anomalies)."""
+    ops = []
+    for i in range(num_writes):
+        start = rng.uniform(0.0, span)
+        ops.append(write(i, start, start + rng.uniform(0.01, max_duration)))
+    for _ in range(num_reads):
+        value = rng.randrange(max(1, num_writes))
+        start = rng.uniform(0.0, span + max_duration)
+        ops.append(read(value, start, start + rng.uniform(0.01, max_duration)))
+    return History(ops)

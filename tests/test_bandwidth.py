@@ -1,0 +1,115 @@
+"""Unit tests for the graph-bandwidth tools (Section VI related work, E10)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.api import minimal_k
+from repro.core.history import History
+from repro.core.operation import read, write
+from repro.graphtools.bandwidth import (
+    bandwidth_at_most,
+    bandwidth_lower_bound,
+    cluster_graph,
+    exact_bandwidth,
+    interval_graph,
+)
+from repro.workloads.synthetic import exactly_k_atomic_history, serial_history
+
+
+class TestGraphConstruction:
+    def test_cluster_graph_edges_join_writes_to_their_reads(self):
+        h = History([write("a", 0.0, 1.0), read("a", 2.0, 3.0), read("a", 4.0, 5.0)])
+        g = cluster_graph(h)
+        assert g.number_of_nodes() == 3
+        assert g.number_of_edges() == 2
+        w = h.writes[0]
+        assert all(w.op_id in edge for edge in g.edges())
+
+    def test_cluster_graph_has_node_attributes(self):
+        h = History([write("a", 0.0, 1.0), read("a", 2.0, 3.0)])
+        g = cluster_graph(h)
+        kinds = nx.get_node_attributes(g, "kind")
+        assert set(kinds.values()) == {"write", "read"}
+
+    def test_interval_graph_edges_are_overlaps(self):
+        h = History(
+            [
+                write("a", 0.0, 5.0),
+                read("a", 3.0, 8.0),   # overlaps the write
+                read("a", 10.0, 12.0),  # disjoint from both
+            ]
+        )
+        g = interval_graph(h)
+        assert g.number_of_edges() == 1
+
+
+class TestBandwidth:
+    def test_path_graph_bandwidth_one(self):
+        g = nx.path_graph(6)
+        assert exact_bandwidth(g) == 1
+        assert bandwidth_at_most(g, 1) is not None
+
+    def test_star_graph_bandwidth(self):
+        # K_{1,4}: the centre has 4 neighbours, bandwidth = ceil(4/2) = 2.
+        g = nx.star_graph(4)
+        assert exact_bandwidth(g) == 2
+        assert bandwidth_at_most(g, 1) is None
+
+    def test_complete_graph_bandwidth(self):
+        g = nx.complete_graph(4)
+        assert exact_bandwidth(g) == 3
+
+    def test_empty_and_single_node_graphs(self):
+        assert exact_bandwidth(nx.empty_graph(0)) == 0
+        assert exact_bandwidth(nx.empty_graph(1)) == 0
+
+    def test_disconnected_graph(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (2, 3)])
+        assert exact_bandwidth(g) == 1
+
+    def test_layout_witness_respects_bound(self):
+        g = nx.cycle_graph(5)
+        k = exact_bandwidth(g)
+        layout = bandwidth_at_most(g, k)
+        position = {v: i for i, v in enumerate(layout)}
+        assert all(abs(position[u] - position[v]) <= k for u, v in g.edges())
+
+    def test_lower_bound_never_exceeds_exact(self):
+        for g in (nx.path_graph(5), nx.star_graph(5), nx.cycle_graph(6), nx.complete_graph(4)):
+            assert bandwidth_lower_bound(g) <= exact_bandwidth(g)
+
+
+class TestRelationToKAtomicity:
+    """Section VI: the GBW insight does not transfer to k-AV.
+
+    We exhibit both directions of the mismatch: histories whose cluster-graph
+    bandwidth is small while the minimal k is large, and vice versa, so
+    neither quantity determines the other.
+    """
+
+    def test_small_bandwidth_but_large_k(self):
+        # Each write has exactly one read, so the cluster graph is a perfect
+        # matching (bandwidth 1), yet reads are three writes stale.
+        h = exactly_k_atomic_history(4, 6)
+        g = cluster_graph(h)
+        assert exact_bandwidth(g) <= 2
+        assert minimal_k(h) == 4
+
+    def test_large_degree_but_atomic(self):
+        # One write with many fresh reads: the cluster graph is a star with
+        # bandwidth > 1, yet the history is perfectly atomic.
+        ops = [write("a", 0.0, 1.0)]
+        t = 2.0
+        for _ in range(6):
+            ops.append(read("a", t, t + 0.5))
+            t += 1.0
+        h = History(ops)
+        assert minimal_k(h) == 1
+        assert exact_bandwidth(cluster_graph(h)) >= 2
+
+    def test_serial_history_graphs_are_consistent(self):
+        h = serial_history(4, 1)
+        g = cluster_graph(h)
+        assert g.number_of_edges() == 4
+        assert exact_bandwidth(g) >= 1

@@ -1,0 +1,148 @@
+"""Unit tests for the bin-packing model, exact solver, and heuristics."""
+
+import random
+
+import pytest
+
+from repro.binpacking.model import BinPackingAssignment, BinPackingInstance, random_instance
+from repro.binpacking.solver import (
+    best_fit_decreasing,
+    first_fit,
+    first_fit_decreasing,
+    is_feasible,
+    minimum_bins,
+    solve_exact,
+)
+from repro.core.errors import ReductionError
+
+
+class TestModel:
+    def test_basic_properties(self):
+        inst = BinPackingInstance(sizes=(3, 2, 2), capacity=4, num_bins=2)
+        assert inst.num_items == 3
+        assert inst.total_size == 7
+        assert not inst.trivially_infeasible()
+
+    def test_item_larger_than_capacity_is_trivially_infeasible(self):
+        inst = BinPackingInstance(sizes=(5,), capacity=4, num_bins=3)
+        assert inst.trivially_infeasible()
+
+    def test_total_size_exceeding_capacity_is_trivially_infeasible(self):
+        inst = BinPackingInstance(sizes=(4, 4, 4), capacity=4, num_bins=2)
+        assert inst.trivially_infeasible()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ReductionError):
+            BinPackingInstance(sizes=(1,), capacity=0, num_bins=1)
+        with pytest.raises(ReductionError):
+            BinPackingInstance(sizes=(1,), capacity=2, num_bins=0)
+        with pytest.raises(ReductionError):
+            BinPackingInstance(sizes=(0,), capacity=2, num_bins=1)
+
+    def test_lower_bound_bins(self):
+        inst = BinPackingInstance(sizes=(3, 3, 3), capacity=4, num_bins=5)
+        assert inst.lower_bound_bins() == 3  # ceil(9/4)
+
+    def test_assignment_validation(self):
+        inst = BinPackingInstance(sizes=(3, 2, 2), capacity=4, num_bins=2)
+        good = BinPackingAssignment(inst, ((0,), (1, 2)))
+        assert good.is_valid()
+        over_capacity = BinPackingAssignment(inst, ((0, 1), (2,)))
+        assert not over_capacity.is_valid()
+        missing_item = BinPackingAssignment(inst, ((0,), (1,)))
+        assert not missing_item.is_valid()
+
+    def test_assignment_loads(self):
+        inst = BinPackingInstance(sizes=(3, 2, 2), capacity=4, num_bins=2)
+        assert BinPackingAssignment(inst, ((0,), (1, 2))).loads() == [3, 4]
+
+    def test_random_instance_shape(self):
+        inst = random_instance(random.Random(1), num_items=6, capacity=5, num_bins=3)
+        assert inst.num_items == 6
+        assert all(1 <= s <= 5 for s in inst.sizes)
+
+
+class TestExactSolver:
+    def test_feasible_instance_solved(self):
+        inst = BinPackingInstance(sizes=(3, 2, 2, 1), capacity=4, num_bins=2)
+        packing = solve_exact(inst)
+        assert packing is not None
+        assert packing.is_valid()
+
+    def test_infeasible_instance_rejected(self):
+        inst = BinPackingInstance(sizes=(3, 3, 3), capacity=4, num_bins=2)
+        assert solve_exact(inst) is None
+        assert not is_feasible(inst)
+
+    def test_empty_instance_feasible(self):
+        inst = BinPackingInstance(sizes=(), capacity=4, num_bins=2)
+        packing = solve_exact(inst)
+        assert packing is not None and packing.is_valid()
+
+    def test_exact_matches_partition_structure(self):
+        # Classic PARTITION-style instance: {4,3,3,2,2,2} into 2 bins of 8.
+        inst = BinPackingInstance(sizes=(4, 3, 3, 2, 2, 2), capacity=8, num_bins=2)
+        packing = solve_exact(inst)
+        assert packing is not None
+        assert sorted(packing.loads()) == [8, 8]
+
+    def test_tight_infeasible_partition(self):
+        # Same items but capacity 7: total 16 > 14, infeasible.
+        inst = BinPackingInstance(sizes=(4, 3, 3, 2, 2, 2), capacity=7, num_bins=2)
+        assert not is_feasible(inst)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_never_contradicts_heuristic_success(self, seed):
+        rng = random.Random(seed)
+        for _ in range(10):
+            inst = random_instance(
+                rng, num_items=rng.randint(1, 7), capacity=rng.randint(2, 6),
+                num_bins=rng.randint(1, 3),
+            )
+            ffd = first_fit_decreasing(inst)
+            if ffd is not None:
+                # If a heuristic found a packing, the instance is feasible.
+                assert is_feasible(inst)
+                assert ffd.is_valid()
+
+
+class TestHeuristics:
+    def test_first_fit_respects_capacity(self):
+        inst = BinPackingInstance(sizes=(2, 2, 2, 2), capacity=4, num_bins=2)
+        packing = first_fit(inst)
+        assert packing is not None and packing.is_valid()
+
+    def test_ffd_solves_classic_case_first_fit_misses(self):
+        # FFD places the large items first and succeeds where FF can fail.
+        inst = BinPackingInstance(sizes=(1, 4, 1, 4, 2, 2), capacity=7, num_bins=2)
+        assert first_fit_decreasing(inst) is not None
+
+    def test_best_fit_decreasing_valid(self):
+        inst = BinPackingInstance(sizes=(5, 4, 3, 2, 1), capacity=8, num_bins=2)
+        packing = best_fit_decreasing(inst)
+        assert packing is not None and packing.is_valid()
+
+    def test_heuristics_return_none_when_they_fail(self):
+        inst = BinPackingInstance(sizes=(3, 3, 3), capacity=4, num_bins=2)
+        assert first_fit(inst) is None
+        assert first_fit_decreasing(inst) is None
+
+
+class TestMinimumBins:
+    def test_known_minimum(self):
+        assert minimum_bins([4, 3, 3, 2, 2, 2], capacity=8) == 2
+        assert minimum_bins([4, 4, 4], capacity=4) == 3
+
+    def test_empty_items(self):
+        assert minimum_bins([], capacity=5) == 0
+
+    def test_oversized_item_raises(self):
+        with pytest.raises(ValueError):
+            minimum_bins([6], capacity=5)
+
+    def test_minimum_bins_is_tight(self):
+        sizes = [3, 3, 2, 2, 2]
+        m = minimum_bins(sizes, capacity=6)
+        assert is_feasible(BinPackingInstance(tuple(sizes), 6, m))
+        if m > 1:
+            assert not is_feasible(BinPackingInstance(tuple(sizes), 6, m - 1))

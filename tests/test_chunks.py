@@ -1,0 +1,124 @@
+"""Unit tests for the chunk decomposition (FZF Stage 1)."""
+
+import pytest
+
+from repro.core.chunks import compute_chunk_set
+from repro.core.history import History
+from repro.core.operation import read, write
+
+
+def forward_cluster_ops(value, low, high):
+    """A write+read pair whose zone is the forward interval [low, high]."""
+    return [write(value, low - 0.9, low, key=None), read(value, high, high + 0.37)]
+
+
+def backward_cluster_ops(value, low, high):
+    """A lone write spanning [low, high]: its zone is backward on [low, high]."""
+    return [write(value, low, high)]
+
+
+class TestBasicDecomposition:
+    def test_single_forward_cluster_is_one_chunk(self):
+        h = History(forward_cluster_ops("a", 1.0, 5.0))
+        cs = compute_chunk_set(h)
+        assert cs.num_chunks == 1
+        assert cs.num_dangling == 0
+        assert cs.chunks[0].num_forward == 1
+
+    def test_single_backward_cluster_is_dangling(self):
+        h = History(backward_cluster_ops("a", 1.0, 5.0))
+        cs = compute_chunk_set(h)
+        assert cs.num_chunks == 0
+        assert cs.num_dangling == 1
+
+    def test_overlapping_forward_zones_merge_into_one_chunk(self):
+        ops = forward_cluster_ops("a", 1.0, 5.0) + forward_cluster_ops("b", 4.0, 9.0)
+        cs = compute_chunk_set(History(ops))
+        assert cs.num_chunks == 1
+        assert cs.chunks[0].num_forward == 2
+
+    def test_disjoint_forward_zones_make_separate_chunks(self):
+        ops = forward_cluster_ops("a", 1.0, 5.0) + forward_cluster_ops("b", 7.0, 11.0)
+        cs = compute_chunk_set(History(ops))
+        assert cs.num_chunks == 2
+
+    def test_backward_inside_forward_interval_joins_chunk(self):
+        ops = forward_cluster_ops("a", 1.0, 10.0) + backward_cluster_ops("b", 3.0, 6.0)
+        cs = compute_chunk_set(History(ops))
+        assert cs.num_chunks == 1
+        assert cs.chunks[0].num_backward == 1
+        assert cs.num_dangling == 0
+
+    def test_backward_outside_forward_interval_dangles(self):
+        ops = forward_cluster_ops("a", 1.0, 5.0) + backward_cluster_ops("b", 20.0, 25.0)
+        cs = compute_chunk_set(History(ops))
+        assert cs.num_chunks == 1
+        assert cs.num_dangling == 1
+
+    def test_backward_straddling_chunk_boundary_dangles(self):
+        # Backward zone overlaps the chunk interval but is not contained in it.
+        ops = forward_cluster_ops("a", 1.0, 5.0) + backward_cluster_ops("b", 4.0, 9.0)
+        cs = compute_chunk_set(History(ops))
+        assert cs.num_chunks == 1
+        assert cs.num_dangling == 1
+
+    def test_empty_history(self):
+        cs = compute_chunk_set(History([]))
+        assert cs.num_chunks == 0 and cs.num_dangling == 0
+
+    def test_chunk_interval_and_endpoints(self):
+        ops = forward_cluster_ops("a", 1.0, 5.0) + forward_cluster_ops("b", 4.0, 9.0)
+        cs = compute_chunk_set(History(ops))
+        chunk = cs.chunks[0]
+        assert chunk.interval == (1.0, 9.0)
+        assert chunk.low == 1.0 and chunk.high == 9.0
+
+    def test_chunks_sorted_by_interval(self):
+        ops = (
+            forward_cluster_ops("late", 20.0, 24.0)
+            + forward_cluster_ops("early", 1.0, 5.0)
+        )
+        cs = compute_chunk_set(History(ops))
+        assert cs.chunks[0].interval[0] < cs.chunks[1].interval[0]
+
+    def test_chunk_operations_and_projection(self):
+        ops = forward_cluster_ops("a", 1.0, 5.0) + backward_cluster_ops("b", 2.0, 4.0)
+        h = History(ops)
+        cs = compute_chunk_set(h)
+        chunk = cs.chunks[0]
+        assert len(chunk.operations()) == 3
+        assert len(chunk.projection(h)) == 3
+
+    def test_forward_clusters_sorted_by_low_endpoint_within_chunk(self):
+        ops = (
+            forward_cluster_ops("b", 4.0, 9.0)
+            + forward_cluster_ops("a", 1.0, 5.0)
+            + forward_cluster_ops("c", 8.0, 12.0)
+        )
+        cs = compute_chunk_set(History(ops))
+        chunk = cs.chunks[0]
+        lows = [cl.zone.low for cl in chunk.forward_clusters]
+        assert lows == sorted(lows)
+
+    def test_every_forward_cluster_belongs_to_some_chunk(self):
+        ops = []
+        bounds = [(1.0, 4.0), (3.0, 8.0), (10.0, 12.0), (20.0, 30.0), (25.0, 40.0)]
+        for i, (lo, hi) in enumerate(bounds):
+            ops += forward_cluster_ops(f"f{i}", lo, hi)
+        cs = compute_chunk_set(History(ops))
+        total_forward = sum(chunk.num_forward for chunk in cs.chunks)
+        assert total_forward == len(bounds)
+
+    def test_dangling_clusters_are_all_backward(self):
+        ops = (
+            forward_cluster_ops("a", 1.0, 5.0)
+            + backward_cluster_ops("b", 7.0, 9.0)
+            + backward_cluster_ops("c", 30.0, 31.0)
+        )
+        cs = compute_chunk_set(History(ops))
+        assert all(cl.is_backward for cl in cs.dangling)
+
+    def test_largest_chunk_size(self):
+        ops = forward_cluster_ops("a", 1.0, 5.0) + forward_cluster_ops("b", 4.0, 9.0)
+        cs = compute_chunk_set(History(ops))
+        assert cs.largest_chunk_size() == 4

@@ -1,0 +1,125 @@
+"""Experiment E4: reproduce the chunk decomposition of Figure 3.
+
+Figure 3 of the paper shows a zone structure with eight forward zones
+(FZ1..FZ8) and seven backward zones (BZ1..BZ7) whose chunk set consists of
+three maximal chunks —
+
+* {FZ1, BZ1},
+* {FZ2, FZ3, FZ4, BZ3, BZ4},
+* {FZ5, FZ6, FZ7, FZ8, BZ6},
+
+— plus three dangling clusters (BZ2, BZ5, BZ7).  This test constructs a
+history realising exactly that zone geometry and checks that Stage 1 of FZF
+reproduces the decomposition described in the figure's caption.
+"""
+
+import pytest
+
+from repro.algorithms.fzf import verify_2atomic_fzf
+from repro.core.chunks import compute_chunk_set
+from repro.core.history import History
+from repro.core.operation import read, write
+from repro.core.zones import build_clusters
+
+# Forward zone [low, high]: a write finishing at `low` plus a read starting at
+# `high`.  Backward zone [low, high]: a lone write spanning the interval.
+FORWARD_ZONES = {
+    "FZ1": (0.0, 10.0),
+    "FZ2": (14.0, 20.0),
+    "FZ3": (18.0, 26.0),
+    "FZ4": (24.0, 30.0),
+    "FZ5": (34.0, 44.0),
+    "FZ6": (36.0, 40.0),
+    "FZ7": (42.0, 48.0),
+    "FZ8": (46.0, 52.0),
+}
+BACKWARD_ZONES = {
+    "BZ1": (2.1, 5.2),
+    "BZ2": (11.1, 13.2),
+    "BZ3": (15.1, 17.2),
+    "BZ4": (25.1, 28.2),
+    "BZ5": (31.1, 33.2),
+    "BZ6": (37.1, 39.2),
+    "BZ7": (53.1, 55.2),
+}
+EXPECTED_CHUNKS = [
+    {"FZ1", "BZ1"},
+    {"FZ2", "FZ3", "FZ4", "BZ3", "BZ4"},
+    {"FZ5", "FZ6", "FZ7", "FZ8", "BZ6"},
+]
+EXPECTED_DANGLING = {"BZ2", "BZ5", "BZ7"}
+
+
+def figure3_history():
+    ops = []
+    for name, (low, high) in FORWARD_ZONES.items():
+        ops.append(write(name, low - 0.9, low))
+        ops.append(read(name, high, high + 0.37))
+    for name, (low, high) in BACKWARD_ZONES.items():
+        ops.append(write(name, low, high))
+    return History(ops)
+
+
+@pytest.fixture(scope="module")
+def chunk_set():
+    return compute_chunk_set(figure3_history())
+
+
+class TestFigure3Zones:
+    def test_zone_kinds_match_construction(self):
+        clusters = {cl.value: cl for cl in build_clusters(figure3_history())}
+        for name in FORWARD_ZONES:
+            assert clusters[name].is_forward, name
+        for name in BACKWARD_ZONES:
+            assert clusters[name].is_backward, name
+
+    def test_zone_endpoints_match_construction(self):
+        clusters = {cl.value: cl for cl in build_clusters(figure3_history())}
+        for name, (low, high) in {**FORWARD_ZONES, **BACKWARD_ZONES}.items():
+            assert clusters[name].zone.low == pytest.approx(low)
+            assert clusters[name].zone.high == pytest.approx(high)
+
+
+class TestFigure3ChunkSet:
+    def test_three_maximal_chunks(self, chunk_set):
+        assert chunk_set.num_chunks == 3
+
+    def test_three_dangling_clusters(self, chunk_set):
+        assert chunk_set.num_dangling == 3
+
+    def test_chunk_memberships_match_figure(self, chunk_set):
+        actual = [
+            {cl.value for cl in chunk.clusters} for chunk in chunk_set.chunks
+        ]
+        assert actual == EXPECTED_CHUNKS
+
+    def test_dangling_memberships_match_figure(self, chunk_set):
+        assert {cl.value for cl in chunk_set.dangling} == EXPECTED_DANGLING
+
+    def test_dangling_clusters_are_backward(self, chunk_set):
+        assert all(cl.is_backward for cl in chunk_set.dangling)
+
+    def test_chunk_intervals_are_disjoint_and_ordered(self, chunk_set):
+        intervals = [chunk.interval for chunk in chunk_set.chunks]
+        for (  _, hi), (lo2, _) in zip(intervals, intervals[1:]):
+            assert hi < lo2
+
+    def test_backward_counts_per_chunk(self, chunk_set):
+        assert [chunk.num_backward for chunk in chunk_set.chunks] == [1, 2, 1]
+
+    def test_forward_counts_per_chunk(self, chunk_set):
+        assert [chunk.num_forward for chunk in chunk_set.chunks] == [1, 3, 4]
+
+
+class TestFigure3EndToEnd:
+    def test_fzf_runs_and_cross_checks_with_witness(self):
+        h = figure3_history()
+        result = verify_2atomic_fzf(h)
+        # Whatever the verdict, a YES must come with a checkable witness.
+        if result:
+            assert result.check_witness(h)
+
+    def test_fzf_tests_at_most_four_orders_per_chunk(self):
+        h = figure3_history()
+        result = verify_2atomic_fzf(h)
+        assert result.stats["orders_tested"] <= 4 * result.stats["chunks"]

@@ -1,0 +1,110 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.history import MultiHistory
+from repro.io.formats import dump_csv, dump_jsonl
+from repro.workloads.synthetic import exactly_k_atomic_history, serial_history
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    ops = []
+    ops.extend(serial_history(4, 1, key="fresh").operations)
+    ops.extend(exactly_k_atomic_history(2, 4, key="lagging").operations)
+    path = tmp_path / "trace.jsonl"
+    dump_jsonl(MultiHistory(ops), path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify", "t.jsonl"])
+        assert args.k == 2 and args.algorithm == "auto"
+
+    def test_simulate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+
+
+class TestVerifyCommand:
+    def test_verify_k2_passes_both_registers(self, trace_path):
+        out = io.StringIO()
+        status = main(["verify", str(trace_path), "--k", "2"], out=out)
+        assert status == 0
+        text = out.getvalue()
+        assert "2/2 registers are 2-atomic" in text
+
+    def test_verify_k1_reports_failure(self, trace_path):
+        out = io.StringIO()
+        status = main(["verify", str(trace_path), "--k", "1"], out=out)
+        assert status == 0  # non-strict mode always exits 0
+        assert "1/2 registers are 1-atomic" in out.getvalue()
+
+    def test_strict_mode_exit_status(self, trace_path):
+        assert main(["verify", str(trace_path), "--k", "1", "--strict"], out=io.StringIO()) == 1
+        assert main(["verify", str(trace_path), "--k", "2", "--strict"], out=io.StringIO()) == 0
+
+    def test_explicit_algorithm(self, trace_path):
+        out = io.StringIO()
+        main(["verify", str(trace_path), "--k", "2", "--algorithm", "lbt"], out=out)
+        assert "LBT" in out.getvalue()
+
+    def test_csv_traces_supported(self, tmp_path):
+        ops = serial_history(3, 1, key="only").operations
+        path = tmp_path / "trace.csv"
+        dump_csv(MultiHistory(ops), path)
+        out = io.StringIO()
+        assert main(["verify", str(path), "--k", "1"], out=out) == 0
+        assert "1/1 registers" in out.getvalue()
+
+
+class TestAuditCommand:
+    def test_audit_renders_report(self, trace_path):
+        out = io.StringIO()
+        status = main(["audit", str(trace_path)], out=out)
+        assert status == 0
+        text = out.getvalue()
+        assert "staleness spectrum" in text
+        assert "fresh" in text and "lagging" in text
+
+
+class TestSimulateCommand:
+    def test_simulate_writes_trace_and_verifies(self, tmp_path):
+        out_path = tmp_path / "sim.jsonl"
+        out = io.StringIO()
+        status = main(
+            [
+                "simulate",
+                "--out",
+                str(out_path),
+                "--replicas",
+                "3",
+                "--read-quorum",
+                "2",
+                "--write-quorum",
+                "2",
+                "--clients",
+                "4",
+                "--ops-per-client",
+                "10",
+                "--keys",
+                "2",
+                "--seed",
+                "5",
+            ],
+            out=out,
+        )
+        assert status == 0
+        assert out_path.exists()
+        assert "wrote" in out.getvalue()
+        # The recorded trace is immediately verifiable by the verify command.
+        verify_out = io.StringIO()
+        assert main(["verify", str(out_path), "--k", "2"], out=verify_out) == 0

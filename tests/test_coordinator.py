@@ -1,0 +1,146 @@
+"""Unit tests for the quorum coordinator protocol."""
+
+import random
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulation.coordinator import Coordinator, QuorumConfig
+from repro.simulation.events import EventLoop
+from repro.simulation.network import FixedLatency, Network
+from repro.simulation.replica import Replica
+
+
+def build_cluster(num_replicas=3, *, latency=None, drop=0.0, config=None, seed=0):
+    loop = EventLoop()
+    network = Network(
+        loop,
+        latency if latency is not None else FixedLatency(1.0),
+        random.Random(seed),
+        drop_probability=drop,
+    )
+    replicas = [Replica(f"replica-{i}", loop) for i in range(num_replicas)]
+    config = config if config is not None else QuorumConfig(num_replicas=num_replicas)
+    coordinator = Coordinator("client-0", loop, network, replicas, config)
+    return loop, network, replicas, coordinator
+
+
+class TestQuorumConfig:
+    def test_strictness(self):
+        assert QuorumConfig(num_replicas=3, read_quorum=2, write_quorum=2).is_strict
+        assert not QuorumConfig(num_replicas=5, read_quorum=1, write_quorum=2).is_strict
+
+    def test_describe_mentions_kind(self):
+        assert "sloppy" in QuorumConfig(5, 1, 2).describe()
+        assert "strict" in QuorumConfig(3, 2, 2).describe()
+
+    def test_invalid_quorums_rejected(self):
+        with pytest.raises(SimulationError):
+            QuorumConfig(num_replicas=3, read_quorum=0, write_quorum=1)
+        with pytest.raises(SimulationError):
+            QuorumConfig(num_replicas=3, read_quorum=1, write_quorum=4)
+        with pytest.raises(SimulationError):
+            QuorumConfig(num_replicas=0)
+
+
+class TestWrites:
+    def test_write_completes_after_w_acks(self):
+        config = QuorumConfig(num_replicas=3, read_quorum=1, write_quorum=2)
+        loop, _, replicas, coordinator = build_cluster(3, config=config)
+        outcomes = []
+        coordinator.write("k", "v1", outcomes.append)
+        loop.run()
+        assert outcomes == [True]
+        # All replicas eventually receive the write even though only W acks
+        # were needed for completion.
+        assert all(r.store["k"].value == "v1" for r in replicas)
+
+    def test_write_times_out_when_quorum_unreachable(self):
+        config = QuorumConfig(num_replicas=3, read_quorum=1, write_quorum=3,
+                              request_timeout_ms=20.0)
+        loop, _, replicas, coordinator = build_cluster(3, config=config)
+        replicas[0].crash()
+        outcomes = []
+        coordinator.write("k", "v1", outcomes.append)
+        loop.run()
+        assert outcomes == [False]
+        assert coordinator.stats.writes_timed_out == 1
+
+    def test_versions_are_monotonic_per_coordinator(self):
+        loop, _, _, coordinator = build_cluster(3)
+        v1 = coordinator.next_version()
+        v2 = coordinator.next_version()
+        assert v2 > v1
+
+
+class TestReads:
+    def test_read_returns_freshest_of_r_replies(self):
+        config = QuorumConfig(num_replicas=3, read_quorum=3, write_quorum=1)
+        loop, _, replicas, coordinator = build_cluster(3, config=config)
+        replicas[0].install("k", "old", (1, "x", 0))
+        replicas[1].install("k", "old", (1, "x", 0))
+        replicas[2].install("k", "new", (2, "x", 1))
+        results = []
+        coordinator.read("k", lambda value, version: results.append(value))
+        loop.run()
+        assert results == ["new"]
+
+    def test_sloppy_read_can_miss_the_latest_value(self):
+        # R=1 with per-replica visibility skew: the fastest reply wins, and it
+        # may come from a replica that has not seen the newest write.
+        config = QuorumConfig(num_replicas=3, read_quorum=1, write_quorum=1)
+        loop, _, replicas, coordinator = build_cluster(3, config=config)
+        for r in replicas:
+            r.install("k", "old", (1, "x", 0))
+        replicas[2].install("k", "new", (2, "x", 1))
+        results = []
+        coordinator.read("k", lambda value, version: results.append(value))
+        loop.run()
+        # With fixed symmetric latency the first reply is replica-0's, which
+        # still holds the old value.
+        assert results == ["old"]
+
+    def test_read_of_unknown_key_times_out_to_none(self):
+        config = QuorumConfig(num_replicas=2, read_quorum=2, write_quorum=1,
+                              request_timeout_ms=10.0)
+        loop, _, replicas, coordinator = build_cluster(2, config=config)
+        results = []
+        coordinator.read("missing", lambda value, version: results.append((value, version)))
+        loop.run()
+        assert results == [(None, None)]
+
+    def test_read_repair_pushes_fresh_value_to_stale_replicas(self):
+        config = QuorumConfig(num_replicas=3, read_quorum=3, write_quorum=1, read_repair=True)
+        loop, _, replicas, coordinator = build_cluster(3, config=config)
+        replicas[0].install("k", "old", (1, "x", 0))
+        replicas[1].install("k", "old", (1, "x", 0))
+        replicas[2].install("k", "new", (2, "x", 1))
+        coordinator.read("k", lambda value, version: None)
+        loop.run()
+        assert all(r.store["k"].value == "new" for r in replicas)
+        assert coordinator.stats.read_repairs_sent >= 2
+
+    def test_no_read_repair_by_default(self):
+        config = QuorumConfig(num_replicas=3, read_quorum=3, write_quorum=1)
+        loop, _, replicas, coordinator = build_cluster(3, config=config)
+        replicas[0].install("k", "old", (1, "x", 0))
+        replicas[1].install("k", "old", (1, "x", 0))
+        replicas[2].install("k", "new", (2, "x", 1))
+        coordinator.read("k", lambda value, version: None)
+        loop.run()
+        assert replicas[0].store["k"].value == "old"
+        assert coordinator.stats.read_repairs_sent == 0
+
+
+class TestStats:
+    def test_counters_track_operations(self):
+        config = QuorumConfig(num_replicas=3, read_quorum=2, write_quorum=2)
+        loop, _, _, coordinator = build_cluster(3, config=config)
+        coordinator.write("k", "v", lambda ok: None)
+        loop.run()
+        coordinator.read("k", lambda value, version: None)
+        loop.run()
+        assert coordinator.stats.writes_started == 1
+        assert coordinator.stats.writes_completed == 1
+        assert coordinator.stats.reads_started == 1
+        assert coordinator.stats.reads_completed == 1

@@ -1,0 +1,147 @@
+"""Experiments E2 / E5: cross-validate GK, LBT and FZF against the exact oracle.
+
+These are the headline correctness experiments: Theorem 3.1 (LBT) and
+Theorem 4.5 (FZF) claim exact agreement with the definition of 2-atomicity,
+and the Gibbons–Korach conditions with 1-atomicity.  We validate the claims
+empirically on
+
+* an exhaustive family of tiny histories (every read-value assignment over a
+  fixed interval skeleton), and
+* a randomised family of larger histories,
+
+always comparing against the exponential oracle, which implements the
+definition directly.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.algorithms.exact import verify_k_atomic_exact
+from repro.algorithms.fzf import verify_2atomic_fzf
+from repro.algorithms.gk import verify_1atomic
+from repro.algorithms.lbt import verify_2atomic, verify_2atomic_reference
+from repro.core.history import History
+from repro.core.operation import read, write
+from repro.core.preprocess import has_anomalies, normalize
+from tests.conftest import make_random_history
+
+
+def all_verifiers_agree(history):
+    """Assert GK/LBT/FZF verdicts equal the oracle's on a normalised history."""
+    expected_1 = bool(verify_k_atomic_exact(history, 1))
+    expected_2 = bool(verify_k_atomic_exact(history, 2))
+    assert bool(verify_1atomic(history)) == expected_1
+    lbt = verify_2atomic(history)
+    lbt_ref = verify_2atomic_reference(history)
+    fzf = verify_2atomic_fzf(history)
+    assert bool(lbt) == expected_2
+    assert bool(lbt_ref) == expected_2
+    assert bool(fzf) == expected_2
+    for result in (lbt, lbt_ref, fzf):
+        if result:
+            assert result.check_witness(history)
+    return expected_1, expected_2
+
+
+class TestExhaustiveTinyHistories:
+    def test_all_read_assignments_over_serial_skeleton(self):
+        """Three serial writes + two reads taking every possible value pair."""
+        combos = 0
+        for v1, v2 in itertools.product(range(3), repeat=2):
+            ops = [
+                write(0, 0.0, 1.0),
+                write(1, 2.0, 3.0),
+                write(2, 4.0, 5.0),
+                read(v1, 6.0, 7.0),
+                read(v2, 8.0, 9.0),
+            ]
+            h = normalize(History(ops))
+            all_verifiers_agree(h)
+            combos += 1
+        assert combos == 9
+
+    def test_all_read_assignments_over_concurrent_skeleton(self):
+        """Two overlapping writes + an overlapping and a trailing read."""
+        for v1, v2 in itertools.product(range(2), repeat=2):
+            ops = [
+                write(0, 0.0, 6.0),
+                write(1, 1.0, 7.0),
+                read(v1, 5.0, 9.0),
+                read(v2, 10.0, 11.0),
+            ]
+            h = History(ops)
+            if has_anomalies(h):
+                continue
+            all_verifiers_agree(normalize(h))
+
+    def test_all_interval_orderings_of_three_operations(self):
+        """Permute the intervals of one write and two reads of it."""
+        slots = [(0.0, 2.0), (3.0, 5.0), (6.0, 8.0)]
+        for assignment in itertools.permutations(range(3)):
+            w_slot, r1_slot, r2_slot = (slots[i] for i in assignment)
+            ops = [
+                write("v", *w_slot),
+                read("v", *r1_slot),
+                read("v", *r2_slot),
+            ]
+            h = History(ops)
+            if has_anomalies(h):
+                continue
+            all_verifiers_agree(normalize(h))
+
+
+class TestRandomisedCrossValidation:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_small_random_histories(self, seed):
+        rng = random.Random(seed)
+        validated = 0
+        attempts = 0
+        while validated < 40 and attempts < 400:
+            attempts += 1
+            h = make_random_history(
+                rng,
+                num_writes=rng.randint(1, 5),
+                num_reads=rng.randint(0, 5),
+                span=rng.choice([3.0, 8.0, 15.0]),
+                max_duration=rng.choice([0.5, 2.0, 5.0]),
+            )
+            if has_anomalies(h):
+                continue
+            all_verifiers_agree(normalize(h))
+            validated += 1
+        assert validated >= 30
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_medium_random_histories(self, seed):
+        rng = random.Random(1000 + seed)
+        validated = 0
+        attempts = 0
+        while validated < 10 and attempts < 200:
+            attempts += 1
+            h = make_random_history(
+                rng,
+                num_writes=rng.randint(4, 7),
+                num_reads=rng.randint(3, 8),
+                span=rng.choice([5.0, 10.0]),
+                max_duration=rng.choice([1.0, 4.0]),
+            )
+            if has_anomalies(h):
+                continue
+            all_verifiers_agree(normalize(h))
+            validated += 1
+        assert validated >= 5
+
+    def test_one_atomic_implies_two_atomic_on_random_inputs(self):
+        rng = random.Random(77)
+        checked = 0
+        while checked < 30:
+            h = make_random_history(rng, rng.randint(2, 5), rng.randint(1, 5))
+            if has_anomalies(h):
+                continue
+            h = normalize(h)
+            if verify_1atomic(h):
+                assert verify_2atomic(h)
+                assert verify_2atomic_fzf(h)
+            checked += 1

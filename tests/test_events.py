@@ -1,0 +1,115 @@
+"""Unit tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulation.events import EventLoop
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(5.0, order.append, "late")
+        loop.schedule(1.0, order.append, "early")
+        loop.schedule(3.0, order.append, "middle")
+        loop.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_same_time_events_run_in_scheduling_order(self):
+        loop = EventLoop()
+        order = []
+        for name in ("first", "second", "third"):
+            loop.schedule(1.0, order.append, name)
+        loop.run()
+        assert order == ["first", "second", "third"]
+
+    def test_now_advances_with_events(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.5, lambda: seen.append(loop.now))
+        loop.schedule(7.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [2.5, 7.0]
+        assert loop.now == 7.0
+
+    def test_events_can_schedule_more_events(self):
+        loop = EventLoop()
+        order = []
+
+        def first():
+            order.append("first")
+            loop.schedule(1.0, lambda: order.append("chained"))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert order == ["first", "chained"]
+
+    def test_schedule_at_absolute_time(self):
+        loop = EventLoop(start_time=10.0)
+        seen = []
+        loop.schedule_at(12.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [12.0]
+
+    def test_scheduling_in_the_past_rejected(self):
+        loop = EventLoop(start_time=10.0)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        loop = EventLoop()
+        ran = []
+        event = loop.schedule(1.0, ran.append, "x")
+        event.cancel()
+        loop.run()
+        assert ran == []
+
+    def test_cancel_only_affects_target_event(self):
+        loop = EventLoop()
+        ran = []
+        keep = loop.schedule(1.0, ran.append, "keep")
+        drop = loop.schedule(2.0, ran.append, "drop")
+        drop.cancel()
+        loop.run()
+        assert ran == ["keep"]
+
+
+class TestRunControls:
+    def test_run_returns_number_of_events(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(float(i), lambda: None)
+        assert loop.run() == 5
+        assert loop.processed == 5
+
+    def test_run_until_stops_at_time(self):
+        loop = EventLoop()
+        ran = []
+        loop.schedule(1.0, ran.append, "a")
+        loop.schedule(5.0, ran.append, "b")
+        loop.run_until(2.0)
+        assert ran == ["a"]
+        assert loop.now == 2.0
+        loop.run()
+        assert ran == ["a", "b"]
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.schedule(1.0, reschedule)
+
+        loop.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=50)
+
+    def test_step_on_empty_queue(self):
+        assert EventLoop().step() is False

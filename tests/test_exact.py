@@ -1,0 +1,176 @@
+"""Unit tests for the exact (exponential) k-AV / k-WAV oracle."""
+
+import pytest
+
+from repro.algorithms.exact import (
+    is_k_atomic_exact,
+    minimal_k_exact,
+    verify_k_atomic_exact,
+    verify_weighted_k_atomic_exact,
+)
+from repro.core.errors import VerificationError
+from repro.core.history import History
+from repro.core.operation import read, write
+from repro.workloads.synthetic import exactly_k_atomic_history, serial_history
+
+
+class TestPlainKAtomicity:
+    def test_atomic_history(self, atomic_history):
+        assert is_k_atomic_exact(atomic_history, 1)
+
+    def test_stale_by_one_needs_k2(self, stale_by_one_history):
+        assert not is_k_atomic_exact(stale_by_one_history, 1)
+        assert is_k_atomic_exact(stale_by_one_history, 2)
+
+    def test_stale_by_two_needs_k3(self, stale_by_two_history):
+        assert not is_k_atomic_exact(stale_by_two_history, 2)
+        assert is_k_atomic_exact(stale_by_two_history, 3)
+
+    def test_empty_history_trivially_atomic(self):
+        assert is_k_atomic_exact(History([]), 1)
+
+    def test_witness_returned_and_valid(self, stale_by_one_history):
+        result = verify_k_atomic_exact(stale_by_one_history, 2)
+        assert result
+        assert result.check_witness(stale_by_one_history)
+
+    def test_no_witness_on_rejection(self, stale_by_one_history):
+        result = verify_k_atomic_exact(stale_by_one_history, 1)
+        assert not result
+        assert result.witness is None
+
+    def test_k_must_be_positive(self, atomic_history):
+        with pytest.raises(VerificationError):
+            verify_k_atomic_exact(atomic_history, 0)
+
+    def test_anomalous_history_rejected_for_every_k(self):
+        h = History([write("a", 5.0, 6.0), read("ghost", 0.0, 1.0)])
+        assert not is_k_atomic_exact(h, 1)
+        assert not is_k_atomic_exact(h, 10)
+
+    def test_monotone_in_k(self, rng):
+        from tests.conftest import make_random_history
+        from repro.core.preprocess import has_anomalies, normalize
+
+        checked = 0
+        while checked < 15:
+            h = make_random_history(rng, rng.randint(2, 5), rng.randint(1, 4))
+            if has_anomalies(h):
+                continue
+            h = normalize(h)
+            checked += 1
+            previous = False
+            for k in range(1, 5):
+                current = is_k_atomic_exact(h, k)
+                assert current or not previous, "k-atomicity must be monotone in k"
+                previous = current
+
+    def test_concurrent_writes_allow_reordering(self):
+        # Two concurrent writes; the read of the first-issued one is fine
+        # because the writes can be linearised in either order.
+        h = History(
+            [
+                write("a", 0.0, 10.0),
+                write("b", 1.0, 11.0),
+                read("a", 12.0, 13.0),
+            ]
+        )
+        assert is_k_atomic_exact(h, 1)
+
+    def test_interleaved_stale_reads(self):
+        # r(a) after w(b) and r(b) after w(c): both stale by exactly one.
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                write("b", 2.0, 3.0),
+                read("a", 4.0, 5.0),
+                write("c", 6.0, 7.0),
+                read("b", 8.0, 9.0),
+            ]
+        )
+        assert not is_k_atomic_exact(h, 1)
+        assert is_k_atomic_exact(h, 2)
+
+
+class TestMinimalK:
+    def test_minimal_k_of_atomic_history(self, atomic_history):
+        assert minimal_k_exact(atomic_history) == 1
+
+    def test_minimal_k_of_stale_histories(self, stale_by_one_history, stale_by_two_history):
+        assert minimal_k_exact(stale_by_one_history) == 2
+        assert minimal_k_exact(stale_by_two_history) == 3
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_minimal_k_matches_generator(self, k):
+        h = exactly_k_atomic_history(k, num_writes=k + 2)
+        assert minimal_k_exact(h) == k
+
+    def test_minimal_k_rejects_anomalous_history(self):
+        h = History([write("a", 5.0, 6.0), read("ghost", 0.0, 1.0)])
+        with pytest.raises(VerificationError):
+            minimal_k_exact(h)
+
+    def test_empty_history_minimal_k(self):
+        assert minimal_k_exact(History([])) == 1
+
+
+class TestWeightedOracle:
+    def test_unit_weights_match_plain(self, stale_by_one_history, stale_by_two_history):
+        for h in (stale_by_one_history, stale_by_two_history):
+            for k in (1, 2, 3):
+                assert bool(verify_weighted_k_atomic_exact(h, k)) == bool(
+                    verify_k_atomic_exact(h, k)
+                )
+
+    def test_heavy_dictating_write_requires_its_own_weight(self):
+        h = History([write("a", 0.0, 1.0, weight=4), read("a", 2.0, 3.0)])
+        assert not verify_weighted_k_atomic_exact(h, 3)
+        assert verify_weighted_k_atomic_exact(h, 4)
+
+    def test_heavy_intervening_write_can_be_avoided_if_concurrent(self):
+        # The heavy write overlaps the read, so it can be ordered after it.
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                write("heavy", 2.0, 10.0, weight=5),
+                read("a", 3.0, 4.0),
+            ]
+        )
+        assert verify_weighted_k_atomic_exact(h, 1)
+
+    def test_heavy_intervening_write_counts_when_forced(self):
+        # The heavy write strictly precedes the read, so it must intervene.
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                write("heavy", 2.0, 3.0, weight=5),
+                read("a", 4.0, 5.0),
+            ]
+        )
+        assert not verify_weighted_k_atomic_exact(h, 5)
+        assert verify_weighted_k_atomic_exact(h, 6)
+
+    def test_weighted_witness_is_checkable(self):
+        h = History(
+            [
+                write("a", 0.0, 1.0, weight=2),
+                write("b", 2.0, 3.0, weight=3),
+                read("a", 4.0, 5.0),
+            ]
+        )
+        result = verify_weighted_k_atomic_exact(h, 5)
+        assert result
+        assert h.is_weighted_k_atomic_total_order(result.require_witness(), 5)
+
+
+class TestSearchBehaviour:
+    def test_stats_reported(self, stale_by_one_history):
+        result = verify_k_atomic_exact(stale_by_one_history, 2)
+        assert result.stats["nodes_explored"] >= 1
+
+    def test_serial_history_scales_without_blowup(self):
+        # Serial histories have a forced order, so the search is linear-ish.
+        h = serial_history(num_writes=12, reads_per_write=1)
+        result = verify_k_atomic_exact(h, 1)
+        assert result
+        assert result.stats["nodes_explored"] <= 10 * len(h)

@@ -1,0 +1,79 @@
+"""Unit tests for the fault-injection schedule."""
+
+import random
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulation.events import EventLoop
+from repro.simulation.faults import FaultEvent, FaultKind, FaultSchedule, crash_window, partition_window
+from repro.simulation.network import FixedLatency, Network
+from repro.simulation.replica import Replica
+
+
+def make_sim():
+    loop = EventLoop()
+    network = Network(loop, FixedLatency(1.0), random.Random(0))
+    replicas = {f"replica-{i}": Replica(f"replica-{i}", loop) for i in range(3)}
+    return loop, network, replicas
+
+
+class TestSchedule:
+    def test_crash_and_recover_applied_at_times(self):
+        loop, network, replicas = make_sim()
+        schedule = FaultSchedule()
+        schedule.add_crash("replica-0", 10.0)
+        schedule.add_recover("replica-0", 20.0)
+        schedule.install(loop, network, replicas)
+        loop.run_until(15.0)
+        assert not replicas["replica-0"].alive
+        loop.run()
+        assert replicas["replica-0"].alive
+
+    def test_partition_and_heal_applied(self):
+        loop, network, replicas = make_sim()
+        schedule = FaultSchedule()
+        schedule.add_partition("a", "b", 5.0)
+        schedule.add_heal("a", "b", 15.0)
+        schedule.install(loop, network, replicas)
+        loop.run_until(10.0)
+        assert network.is_partitioned("a", "b")
+        loop.run()
+        assert not network.is_partitioned("a", "b")
+
+    def test_unknown_replica_rejected_at_install(self):
+        loop, network, replicas = make_sim()
+        schedule = FaultSchedule().add_crash("replica-99", 1.0)
+        with pytest.raises(SimulationError):
+            schedule.install(loop, network, replicas)
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultEvent(1.0, "meteor-strike", ("replica-0",))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultEvent(-1.0, FaultKind.CRASH, ("replica-0",))
+
+    def test_builder_returns_self_for_chaining(self):
+        schedule = FaultSchedule()
+        assert schedule.add_crash("r", 1.0) is schedule
+        assert len(schedule) == 1
+
+
+class TestWindows:
+    def test_crash_window_has_two_events(self):
+        schedule = crash_window("replica-0", 5.0, 25.0)
+        kinds = sorted(e.kind for e in schedule.events)
+        assert kinds == [FaultKind.CRASH, FaultKind.RECOVER]
+
+    def test_partition_window_has_two_events(self):
+        schedule = partition_window("a", "b", 5.0, 25.0)
+        kinds = sorted(e.kind for e in schedule.events)
+        assert kinds == [FaultKind.HEAL, FaultKind.PARTITION]
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(SimulationError):
+            crash_window("replica-0", 10.0, 10.0)
+        with pytest.raises(SimulationError):
+            partition_window("a", "b", 20.0, 10.0)

@@ -1,0 +1,129 @@
+"""Unit tests for the Gibbons–Korach 1-AV (linearizability) checker."""
+
+import pytest
+
+from repro.algorithms.gk import find_1atomicity_violation, is_1atomic, verify_1atomic
+from repro.core.history import History
+from repro.core.operation import read, write
+
+
+class TestAtomicHistories:
+    def test_serial_history_is_atomic(self, atomic_history):
+        result = verify_1atomic(atomic_history)
+        assert result
+        assert result.k == 1
+        assert result.algorithm == "GK"
+
+    def test_overlapping_read_write_is_atomic(self, concurrent_overlap_history):
+        assert is_1atomic(concurrent_overlap_history)
+
+    def test_empty_history_is_atomic(self):
+        assert verify_1atomic(History([]))
+
+    def test_writes_only_history_is_atomic(self):
+        h = History([write("a", 0.0, 5.0), write("b", 1.0, 6.0), write("c", 2.0, 7.0)])
+        assert is_1atomic(h)
+
+    def test_concurrent_writes_with_fresh_reads(self):
+        # Two concurrent writes, each read after both finish, reads ordered so
+        # a valid serialisation exists (read of b, then read of a would fail;
+        # here both reads return the same final value).
+        h = History(
+            [
+                write("a", 0.0, 10.0),
+                write("b", 1.0, 11.0),
+                read("b", 12.0, 13.0),
+                read("b", 14.0, 15.0),
+            ]
+        )
+        assert is_1atomic(h)
+
+
+class TestNonAtomicHistories:
+    def test_stale_read_is_not_atomic(self, stale_by_one_history):
+        result = verify_1atomic(stale_by_one_history)
+        assert not result
+        assert "forward-overlap" in result.reason or "backward-in-forward" in result.reason
+
+    def test_two_stale_values_not_atomic(self, stale_by_two_history):
+        assert not is_1atomic(stale_by_two_history)
+
+    def test_new_old_inversion_not_atomic(self):
+        # Read of the old value strictly after a read of the new value.
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                write("b", 2.0, 3.0),
+                read("b", 4.0, 5.0),
+                read("a", 6.0, 7.0),
+            ]
+        )
+        assert not is_1atomic(h)
+
+    def test_anomalous_history_rejected(self):
+        h = History([write("a", 5.0, 6.0), read("ghost", 0.0, 1.0)])
+        result = verify_1atomic(h)
+        assert not result
+        assert "anomal" in result.reason.lower()
+
+
+class TestViolationReporting:
+    def test_forward_overlap_detected(self):
+        # Two forward zones that overlap: w(a) finishes, w(b) finishes, then a
+        # read of a and a read of b whose zones overlap in time.
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                write("b", 2.0, 3.0),
+                read("a", 6.0, 7.0),
+                read("b", 4.0, 8.0),
+            ]
+        )
+        violation = find_1atomicity_violation(h)
+        assert violation is not None
+        condition, first, second = violation
+        assert condition == "forward-overlap"
+        assert {first.value, second.value} == {"a", "b"}
+
+    def test_backward_in_forward_detected(self):
+        # Cluster "outer" has a forward zone [1, 10]; cluster "inner" is a lone
+        # write spanning [3, 5], a backward zone contained in the forward one.
+        h = History(
+            [
+                write("outer", 0.0, 1.0),
+                read("outer", 10.0, 11.0),
+                write("inner", 3.0, 5.0),
+            ]
+        )
+        violation = find_1atomicity_violation(h)
+        assert violation is not None
+        condition, forward_cluster, backward_cluster = violation
+        assert condition == "backward-in-forward"
+        assert forward_cluster.value == "outer"
+        assert backward_cluster.value == "inner"
+
+    def test_no_violation_on_atomic_history(self, atomic_history):
+        assert find_1atomicity_violation(atomic_history) is None
+
+    def test_reason_names_both_values(self, stale_by_one_history):
+        result = verify_1atomic(stale_by_one_history)
+        assert "'a'" in result.reason and "'b'" in result.reason
+
+
+class TestAgreementWithDefinition:
+    @pytest.mark.parametrize("num_writes", [1, 2, 3, 5, 8])
+    def test_serial_histories_always_atomic(self, num_writes):
+        ops = []
+        t = 0.0
+        for i in range(num_writes):
+            ops.append(write(i, t, t + 1.0))
+            ops.append(read(i, t + 2.0, t + 3.0))
+            t += 4.0
+        assert is_1atomic(History(ops))
+
+    @pytest.mark.parametrize("staleness", [1, 2, 3])
+    def test_any_definitely_stale_read_breaks_atomicity(self, staleness):
+        ops = [write(i, 2.0 * i, 2.0 * i + 1.0) for i in range(staleness + 1)]
+        last_finish = ops[-1].finish
+        ops.append(read(0, last_finish + 1.0, last_finish + 2.0))
+        assert not is_1atomic(History(ops))

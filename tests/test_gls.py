@@ -1,0 +1,87 @@
+"""Unit tests for the zone-only partial 2-AV checker (baseline)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.exact import verify_k_atomic_exact
+from repro.algorithms.gls import PartialVerdict, verify_2atomic_zones_only
+from repro.core.history import History
+from repro.core.operation import read, write
+from repro.core.preprocess import has_anomalies, normalize
+from tests.conftest import make_random_history
+
+
+class TestDefiniteVerdicts:
+    def test_atomic_history_yes(self, atomic_history):
+        result = verify_2atomic_zones_only(atomic_history)
+        assert result.verdict is PartialVerdict.YES
+        assert result.decided
+        assert bool(result)
+
+    def test_empty_history_yes(self):
+        assert verify_2atomic_zones_only(History([])).verdict is PartialVerdict.YES
+
+    def test_anomalous_history_no(self):
+        h = History([write("a", 5.0, 6.0), read("ghost", 0.0, 1.0)])
+        assert verify_2atomic_zones_only(h).verdict is PartialVerdict.NO
+
+    def test_three_backward_clusters_in_chunk_no(self):
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                read("a", 10.0, 11.0),
+                write("b1", 2.0, 3.5),
+                write("b2", 4.0, 5.5),
+                write("b3", 6.0, 7.5),
+            ]
+        )
+        result = verify_2atomic_zones_only(h)
+        assert result.verdict is PartialVerdict.NO
+        assert "backward" in result.reason
+
+    def test_triple_forward_overlap_no(self):
+        # Three forward zones all overlapping around t in [10, 11].
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                read("a", 10.5, 20.0),
+                write("b", 2.0, 3.0),
+                read("b", 10.6, 21.0),
+                write("c", 4.0, 5.0),
+                read("c", 10.7, 22.0),
+            ]
+        )
+        result = verify_2atomic_zones_only(h)
+        assert result.verdict is PartialVerdict.NO
+        assert "property P" in result.reason
+
+    def test_stale_by_one_is_undecided(self, stale_by_one_history):
+        result = verify_2atomic_zones_only(stale_by_one_history)
+        assert result.verdict is PartialVerdict.UNKNOWN
+        assert not result.decided
+
+
+class TestSoundness:
+    """The partial checker must never contradict the exact oracle."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_definite_verdicts_are_correct(self, seed):
+        rng = random.Random(seed)
+        checked = 0
+        attempts = 0
+        while checked < 30 and attempts < 300:
+            attempts += 1
+            h = make_random_history(
+                rng, rng.randint(1, 5), rng.randint(0, 5), span=rng.choice([4.0, 10.0])
+            )
+            if has_anomalies(h):
+                continue
+            h = normalize(h)
+            partial = verify_2atomic_zones_only(h)
+            if partial.verdict is PartialVerdict.UNKNOWN:
+                continue
+            truth = bool(verify_k_atomic_exact(h, 2))
+            assert bool(partial) == truth
+            checked += 1
+        assert checked >= 10

@@ -1,0 +1,241 @@
+"""Unit tests for the History and MultiHistory containers."""
+
+import pytest
+
+from repro.core.errors import DuplicateValueError, HistoryError
+from repro.core.history import History, MultiHistory
+from repro.core.operation import read, write
+
+
+def simple_history():
+    return History(
+        [
+            write("a", 0.0, 1.0),
+            read("a", 2.0, 3.0),
+            write("b", 4.0, 5.0),
+            read("b", 6.0, 7.0),
+            read("a", 8.0, 9.0),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_operations_sorted_by_start(self):
+        h = History([write("b", 5.0, 6.0), write("a", 0.0, 1.0)])
+        assert [op.value for op in h.operations] == ["a", "b"]
+
+    def test_len_and_iter(self):
+        h = simple_history()
+        assert len(h) == 5
+        assert len(list(h)) == 5
+
+    def test_writes_and_reads_split(self):
+        h = simple_history()
+        assert [w.value for w in h.writes] == ["a", "b"]
+        assert len(h.reads) == 3
+
+    def test_duplicate_write_values_rejected(self):
+        with pytest.raises(DuplicateValueError):
+            History([write("a", 0.0, 1.0), write("a", 2.0, 3.0)])
+
+    def test_duplicate_read_values_allowed(self):
+        h = History([write("a", 0.0, 1.0), read("a", 2.0, 3.0), read("a", 4.0, 5.0)])
+        assert len(h.reads) == 2
+
+    def test_conflicting_keys_rejected(self):
+        with pytest.raises(HistoryError):
+            History([write("a", 0.0, 1.0, key="x"), write("b", 2.0, 3.0, key="y")])
+
+    def test_key_inferred_from_operations(self):
+        h = History([write("a", 0.0, 1.0, key="reg-1")])
+        assert h.key == "reg-1"
+
+    def test_empty_history(self):
+        h = History([])
+        assert h.is_empty
+        assert len(h) == 0
+        with pytest.raises(HistoryError):
+            h.span()
+
+    def test_equality_and_hash(self):
+        ops = [write("a", 0.0, 1.0), read("a", 2.0, 3.0)]
+        assert History(ops) == History(list(reversed(ops)))
+        assert hash(History(ops)) == hash(History(ops))
+
+
+class TestDictation:
+    def test_dictating_write_found(self):
+        h = simple_history()
+        r = h.reads[0]
+        assert h.dictating_write(r).value == r.value
+
+    def test_dictating_write_missing_returns_none(self):
+        h = History([write("a", 0.0, 1.0), read("ghost", 2.0, 3.0)])
+        assert h.dictating_write(h.reads[0]) is None
+
+    def test_dictating_write_rejects_writes(self):
+        h = simple_history()
+        with pytest.raises(HistoryError):
+            h.dictating_write(h.writes[0])
+
+    def test_dictated_reads(self):
+        h = simple_history()
+        w_a = h.writer_of("a")
+        assert {r.start for r in h.dictated_reads(w_a)} == {2.0, 8.0}
+
+    def test_dictated_reads_empty_for_unread_write(self):
+        h = History([write("a", 0.0, 1.0), write("b", 2.0, 3.0), read("a", 4.0, 5.0)])
+        assert h.dictated_reads(h.writer_of("b")) == ()
+
+    def test_dictated_reads_rejects_reads(self):
+        h = simple_history()
+        with pytest.raises(HistoryError):
+            h.dictated_reads(h.reads[0])
+
+    def test_clusters_cover_every_write(self):
+        h = simple_history()
+        clusters = h.clusters()
+        assert set(clusters.keys()) == set(h.writes)
+        assert sum(len(v) for v in clusters.values()) == len(h.reads)
+
+
+class TestConcurrency:
+    def test_max_concurrent_writes_serial(self):
+        h = History([write(i, 2.0 * i, 2.0 * i + 1.0) for i in range(5)])
+        assert h.max_concurrent_writes() == 1
+
+    def test_max_concurrent_writes_overlapping(self):
+        h = History(
+            [
+                write("a", 0.0, 10.0),
+                write("b", 1.0, 11.0),
+                write("c", 2.0, 12.0),
+                read("a", 20.0, 21.0),
+            ]
+        )
+        assert h.max_concurrent_writes() == 3
+
+    def test_reads_do_not_count_towards_write_concurrency(self):
+        h = History([write("a", 0.0, 10.0), read("a", 1.0, 9.0), read("a", 2.0, 8.0)])
+        assert h.max_concurrent_writes() == 1
+
+    def test_concurrency_profile_monotone_bookkeeping(self):
+        h = History([write("a", 0.0, 4.0), write("b", 1.0, 5.0)])
+        profile = h.concurrency_profile()
+        assert max(level for _, level in profile) == 2
+        assert profile[-1][1] == 0
+
+    def test_span(self):
+        h = simple_history()
+        assert h.span() == (0.0, 9.0)
+
+
+class TestDerivedHistories:
+    def test_restrict(self):
+        h = simple_history()
+        sub = h.restrict(h.writes)
+        assert len(sub) == 2
+        assert all(op.is_write for op in sub)
+
+    def test_without(self):
+        h = simple_history()
+        sub = h.without(h.reads)
+        assert len(sub) == 2
+
+    def test_with_operations(self):
+        h = History([write("a", 0.0, 1.0)])
+        h2 = h.with_operations([read("a", 2.0, 3.0)])
+        assert len(h2) == 2 and len(h) == 1
+
+
+class TestTotalOrderChecks:
+    def test_valid_total_order_accepts_real_time_order(self):
+        h = simple_history()
+        assert h.is_valid_total_order(list(h.operations))
+
+    def test_valid_total_order_rejects_inverted_precedence(self):
+        h = History([write("a", 0.0, 1.0), write("b", 5.0, 6.0)])
+        a, b = h.operations
+        assert not h.is_valid_total_order([b, a])
+
+    def test_valid_total_order_allows_swapping_concurrent(self):
+        h = History([write("a", 0.0, 5.0), write("b", 1.0, 6.0)])
+        a, b = h.operations
+        assert h.is_valid_total_order([b, a])
+        assert h.is_valid_total_order([a, b])
+
+    def test_valid_total_order_requires_all_operations(self):
+        h = simple_history()
+        assert not h.is_valid_total_order(list(h.operations)[:-1])
+
+    def test_k_atomic_order_fresh_read(self):
+        h = History([write("a", 0.0, 1.0), read("a", 2.0, 3.0)])
+        assert h.is_k_atomic_total_order(list(h.operations), 1)
+
+    def test_k_atomic_order_stale_read_needs_k2(self):
+        h = History([write("a", 0.0, 1.0), write("b", 2.0, 3.0), read("a", 4.0, 5.0)])
+        order = list(h.operations)
+        assert not h.is_k_atomic_total_order(order, 1)
+        assert h.is_k_atomic_total_order(order, 2)
+
+    def test_k_atomic_order_read_before_write_rejected(self):
+        h = History([write("a", 2.0, 5.0), read("a", 3.0, 6.0)])
+        w, r = h.writes[0], h.reads[0]
+        assert not h.is_k_atomic_total_order([r, w], 1)
+        assert h.is_k_atomic_total_order([w, r], 1)
+
+    def test_weighted_order_counts_dictating_write_weight(self):
+        h = History([write("a", 0.0, 1.0, weight=3), read("a", 2.0, 3.0)])
+        order = list(h.operations)
+        assert not h.is_weighted_k_atomic_total_order(order, 2)
+        assert h.is_weighted_k_atomic_total_order(order, 3)
+
+    def test_weighted_order_counts_intervening_weight(self):
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                write("b", 2.0, 3.0, weight=5),
+                read("a", 4.0, 5.0),
+            ]
+        )
+        order = list(h.operations)
+        # separation weight = w(a)=1 + w(b)=5 = 6
+        assert not h.is_weighted_k_atomic_total_order(order, 5)
+        assert h.is_weighted_k_atomic_total_order(order, 6)
+
+    def test_k_must_be_positive(self):
+        h = simple_history()
+        assert not h.is_k_atomic_total_order(list(h.operations), 0)
+
+
+class TestMultiHistory:
+    def test_groups_by_key(self):
+        ops = [
+            write("a", 0.0, 1.0, key="x"),
+            read("a", 2.0, 3.0, key="x"),
+            write("b", 0.0, 1.0, key="y"),
+        ]
+        trace = MultiHistory(ops)
+        assert set(trace.keys()) == {"x", "y"}
+        assert len(trace["x"]) == 2
+        assert len(trace["y"]) == 1
+
+    def test_total_operations(self):
+        ops = [write(i, 0.0, 1.0, key=f"k{i}") for i in range(4)]
+        assert MultiHistory(ops).total_operations() == 4
+
+    def test_items_and_histories(self):
+        ops = [write("a", 0.0, 1.0, key="x")]
+        trace = MultiHistory(ops)
+        assert [key for key, _ in trace.items()] == ["x"]
+        assert len(trace.histories()) == 1
+
+    def test_duplicate_values_on_different_keys_allowed(self):
+        ops = [write("a", 0.0, 1.0, key="x"), write("a", 0.0, 1.0, key="y")]
+        trace = MultiHistory(ops)
+        assert len(trace) == 2
+
+    def test_explicit_histories_constructor(self):
+        h = History([write("a", 0.0, 1.0)], key="z")
+        trace = MultiHistory(histories={"z": h})
+        assert trace["z"] is h

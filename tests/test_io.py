@@ -1,0 +1,137 @@
+"""Unit tests for trace serialisation (JSON Lines and CSV)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import TraceFormatError
+from repro.core.history import History, MultiHistory
+from repro.core.operation import OpType, read, write
+from repro.io.formats import (
+    dump_csv,
+    dump_jsonl,
+    load_csv,
+    load_jsonl,
+    operation_from_dict,
+    operation_to_dict,
+)
+from repro.workloads.synthetic import exactly_k_atomic_history
+
+
+def sample_trace():
+    ops = []
+    ops.extend(exactly_k_atomic_history(2, 4, key="k1").operations)
+    ops.append(write("w-extra", 0.0, 1.0, key="k2", client="c9", weight=3))
+    ops.append(read("w-extra", 2.0, 3.0, key="k2", client="c4"))
+    return MultiHistory(ops)
+
+
+class TestOperationDicts:
+    def test_round_trip_write(self):
+        op = write("v", 1.0, 2.0, key="k", client="c", weight=4)
+        back = operation_from_dict(operation_to_dict(op))
+        assert back.op_type is OpType.WRITE
+        assert back.value == "v"
+        assert back.interval == (1.0, 2.0)
+        assert back.key == "k" and back.client == "c"
+        assert back.weight == 4
+
+    def test_round_trip_read(self):
+        op = read("v", 1.0, 2.0, key="k")
+        back = operation_from_dict(operation_to_dict(op))
+        assert back.is_read and back.weight == 1
+
+    def test_reads_do_not_serialise_weight(self):
+        assert "weight" not in operation_to_dict(read("v", 1.0, 2.0))
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(TraceFormatError):
+            operation_from_dict({"op_type": "write", "value": "v", "start": "x", "finish": 2})
+        with pytest.raises(TraceFormatError):
+            operation_from_dict({"value": "v", "start": 0.0, "finish": 1.0})
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        count = dump_jsonl(trace, path)
+        assert count == trace.total_operations()
+        back = load_jsonl(path)
+        assert set(back.keys()) == set(trace.keys())
+        assert back.total_operations() == trace.total_operations()
+
+    def test_round_trip_preserves_values_and_times(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        dump_jsonl(trace, path)
+        back = load_jsonl(path)
+        original = sorted(
+            (op.op_type.value, str(op.value), op.start, op.finish)
+            for key in trace.keys()
+            for op in trace[key]
+        )
+        loaded = sorted(
+            (op.op_type.value, str(op.value), op.start, op.finish)
+            for key in back.keys()
+            for op in back[key]
+        )
+        assert original == loaded
+
+    def test_single_history_accepted(self, tmp_path):
+        h = History([write("a", 0.0, 1.0), read("a", 2.0, 3.0)])
+        path = tmp_path / "single.jsonl"
+        assert dump_jsonl(h, path) == 2
+        assert load_jsonl(path).total_operations() == 2
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        record = json.dumps(operation_to_dict(write("a", 0.0, 1.0, key="k")))
+        path.write_text(record + "\n\n" + "\n")
+        assert load_jsonl(path).total_operations() == 1
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"op_type": "write"\n')
+        with pytest.raises(TraceFormatError):
+            load_jsonl(path)
+
+    def test_weights_survive_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        dump_jsonl(trace, path)
+        back = load_jsonl(path)
+        weights = {w.value: w.weight for w in back["k2"].writes}
+        assert weights["w-extra"] == 3
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.csv"
+        count = dump_csv(trace, path)
+        assert count == trace.total_operations()
+        back = load_csv(path)
+        assert back.total_operations() == trace.total_operations()
+        assert set(back.keys()) == set(trace.keys())
+
+    def test_missing_optional_fields_default(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "op_type,key,value,start,finish,client,weight\n"
+            "write,k,v,0.0,1.0,,\n"
+            "read,k,v,2.0,3.0,,\n"
+        )
+        back = load_csv(path)
+        h = back["k"]
+        assert h.writes[0].weight == 1
+        assert h.writes[0].client is None
+
+    def test_malformed_row_reports_location(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "op_type,key,value,start,finish,client,weight\n"
+            "write,k,v,not-a-number,1.0,,\n"
+        )
+        with pytest.raises(TraceFormatError):
+            load_csv(path)

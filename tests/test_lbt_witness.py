@@ -1,0 +1,114 @@
+"""Experiment E1: LBT's write-slot / read-container witness structure (Figure 1).
+
+Figure 1 illustrates how LBT places operations into write slots and read
+containers, the concatenation of which (in time order) is the 2-atomic total
+order LBT outputs.  These tests verify the structural properties of that
+witness: each write is followed by the reads placed in its container, every
+read appears after its dictating write, and every read is separated from its
+dictating write by at most one other write.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.lbt import verify_2atomic, verify_2atomic_reference
+from repro.core.history import History
+from repro.core.operation import read, write
+from repro.core.preprocess import has_anomalies, normalize
+from repro.workloads.adversarial import concurrent_batch_history
+from repro.workloads.synthetic import exactly_k_atomic_history, practical_history
+
+
+def witness_for(history):
+    result = verify_2atomic(history)
+    assert result, "witness tests require a 2-atomic history"
+    return result.require_witness()
+
+
+def separation_of_read(history, witness, r):
+    """Number of writes strictly between a read and its dictating write."""
+    dictating = history.dictating_write(r)
+    positions = {op: i for i, op in enumerate(witness)}
+    between = [
+        op
+        for op in witness[positions[dictating] + 1 : positions[r]]
+        if op.is_write
+    ]
+    return len(between)
+
+
+class TestWitnessStructure:
+    def test_every_read_follows_its_dictating_write(self):
+        h = exactly_k_atomic_history(2, 8, reads_per_write=2)
+        witness = witness_for(h)
+        positions = {op: i for i, op in enumerate(witness)}
+        for r in h.reads:
+            assert positions[h.dictating_write(r)] < positions[r]
+
+    def test_separation_at_most_one_write(self):
+        h = exactly_k_atomic_history(2, 8, reads_per_write=2)
+        witness = witness_for(h)
+        for r in h.reads:
+            assert separation_of_read(h, witness, r) <= 1
+
+    def test_witness_respects_real_time_order(self):
+        h = concurrent_batch_history(3, 4)
+        witness = witness_for(h)
+        assert h.is_valid_total_order(witness)
+
+    def test_witness_is_permutation_of_history(self):
+        h = concurrent_batch_history(2, 3)
+        witness = witness_for(h)
+        assert sorted(op.op_id for op in witness) == sorted(
+            op.op_id for op in h.operations
+        )
+
+    def test_fresh_reads_have_zero_separation_when_serial(self):
+        # In a serial fresh-read history there is only one valid order, so
+        # every read must sit in its own dictating write's container.
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                read("a", 2.0, 3.0),
+                write("b", 4.0, 5.0),
+                read("b", 6.0, 7.0),
+            ]
+        )
+        witness = witness_for(h)
+        for r in h.reads:
+            assert separation_of_read(h, witness, r) == 0
+
+    def test_stale_read_has_exactly_one_separating_write(self, stale_by_one_history):
+        witness = witness_for(stale_by_one_history)
+        (r,) = stale_by_one_history.reads
+        assert separation_of_read(stale_by_one_history, witness, r) == 1
+
+
+class TestWitnessOnGeneratedHistories:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_practical_histories_yield_checkable_witnesses(self, seed):
+        rng = random.Random(seed)
+        h = practical_history(rng, 120, staleness_probability=0.05, max_staleness=1)
+        if has_anomalies(h):
+            pytest.skip("generator produced an anomalous history")
+        h = normalize(h)
+        result = verify_2atomic(h)
+        if result:
+            assert result.check_witness(h)
+            for r in h.reads:
+                assert separation_of_read(h, result.require_witness(), r) <= 1
+
+    @pytest.mark.parametrize("batches,batch_size", [(2, 2), (3, 5), (5, 3)])
+    def test_batch_histories_yield_checkable_witnesses(self, batches, batch_size):
+        h = concurrent_batch_history(batches, batch_size)
+        result = verify_2atomic(h)
+        assert result
+        assert result.check_witness(h)
+
+    def test_reference_and_optimized_witnesses_both_check(self):
+        h = exactly_k_atomic_history(2, 6, reads_per_write=1)
+        for verifier in (verify_2atomic, verify_2atomic_reference):
+            result = verifier(h)
+            assert result
+            assert result.check_witness(h)

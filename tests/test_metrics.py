@@ -1,0 +1,113 @@
+"""Unit tests for the staleness and structural metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    profile_history,
+    read_time_lag,
+    read_value_lag,
+    staleness_stats,
+)
+from repro.core.history import History
+from repro.core.operation import read, write
+from repro.workloads.synthetic import exactly_k_atomic_history, serial_history
+
+
+class TestReadValueLag:
+    def test_fresh_read_has_zero_lag(self):
+        h = History([write("a", 0.0, 1.0), read("a", 2.0, 3.0)])
+        assert read_value_lag(h, h.reads[0]) == 0
+
+    def test_lag_counts_newer_preceding_writes(self, stale_by_two_history):
+        (r,) = stale_by_two_history.reads
+        assert read_value_lag(stale_by_two_history, r) == 2
+
+    def test_concurrent_newer_write_not_counted(self):
+        # The newer write overlaps the read, so it is not *forced* to intervene.
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                write("b", 2.0, 10.0),
+                read("a", 3.0, 4.0),
+            ]
+        )
+        assert read_value_lag(h, h.reads[0]) == 0
+
+    def test_lag_is_a_lower_bound_on_minimal_k(self):
+        h = exactly_k_atomic_history(3, 6)
+        worst = max(read_value_lag(h, r) for r in h.reads)
+        assert worst == 2  # k - 1 intervening writes
+
+    def test_rejects_write_argument(self):
+        h = History([write("a", 0.0, 1.0)])
+        with pytest.raises(ValueError):
+            read_value_lag(h, h.writes[0])
+
+
+class TestReadTimeLag:
+    def test_fresh_read_has_zero_time_lag(self):
+        h = History([write("a", 0.0, 1.0), read("a", 2.0, 3.0)])
+        assert read_time_lag(h, h.reads[0]) == 0.0
+
+    def test_stale_read_time_lag_measures_gap(self):
+        h = History([write("a", 0.0, 1.0), write("b", 2.0, 3.0), read("a", 10.0, 11.0)])
+        assert read_time_lag(h, h.reads[0]) == pytest.approx(7.0)
+
+
+class TestStalenessStats:
+    def test_all_fresh(self):
+        stats = staleness_stats(serial_history(5, 2))
+        assert stats.stale_reads == 0
+        assert stats.stale_fraction == 0.0
+        assert stats.max_value_lag == 0
+
+    def test_exactly_k_history_stats(self):
+        stats = staleness_stats(exactly_k_atomic_history(3, 6))
+        assert stats.max_value_lag == 2
+        assert stats.stale_fraction == 1.0
+        assert stats.implies_not_k_atomic(2)
+        assert not stats.implies_not_k_atomic(3)
+
+    def test_histogram_sums_to_read_count(self):
+        h = exactly_k_atomic_history(2, 5, reads_per_write=2)
+        stats = staleness_stats(h)
+        assert sum(count for _, count in stats.lag_histogram) == stats.num_reads
+
+    def test_empty_reads(self):
+        stats = staleness_stats(History([write("a", 0.0, 1.0)]))
+        assert stats.num_reads == 0
+        assert stats.stale_fraction == 0.0
+
+
+class TestHistoryProfile:
+    def test_profile_counts(self):
+        h = exactly_k_atomic_history(2, 5, reads_per_write=1)
+        profile = profile_history(h)
+        assert profile.num_operations == len(h)
+        assert profile.num_writes == 5
+        assert profile.num_reads == 4
+        assert profile.max_concurrent_writes == 1
+        assert profile.write_fraction == pytest.approx(5 / 9)
+
+    def test_profile_cluster_breakdown(self):
+        h = History(
+            [
+                write("fwd", 0.0, 1.0),
+                read("fwd", 5.0, 6.0),
+                write("bwd", 10.0, 20.0),
+            ]
+        )
+        profile = profile_history(h)
+        assert profile.num_forward_clusters == 1
+        assert profile.num_backward_clusters == 1
+        assert profile.num_chunks == 1
+        assert profile.num_dangling_clusters == 1
+
+    def test_empty_history_profile(self):
+        profile = profile_history(History([]))
+        assert profile.num_operations == 0
+        assert profile.write_fraction == 0.0
+
+    def test_duration(self):
+        h = History([write("a", 1.0, 2.0), read("a", 3.0, 9.0)])
+        assert profile_history(h).duration == pytest.approx(8.0)

@@ -1,0 +1,117 @@
+"""Unit tests for the network model (latency, loss, partitions)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulation.events import EventLoop
+from repro.simulation.network import (
+    ExponentialLatency,
+    FixedLatency,
+    LogNormalLatency,
+    Network,
+    UniformLatency,
+)
+
+
+class TestLatencyModels:
+    def test_fixed_latency(self):
+        model = FixedLatency(latency_ms=3.0)
+        assert model.sample(random.Random(0)) == 3.0
+        assert model.mean() == 3.0
+
+    def test_uniform_latency_within_bounds(self):
+        model = UniformLatency(low_ms=1.0, high_ms=2.0)
+        rng = random.Random(0)
+        samples = [model.sample(rng) for _ in range(200)]
+        assert all(1.0 <= s <= 2.0 for s in samples)
+        assert model.mean() == pytest.approx(1.5)
+
+    def test_exponential_latency_positive_with_floor(self):
+        model = ExponentialLatency(mean_ms=2.0, floor_ms=0.5)
+        rng = random.Random(0)
+        samples = [model.sample(rng) for _ in range(200)]
+        assert all(s >= 0.5 for s in samples)
+        assert model.mean() == pytest.approx(2.5)
+
+    def test_lognormal_latency_positive(self):
+        model = LogNormalLatency(median_ms=1.5, sigma=0.5)
+        rng = random.Random(0)
+        assert all(model.sample(rng) > 0 for _ in range(200))
+
+    def test_empirical_means_roughly_match(self):
+        rng = random.Random(42)
+        for model in (UniformLatency(1.0, 3.0), ExponentialLatency(2.0, 0.0)):
+            samples = [model.sample(rng) for _ in range(5000)]
+            assert sum(samples) / len(samples) == pytest.approx(model.mean(), rel=0.15)
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self):
+        loop = EventLoop()
+        net = Network(loop, FixedLatency(2.0), random.Random(0))
+        seen = []
+        net.send("a", "b", lambda payload: seen.append((loop.now, payload)), "hello")
+        loop.run()
+        assert seen == [(2.0, "hello")]
+        assert net.stats.sent == 1 and net.stats.delivered == 1
+
+    def test_messages_can_reorder_under_variable_latency(self):
+        loop = EventLoop()
+        rng = random.Random(3)
+        net = Network(loop, UniformLatency(0.1, 10.0), rng)
+        arrivals = []
+        for i in range(50):
+            net.send("a", "b", arrivals.append, i)
+        loop.run()
+        assert sorted(arrivals) == list(range(50))
+        assert arrivals != list(range(50))  # at least one reordering happened
+
+    def test_drop_probability_drops_messages(self):
+        loop = EventLoop()
+        net = Network(loop, FixedLatency(1.0), random.Random(1), drop_probability=0.5)
+        seen = []
+        for i in range(200):
+            net.send("a", "b", seen.append, i)
+        loop.run()
+        assert 0 < len(seen) < 200
+        assert net.stats.dropped == 200 - len(seen)
+
+    def test_invalid_drop_probability_rejected(self):
+        with pytest.raises(SimulationError):
+            Network(EventLoop(), FixedLatency(), random.Random(0), drop_probability=1.5)
+
+
+class TestPartitions:
+    def test_partition_blocks_both_directions(self):
+        loop = EventLoop()
+        net = Network(loop, FixedLatency(1.0), random.Random(0))
+        net.partition("a", "b")
+        seen = []
+        net.send("a", "b", seen.append, 1)
+        net.send("b", "a", seen.append, 2)
+        loop.run()
+        assert seen == []
+        assert net.stats.blocked_by_partition == 2
+
+    def test_heal_restores_traffic(self):
+        loop = EventLoop()
+        net = Network(loop, FixedLatency(1.0), random.Random(0))
+        net.partition("a", "b")
+        net.heal("a", "b")
+        seen = []
+        net.send("a", "b", seen.append, 1)
+        loop.run()
+        assert seen == [1]
+
+    def test_partition_is_pairwise(self):
+        loop = EventLoop()
+        net = Network(loop, FixedLatency(1.0), random.Random(0))
+        net.partition("a", "b")
+        seen = []
+        net.send("a", "c", seen.append, "ok")
+        loop.run()
+        assert seen == ["ok"]
+        assert net.is_partitioned("a", "b")
+        assert not net.is_partitioned("a", "c")

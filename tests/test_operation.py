@@ -1,0 +1,117 @@
+"""Unit tests for the operation model (Section II-A)."""
+
+import pytest
+
+from repro.core.errors import MalformedOperationError
+from repro.core.operation import Operation, OpType, concurrent, precedes, read, write
+
+
+class TestConstruction:
+    def test_read_factory_sets_type(self):
+        r = read("a", 1.0, 2.0)
+        assert r.op_type is OpType.READ
+        assert r.is_read and not r.is_write
+
+    def test_write_factory_sets_type(self):
+        w = write("a", 1.0, 2.0)
+        assert w.op_type is OpType.WRITE
+        assert w.is_write and not w.is_read
+
+    def test_value_and_times_are_stored(self):
+        w = write("v", 1.5, 2.5, key="k", client="c7")
+        assert w.value == "v"
+        assert w.start == 1.5
+        assert w.finish == 2.5
+        assert w.key == "k"
+        assert w.client == "c7"
+
+    def test_interval_property(self):
+        assert read("a", 1.0, 3.0).interval == (1.0, 3.0)
+
+    def test_finish_must_exceed_start(self):
+        with pytest.raises(MalformedOperationError):
+            write("a", 2.0, 1.0)
+
+    def test_zero_length_operation_rejected(self):
+        with pytest.raises(MalformedOperationError):
+            read("a", 2.0, 2.0)
+
+    def test_default_weight_is_one(self):
+        assert write("a", 0.0, 1.0).weight == 1
+
+    def test_write_weight_must_be_positive(self):
+        with pytest.raises(MalformedOperationError):
+            write("a", 0.0, 1.0, weight=0)
+
+    def test_explicit_weight_accepted(self):
+        assert write("a", 0.0, 1.0, weight=7).weight == 7
+
+    def test_op_ids_are_unique(self):
+        ids = {write(i, 0.0, 1.0).op_id for i in range(100)}
+        assert len(ids) == 100
+
+    def test_explicit_op_id_respected(self):
+        assert read("a", 0.0, 1.0, op_id=12345).op_id == 12345
+
+
+class TestOrdering:
+    def test_precedes_when_strictly_before(self):
+        a = write("a", 0.0, 1.0)
+        b = write("b", 2.0, 3.0)
+        assert a.precedes(b)
+        assert precedes(a, b)
+        assert not b.precedes(a)
+
+    def test_no_precedence_when_overlapping(self):
+        a = write("a", 0.0, 2.0)
+        b = write("b", 1.0, 3.0)
+        assert not a.precedes(b)
+        assert not b.precedes(a)
+
+    def test_concurrent_when_overlapping(self):
+        a = write("a", 0.0, 2.0)
+        b = read("a", 1.0, 3.0)
+        assert a.concurrent_with(b)
+        assert concurrent(b, a)
+
+    def test_not_concurrent_when_disjoint(self):
+        a = write("a", 0.0, 1.0)
+        b = read("a", 5.0, 6.0)
+        assert not a.concurrent_with(b)
+
+    def test_touching_endpoints_do_not_precede(self):
+        # precedes is strict: finish < start.
+        a = write("a", 0.0, 1.0)
+        b = read("a", 1.0, 2.0)
+        assert not a.precedes(b)
+        assert a.concurrent_with(b)
+
+
+class TestIdentityAndCopies:
+    def test_equality_is_identity_by_op_id(self):
+        a = write("a", 0.0, 1.0, op_id=1)
+        b = write("a", 0.0, 1.0, op_id=2)
+        assert a != b
+        assert a == write("x", 5.0, 6.0, op_id=1)
+
+    def test_hashable_and_usable_in_sets(self):
+        a = write("a", 0.0, 1.0)
+        b = read("a", 2.0, 3.0)
+        assert len({a, b, a}) == 2
+
+    def test_with_times_preserves_identity(self):
+        a = write("a", 0.0, 10.0)
+        shortened = a.with_times(finish=5.0)
+        assert shortened.finish == 5.0
+        assert shortened.start == a.start
+        assert shortened.op_id == a.op_id
+        assert shortened == a  # same identity
+
+    def test_with_times_can_change_start(self):
+        a = read("a", 3.0, 10.0)
+        moved = a.with_times(start=1.0)
+        assert moved.start == 1.0 and moved.finish == 10.0
+
+    def test_repr_mentions_kind_and_value(self):
+        assert "w(" in repr(write("val", 0.0, 1.0))
+        assert "r(" in repr(read("val", 0.0, 1.0))

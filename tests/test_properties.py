@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) over the core data structures and algorithms.
+
+These properties encode the paper's invariants directly:
+
+* normalisation never changes the set of operations and always yields a
+  history satisfying the Section II-C assumptions;
+* GK / LBT / FZF always agree with the exact oracle (Theorems 3.1 and 4.5);
+* k-atomicity is monotone in k;
+* every YES verdict comes with a witness that the definition accepts;
+* the bin-packing reduction preserves feasibility both ways (Theorem 5.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms.exact import verify_k_atomic_exact
+from repro.algorithms.fzf import verify_2atomic_fzf
+from repro.algorithms.gk import verify_1atomic
+from repro.algorithms.lbt import verify_2atomic
+from repro.binpacking import (
+    BinPackingInstance,
+    decode_witness,
+    encode_packing,
+    is_feasible,
+    reduce_to_wkav,
+    solve_exact,
+)
+from repro.algorithms.wkav import verify_weighted_k_atomic
+from repro.core.history import History
+from repro.core.operation import read, write
+from repro.core.preprocess import find_anomalies, has_anomalies, normalize
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def histories(draw, max_writes=5, max_reads=5):
+    """Random single-register histories with bounded size (may be anomalous)."""
+    num_writes = draw(st.integers(min_value=1, max_value=max_writes))
+    num_reads = draw(st.integers(min_value=0, max_value=max_reads))
+    ops = []
+    for i in range(num_writes):
+        start = draw(st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+        duration = draw(st.floats(min_value=0.01, max_value=5.0, allow_nan=False))
+        ops.append(write(i, start, start + duration))
+    for _ in range(num_reads):
+        value = draw(st.integers(min_value=0, max_value=num_writes - 1))
+        start = draw(st.floats(min_value=0.0, max_value=25.0, allow_nan=False))
+        duration = draw(st.floats(min_value=0.01, max_value=5.0, allow_nan=False))
+        ops.append(read(value, start, start + duration))
+    return History(ops)
+
+
+@st.composite
+def clean_histories(draw, max_writes=5, max_reads=5):
+    """Random histories filtered to be anomaly-free and normalised."""
+    h = draw(histories(max_writes=max_writes, max_reads=max_reads))
+    if has_anomalies(h):
+        h = normalize(h, drop_anomalous_reads=True)
+    else:
+        h = normalize(h)
+    return h
+
+
+@st.composite
+def binpacking_instances(draw):
+    capacity = draw(st.integers(min_value=2, max_value=6))
+    num_bins = draw(st.integers(min_value=1, max_value=3))
+    sizes = draw(
+        st.lists(st.integers(min_value=1, max_value=capacity), min_size=0, max_size=5)
+    )
+    return BinPackingInstance(sizes=tuple(sizes), capacity=capacity, num_bins=num_bins)
+
+
+COMMON_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+# ----------------------------------------------------------------------
+# Normalisation properties
+# ----------------------------------------------------------------------
+class TestNormalisationProperties:
+    @COMMON_SETTINGS
+    @given(histories())
+    def test_normalize_preserves_operation_identities(self, h):
+        fixed = normalize(h, drop_anomalous_reads=True)
+        original_ids = {op.op_id for op in h.operations}
+        assert {op.op_id for op in fixed.operations} <= original_ids
+
+    @COMMON_SETTINGS
+    @given(histories())
+    def test_normalize_output_satisfies_assumptions(self, h):
+        fixed = normalize(h, drop_anomalous_reads=True)
+        assert not find_anomalies(fixed)
+        stamps = [t for op in fixed.operations for t in op.interval]
+        assert len(stamps) == len(set(stamps))
+        for w in fixed.writes:
+            reads = fixed.dictated_reads(w)
+            if reads:
+                assert w.finish < min(r.finish for r in reads)
+
+    @COMMON_SETTINGS
+    @given(clean_histories())
+    def test_normalize_is_idempotent_on_clean_histories(self, h):
+        again = normalize(h)
+        assert [op.op_id for op in again.operations] == [op.op_id for op in h.operations]
+
+
+# ----------------------------------------------------------------------
+# Algorithm agreement properties
+# ----------------------------------------------------------------------
+class TestAlgorithmAgreementProperties:
+    @COMMON_SETTINGS
+    @given(clean_histories())
+    def test_gk_matches_oracle(self, h):
+        assert bool(verify_1atomic(h)) == bool(verify_k_atomic_exact(h, 1))
+
+    @COMMON_SETTINGS
+    @given(clean_histories())
+    def test_lbt_and_fzf_match_oracle(self, h):
+        expected = bool(verify_k_atomic_exact(h, 2))
+        assert bool(verify_2atomic(h)) == expected
+        assert bool(verify_2atomic_fzf(h)) == expected
+
+    @COMMON_SETTINGS
+    @given(clean_histories(max_writes=4, max_reads=4))
+    def test_k_atomicity_monotone_in_k(self, h):
+        verdicts = [bool(verify_k_atomic_exact(h, k)) for k in range(1, 5)]
+        for earlier, later in zip(verdicts, verdicts[1:]):
+            assert later or not earlier
+
+    @COMMON_SETTINGS
+    @given(clean_histories())
+    def test_yes_verdicts_carry_valid_witnesses(self, h):
+        for result in (verify_2atomic(h), verify_2atomic_fzf(h)):
+            if result:
+                assert h.is_k_atomic_total_order(result.require_witness(), 2)
+
+    @COMMON_SETTINGS
+    @given(clean_histories(max_writes=4, max_reads=3))
+    def test_unit_weight_wkav_equals_kav(self, h):
+        for k in (1, 2, 3):
+            assert bool(verify_weighted_k_atomic(h, k)) == bool(
+                verify_k_atomic_exact(h, k)
+            )
+
+
+# ----------------------------------------------------------------------
+# Reduction properties (Theorem 5.1)
+# ----------------------------------------------------------------------
+class TestReductionProperties:
+    @COMMON_SETTINGS
+    @given(binpacking_instances())
+    def test_reduction_preserves_feasibility(self, instance):
+        reduced = reduce_to_wkav(instance)
+        feasible = is_feasible(instance)
+        verdict = verify_weighted_k_atomic(reduced.history, reduced.k)
+        assert bool(verdict) == feasible
+
+    @COMMON_SETTINGS
+    @given(binpacking_instances())
+    def test_witness_decodes_to_valid_packing(self, instance):
+        reduced = reduce_to_wkav(instance)
+        verdict = verify_weighted_k_atomic(reduced.history, reduced.k)
+        if verdict:
+            packing = decode_witness(reduced, verdict.require_witness())
+            assert packing.is_valid()
+
+    @COMMON_SETTINGS
+    @given(binpacking_instances())
+    def test_packing_encodes_to_weighted_witness(self, instance):
+        packing = solve_exact(instance)
+        if packing is None:
+            return
+        reduced = reduce_to_wkav(instance)
+        order = encode_packing(reduced, packing)
+        assert reduced.history.is_valid_total_order(order)
+        assert reduced.history.is_weighted_k_atomic_total_order(order, reduced.k)

@@ -1,0 +1,101 @@
+"""Unit tests for the history recorder."""
+
+import random
+
+import pytest
+
+from repro.core.operation import OpType
+from repro.simulation.events import EventLoop
+from repro.simulation.recorder import HistoryRecorder
+
+
+class TestRecording:
+    def test_write_recorded_with_timestamps(self):
+        loop = EventLoop()
+        recorder = HistoryRecorder(loop)
+        token = recorder.begin_write("c0", "k", "v1")
+        loop.schedule(5.0, lambda: recorder.complete(token))
+        loop.run()
+        (op,) = recorder.operations()
+        assert op.op_type is OpType.WRITE
+        assert op.value == "v1"
+        assert op.start == 0.0 and op.finish == 5.0
+        assert op.key == "k" and op.client == "c0"
+
+    def test_read_records_returned_value(self):
+        loop = EventLoop()
+        recorder = HistoryRecorder(loop)
+        token = recorder.begin_read("c1", "k")
+        loop.schedule(2.0, lambda: recorder.complete(token, value="observed"))
+        loop.run()
+        (op,) = recorder.operations()
+        assert op.op_type is OpType.READ
+        assert op.value == "observed"
+
+    def test_failed_operations_excluded(self):
+        loop = EventLoop()
+        recorder = HistoryRecorder(loop)
+        token = recorder.begin_read("c1", "k")
+        recorder.complete(token, ok=False)
+        assert recorder.operations() == []
+        assert recorder.failed_count == 1
+
+    def test_pending_operations_not_in_history(self):
+        loop = EventLoop()
+        recorder = HistoryRecorder(loop)
+        recorder.begin_write("c0", "k", "v")
+        assert recorder.pending_count == 1
+        assert recorder.completed_count == 0
+        assert recorder.multi_history().total_operations() == 0
+
+    def test_unknown_token_ignored(self):
+        recorder = HistoryRecorder(EventLoop())
+        recorder.complete(999)  # must not raise
+        assert recorder.completed_count == 0
+
+    def test_zero_duration_operation_gets_positive_length(self):
+        loop = EventLoop()
+        recorder = HistoryRecorder(loop)
+        token = recorder.begin_write("c0", "k", "v")
+        recorder.complete(token)  # same simulated instant
+        (op,) = recorder.operations()
+        assert op.finish > op.start
+
+    def test_multi_history_groups_by_key(self):
+        loop = EventLoop()
+        recorder = HistoryRecorder(loop)
+        t1 = recorder.begin_write("c0", "k1", "a")
+        t2 = recorder.begin_write("c0", "k2", "b")
+        loop.schedule(1.0, lambda: recorder.complete(t1))
+        loop.schedule(2.0, lambda: recorder.complete(t2))
+        loop.run()
+        trace = recorder.multi_history()
+        assert set(trace.keys()) == {"k1", "k2"}
+
+    def test_record_instant_write(self):
+        recorder = HistoryRecorder(EventLoop())
+        recorder.record_instant_write("seed", "k", "v0", -1.0, -0.999)
+        (op,) = recorder.operations()
+        assert op.is_write and op.start == -1.0
+
+
+class TestClockError:
+    def test_clock_error_perturbs_timestamps(self):
+        loop = EventLoop()
+        recorder = HistoryRecorder(loop, clock_error_ms=0.5, rng=random.Random(1))
+        token = recorder.begin_write("c0", "k", "v")
+        loop.schedule(10.0, lambda: recorder.complete(token))
+        loop.run()
+        (op,) = recorder.operations()
+        assert op.start != 0.0 or op.finish != 10.0
+        assert abs(op.start - 0.0) <= 0.5
+        assert abs(op.finish - 10.0) <= 0.5
+
+    def test_zero_clock_error_is_exact(self):
+        loop = EventLoop()
+        recorder = HistoryRecorder(loop, clock_error_ms=0.0)
+        token = recorder.begin_write("c0", "k", "v")
+        loop.schedule(10.0, lambda: recorder.complete(token))
+        loop.run()
+        (op,) = recorder.operations()
+        assert (op.start, op.finish) == (0.0, 10.0)

@@ -1,0 +1,144 @@
+"""Experiment E7: the bin-packing → weighted k-AV reduction (Theorem 5.1, Figure 5).
+
+The tests check the construction's structure (short writes, dictated reads,
+long writes confined between w(1) and w(m+1)), and — most importantly — the
+equivalence both ways: the bin-packing instance is feasible iff the
+constructed history is weighted-(B+2)-atomic, with explicit encoding/decoding
+of witnesses.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.wkav import verify_weighted_k_atomic
+from repro.binpacking.model import BinPackingInstance, random_instance
+from repro.binpacking.reduction import decode_witness, encode_packing, reduce_to_wkav
+from repro.binpacking.solver import is_feasible, solve_exact
+from repro.core.errors import ReductionError
+from repro.core.preprocess import find_anomalies
+
+
+@pytest.fixture
+def small_instance():
+    return BinPackingInstance(sizes=(3, 2, 2), capacity=4, num_bins=2)
+
+
+class TestConstructionStructure:
+    def test_counts_match_figure5(self, small_instance):
+        reduced = reduce_to_wkav(small_instance)
+        m, n = small_instance.num_bins, small_instance.num_items
+        assert len(reduced.short_writes) == m + 1
+        assert len(reduced.reads) == m
+        assert len(reduced.long_writes) == n
+        assert len(reduced.history) == (m + 1) + m + n
+
+    def test_k_is_capacity_plus_two(self, small_instance):
+        assert reduce_to_wkav(small_instance).k == small_instance.capacity + 2
+
+    def test_short_writes_have_unit_weight(self, small_instance):
+        reduced = reduce_to_wkav(small_instance)
+        assert all(w.weight == 1 for w in reduced.short_writes)
+
+    def test_long_write_weights_match_item_sizes(self, small_instance):
+        reduced = reduce_to_wkav(small_instance)
+        assert [w.weight for w in reduced.long_writes] == list(small_instance.sizes)
+
+    def test_reads_are_dictated_by_their_short_writes(self, small_instance):
+        reduced = reduce_to_wkav(small_instance)
+        h = reduced.history
+        for i, r in enumerate(reduced.reads):
+            assert h.dictating_write(r) is reduced.short_writes[i]
+
+    def test_short_operations_are_totally_ordered_in_real_time(self, small_instance):
+        reduced = reduce_to_wkav(small_instance)
+        # Forced sequence: w(1) w(2) r(1) w(3) r(2) ... w(m+1) r(m).
+        m = small_instance.num_bins
+        sequence = [reduced.short_writes[0]]
+        for i in range(1, m + 1):
+            sequence.append(reduced.short_writes[i])
+            sequence.append(reduced.reads[i - 1])
+        for earlier, later in zip(sequence, sequence[1:]):
+            assert earlier.precedes(later)
+
+    def test_long_writes_span_between_w1_and_wm1(self, small_instance):
+        reduced = reduce_to_wkav(small_instance)
+        w1 = reduced.short_writes[0]
+        w_last = reduced.short_writes[-1]
+        for lw in reduced.long_writes:
+            assert w1.precedes(lw)
+            assert lw.precedes(w_last)
+
+    def test_construction_is_anomaly_free(self, small_instance):
+        assert not find_anomalies(reduce_to_wkav(small_instance).history)
+
+    def test_no_bins_rejected(self):
+        with pytest.raises(ReductionError):
+            BinPackingInstance(sizes=(1,), capacity=2, num_bins=0)
+
+
+class TestEquivalence:
+    CASES = [
+        # (sizes, capacity, bins, feasible)
+        ((3, 2, 2), 4, 2, True),
+        ((3, 3, 3), 4, 2, False),
+        ((4, 3, 3, 2, 2, 2), 8, 2, True),
+        ((4, 3, 3, 2, 2, 2), 7, 2, False),
+        ((1, 1, 1, 1), 2, 2, True),
+        ((2, 2, 2), 2, 3, True),
+        ((2, 2, 2, 2), 2, 3, False),
+        ((5,), 5, 1, True),
+        ((5, 1), 5, 1, False),
+    ]
+
+    @pytest.mark.parametrize("sizes,capacity,bins,feasible", CASES)
+    def test_feasibility_equivalence(self, sizes, capacity, bins, feasible):
+        instance = BinPackingInstance(sizes=sizes, capacity=capacity, num_bins=bins)
+        assert is_feasible(instance) == feasible
+        reduced = reduce_to_wkav(instance)
+        assert bool(verify_weighted_k_atomic(reduced.history, reduced.k)) == feasible
+
+    @pytest.mark.parametrize("sizes,capacity,bins,feasible", CASES)
+    def test_witness_round_trip(self, sizes, capacity, bins, feasible):
+        instance = BinPackingInstance(sizes=sizes, capacity=capacity, num_bins=bins)
+        reduced = reduce_to_wkav(instance)
+        verdict = verify_weighted_k_atomic(reduced.history, reduced.k)
+        if not feasible:
+            assert not verdict
+            return
+        packing = decode_witness(reduced, verdict.require_witness())
+        assert packing.is_valid()
+        # Encoding an exact packing must give a valid weighted witness too.
+        exact_packing = solve_exact(instance)
+        order = encode_packing(reduced, exact_packing)
+        assert reduced.history.is_valid_total_order(order)
+        assert reduced.history.is_weighted_k_atomic_total_order(order, reduced.k)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances_round_trip(self, seed):
+        rng = random.Random(seed)
+        instance = random_instance(
+            rng,
+            num_items=rng.randint(1, 5),
+            capacity=rng.randint(2, 6),
+            num_bins=rng.randint(1, 3),
+        )
+        reduced = reduce_to_wkav(instance)
+        feasible = is_feasible(instance)
+        verdict = verify_weighted_k_atomic(reduced.history, reduced.k)
+        assert bool(verdict) == feasible
+
+    def test_decode_rejects_incomplete_witness(self, ):
+        instance = BinPackingInstance(sizes=(1,), capacity=2, num_bins=1)
+        reduced = reduce_to_wkav(instance)
+        with pytest.raises(ReductionError):
+            decode_witness(reduced, reduced.short_writes)
+
+    def test_encode_rejects_invalid_packing(self):
+        from repro.binpacking.model import BinPackingAssignment
+
+        instance = BinPackingInstance(sizes=(3, 3), capacity=4, num_bins=2)
+        reduced = reduce_to_wkav(instance)
+        bad = BinPackingAssignment(instance, ((0, 1), ()))  # over capacity
+        with pytest.raises(ReductionError):
+            encode_packing(reduced, bad)

@@ -1,0 +1,68 @@
+"""Unit tests for the algorithm registry."""
+
+import pytest
+
+from repro.algorithms.registry import (
+    REGISTRY,
+    algorithms_for_k,
+    available_algorithms,
+    get_algorithm,
+)
+from repro.core.errors import VerificationError
+
+
+class TestLookups:
+    def test_all_expected_algorithms_registered(self):
+        assert {"gk", "lbt", "lbt-reference", "fzf", "exact"} <= set(REGISTRY)
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_algorithm("FZF").name == "fzf"
+        assert get_algorithm("  Lbt ").name == "lbt"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(VerificationError):
+            get_algorithm("quantum")
+
+    def test_descriptions_available(self):
+        descriptions = available_algorithms()
+        assert "fzf" in descriptions
+        assert all(isinstance(text, str) and text for text in descriptions.values())
+
+
+class TestKSupport:
+    def test_gk_supports_only_k1(self):
+        spec = get_algorithm("gk")
+        assert spec.supports(1)
+        assert not spec.supports(2)
+
+    def test_lbt_and_fzf_support_only_k2(self):
+        for name in ("lbt", "lbt-reference", "fzf"):
+            spec = get_algorithm(name)
+            assert spec.supports(2)
+            assert not spec.supports(1)
+            assert not spec.supports(3)
+
+    def test_exact_supports_any_k(self):
+        spec = get_algorithm("exact")
+        for k in (1, 2, 3, 10, 100):
+            assert spec.supports(k)
+
+    def test_algorithms_for_k(self):
+        assert set(algorithms_for_k(1)) == {"gk", "exact"}
+        assert set(algorithms_for_k(2)) == {"lbt", "lbt-reference", "fzf", "exact"}
+        assert set(algorithms_for_k(7)) == {"exact"}
+
+
+class TestAdapters:
+    def test_adapter_rejects_wrong_k(self, atomic_history):
+        with pytest.raises(VerificationError):
+            get_algorithm("gk").fn(atomic_history, 2)
+        with pytest.raises(VerificationError):
+            get_algorithm("fzf").fn(atomic_history, 1)
+        with pytest.raises(VerificationError):
+            get_algorithm("lbt").fn(atomic_history, 3)
+
+    def test_adapter_runs_correct_algorithm(self, stale_by_one_history):
+        assert get_algorithm("gk").fn(stale_by_one_history, 1).algorithm == "GK"
+        assert get_algorithm("fzf").fn(stale_by_one_history, 2).algorithm == "FZF"
+        assert get_algorithm("exact").fn(stale_by_one_history, 3).algorithm == "exact"

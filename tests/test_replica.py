@@ -1,0 +1,123 @@
+"""Unit tests for replica nodes."""
+
+import pytest
+
+from repro.simulation.events import EventLoop
+from repro.simulation.replica import Replica, StoredVersion
+
+
+class TestWrites:
+    def test_write_applied_and_acked(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop)
+        acks = []
+        replica.handle_write("k", "v1", (1, "c", 0), acks.append)
+        loop.run()
+        assert acks == ["r0"]
+        assert replica.store["k"].value == "v1"
+        assert replica.stats.writes_applied == 1
+
+    def test_newer_version_overwrites(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop)
+        replica.handle_write("k", "old", (1, "c", 0), lambda rid: None)
+        replica.handle_write("k", "new", (2, "c", 1), lambda rid: None)
+        loop.run()
+        assert replica.store["k"].value == "new"
+
+    def test_stale_version_ignored_but_acked(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop)
+        acks = []
+        replica.handle_write("k", "new", (2, "c", 1), acks.append)
+        replica.handle_write("k", "old", (1, "c", 0), acks.append)
+        loop.run()
+        assert replica.store["k"].value == "new"
+        assert replica.stats.writes_ignored_stale == 1
+        assert len(acks) == 2
+
+    def test_apply_delay_postpones_ack(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop, apply_delay_ms=5.0)
+        ack_times = []
+        replica.handle_write("k", "v", (1, "c", 0), lambda rid: ack_times.append(loop.now))
+        loop.run()
+        assert ack_times == [5.0]
+
+    def test_out_of_order_delivery_converges_to_newest(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop)
+        versions = [(3, "c", 2), (1, "c", 0), (2, "c", 1)]
+        for i, version in enumerate(versions):
+            replica.handle_write("k", f"v{version[0]}", version, lambda rid: None)
+        loop.run()
+        assert replica.store["k"].value == "v3"
+
+
+class TestReads:
+    def test_read_returns_stored_version(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop)
+        replica.install("k", "v", (1, "seed", 0))
+        replies = []
+        replica.handle_read("k", lambda rid, stored: replies.append((rid, stored)))
+        loop.run()
+        assert replies[0][0] == "r0"
+        assert replies[0][1] == StoredVersion((1, "seed", 0), "v")
+
+    def test_read_of_unknown_key_returns_none(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop)
+        replies = []
+        replica.handle_read("missing", lambda rid, stored: replies.append(stored))
+        loop.run()
+        assert replies == [None]
+
+
+class TestFaults:
+    def test_crashed_replica_drops_requests(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop)
+        replica.crash()
+        acks = []
+        replies = []
+        replica.handle_write("k", "v", (1, "c", 0), acks.append)
+        replica.handle_read("k", lambda rid, stored: replies.append(stored))
+        loop.run()
+        assert acks == [] and replies == []
+        assert replica.stats.requests_dropped_while_down == 2
+
+    def test_recovered_replica_serves_again(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop)
+        replica.crash()
+        replica.recover()
+        acks = []
+        replica.handle_write("k", "v", (1, "c", 0), acks.append)
+        loop.run()
+        assert acks == ["r0"]
+
+    def test_state_survives_crash(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop)
+        replica.install("k", "v", (1, "seed", 0))
+        replica.crash()
+        replica.recover()
+        assert replica.store["k"].value == "v"
+
+    def test_crash_during_apply_delay_drops_write(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop, apply_delay_ms=5.0)
+        acks = []
+        replica.handle_write("k", "v", (1, "c", 0), acks.append)
+        loop.schedule(1.0, replica.crash)
+        loop.run()
+        assert acks == []
+        assert "k" not in replica.store
+
+    def test_install_keeps_newest_version(self):
+        loop = EventLoop()
+        replica = Replica("r0", loop)
+        replica.install("k", "new", (5, "seed", 0))
+        replica.install("k", "old", (1, "seed", 1))
+        assert replica.store["k"].value == "new"

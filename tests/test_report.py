@@ -1,0 +1,60 @@
+"""Unit tests for report rendering and trace auditing."""
+
+import pytest
+
+from repro.analysis.report import ConsistencyReport, audit_trace, format_table
+from repro.analysis.spectrum import StalenessBucket
+from repro.core.history import MultiHistory
+from repro.workloads.synthetic import exactly_k_atomic_history, serial_history
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_headers_present(self):
+        text = format_table(["col1", "col2"], [[1, 2]])
+        assert "col1" in text and "col2" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+def build_trace():
+    ops = []
+    ops.extend(serial_history(4, 1, key="fresh").operations)
+    ops.extend(exactly_k_atomic_history(2, 4, key="lagging").operations)
+    return MultiHistory(ops)
+
+
+class TestAuditTrace:
+    def test_report_covers_all_keys(self):
+        report = audit_trace(build_trace())
+        assert report.num_keys == 2
+
+    def test_render_contains_key_rows_and_buckets(self):
+        report = audit_trace(build_trace(), title="unit-test audit")
+        text = report.render()
+        assert "unit-test audit" in text
+        assert "fresh" in text and "lagging" in text
+        assert StalenessBucket.ATOMIC.value in text
+        assert StalenessBucket.TWO_ATOMIC.value in text
+
+    def test_worst_observed_lag(self):
+        report = audit_trace(build_trace())
+        assert report.worst_observed_lag() == 1
+
+    def test_per_key_staleness_entries(self):
+        report = audit_trace(build_trace())
+        keys = {key for key, _ in report.per_key_staleness}
+        assert keys == {"fresh", "lagging"}
+
+    def test_resolve_exact_passthrough(self):
+        ops = list(exactly_k_atomic_history(3, 5, key="deep").operations)
+        report = audit_trace(MultiHistory(ops), resolve_exact=True)
+        verdict = report.spectrum.verdicts[0]
+        assert verdict.minimal_k == 3

@@ -1,0 +1,72 @@
+"""Unit tests for VerificationResult."""
+
+import pytest
+
+from repro.core.history import History
+from repro.core.operation import read, write
+from repro.core.result import VerificationResult
+
+
+@pytest.fixture
+def tiny_history():
+    return History([write("a", 0.0, 1.0), read("a", 2.0, 3.0)])
+
+
+class TestConstruction:
+    def test_yes_factory(self, tiny_history):
+        result = VerificationResult.yes(2, "LBT", witness=tiny_history.operations)
+        assert result.is_k_atomic
+        assert bool(result)
+        assert result.k == 2
+        assert result.algorithm == "LBT"
+
+    def test_no_factory(self):
+        result = VerificationResult.no(2, "FZF", reason="bad chunk")
+        assert not result
+        assert result.reason == "bad chunk"
+        assert result.witness is None
+
+    def test_stats_are_copied(self):
+        stats = {"epochs": 3}
+        result = VerificationResult.yes(2, "LBT", stats=stats)
+        stats["epochs"] = 99
+        assert result.stats["epochs"] == 3
+
+
+class TestWitnessHandling:
+    def test_require_witness_returns_order(self, tiny_history):
+        result = VerificationResult.yes(1, "exact", witness=tiny_history.operations)
+        assert result.require_witness() == tuple(tiny_history.operations)
+
+    def test_require_witness_raises_without_one(self):
+        result = VerificationResult.no(1, "GK")
+        with pytest.raises(ValueError):
+            result.require_witness()
+
+    def test_check_witness_true_for_valid_order(self, tiny_history):
+        result = VerificationResult.yes(1, "exact", witness=tiny_history.operations)
+        assert result.check_witness(tiny_history)
+
+    def test_check_witness_false_for_invalid_order(self, tiny_history):
+        backwards = list(reversed(tiny_history.operations))
+        result = VerificationResult.yes(1, "exact", witness=backwards)
+        assert not result.check_witness(tiny_history)
+
+    def test_check_witness_false_when_absent(self, tiny_history):
+        result = VerificationResult.yes(1, "GK")
+        assert not result.check_witness(tiny_history)
+
+    def test_check_witness_respects_k(self):
+        h = History([write("a", 0.0, 1.0), write("b", 2.0, 3.0), read("a", 4.0, 5.0)])
+        result_k1 = VerificationResult.yes(1, "exact", witness=h.operations)
+        result_k2 = VerificationResult.yes(2, "exact", witness=h.operations)
+        assert not result_k1.check_witness(h)
+        assert result_k2.check_witness(h)
+
+
+class TestPresentation:
+    def test_summary_contains_verdict_and_algorithm(self):
+        yes = VerificationResult.yes(2, "FZF")
+        no = VerificationResult.no(2, "FZF", reason="three backward clusters")
+        assert "YES" in yes.summary() and "FZF" in yes.summary()
+        assert "NO" in no.summary() and "three backward clusters" in no.summary()

@@ -1,0 +1,98 @@
+"""Unit tests for the staleness spectrum analysis."""
+
+import pytest
+
+from repro.analysis.spectrum import (
+    StalenessBucket,
+    atomicity_spectrum,
+    staleness_bucket,
+)
+from repro.core.history import History, MultiHistory
+from repro.core.operation import read, write
+from repro.workloads.synthetic import exactly_k_atomic_history, serial_history
+
+
+class TestStalenessBucket:
+    def test_atomic_history(self):
+        bucket, k = staleness_bucket(serial_history(5, 1))
+        assert bucket is StalenessBucket.ATOMIC
+        assert k == 1
+
+    def test_two_atomic_history(self):
+        bucket, k = staleness_bucket(exactly_k_atomic_history(2, 5))
+        assert bucket is StalenessBucket.TWO_ATOMIC
+        assert k == 2
+
+    def test_three_plus_unresolved_by_default(self):
+        bucket, k = staleness_bucket(exactly_k_atomic_history(4, 6))
+        assert bucket is StalenessBucket.THREE_PLUS
+        assert k is None
+
+    def test_three_plus_resolved_on_request(self):
+        bucket, k = staleness_bucket(exactly_k_atomic_history(4, 6), resolve_exact=True)
+        assert bucket is StalenessBucket.THREE_PLUS
+        assert k == 4
+
+    def test_anomalous_history(self):
+        h = History([write("a", 5.0, 6.0), read("ghost", 0.0, 1.0)])
+        bucket, k = staleness_bucket(h)
+        assert bucket is StalenessBucket.ANOMALOUS
+        assert k is None
+
+    def test_empty_history(self):
+        bucket, k = staleness_bucket(History([]))
+        assert bucket is StalenessBucket.EMPTY
+
+
+class TestSpectrum:
+    def build_trace(self):
+        ops = []
+        for op in serial_history(4, 1, key="atomic"):
+            ops.append(op)
+        for op in exactly_k_atomic_history(2, 4, key="two"):
+            ops.append(op)
+        for op in exactly_k_atomic_history(3, 5, key="three"):
+            ops.append(op)
+        return MultiHistory(ops)
+
+    def test_counts_per_bucket(self):
+        spectrum = atomicity_spectrum(self.build_trace())
+        counts = spectrum.counts()
+        assert counts[StalenessBucket.ATOMIC] == 1
+        assert counts[StalenessBucket.TWO_ATOMIC] == 1
+        assert counts[StalenessBucket.THREE_PLUS] == 1
+
+    def test_fractions(self):
+        spectrum = atomicity_spectrum(self.build_trace())
+        assert spectrum.fraction_atomic == pytest.approx(1 / 3)
+        assert spectrum.fraction_within_2 == pytest.approx(2 / 3)
+
+    def test_worst_bucket(self):
+        spectrum = atomicity_spectrum(self.build_trace())
+        assert spectrum.worst_bucket() is StalenessBucket.THREE_PLUS
+
+    def test_is_k_atomic_aggregation(self):
+        spectrum = atomicity_spectrum(self.build_trace(), resolve_exact=True)
+        assert spectrum.is_k_atomic(1) is False
+        assert spectrum.is_k_atomic(2) is False
+        assert spectrum.is_k_atomic(3) is True
+
+    def test_is_k_atomic_unresolved_returns_none(self):
+        spectrum = atomicity_spectrum(self.build_trace(), resolve_exact=False)
+        assert spectrum.is_k_atomic(3) is None
+        assert spectrum.is_k_atomic(2) is False
+
+    def test_all_atomic_trace(self):
+        ops = []
+        for key in ("a", "b"):
+            ops.extend(serial_history(3, 1, key=key).operations)
+        spectrum = atomicity_spectrum(MultiHistory(ops))
+        assert spectrum.fraction_atomic == 1.0
+        assert spectrum.is_k_atomic(1) is True
+        assert spectrum.worst_bucket() is StalenessBucket.ATOMIC
+
+    def test_verdict_records_operation_counts(self):
+        spectrum = atomicity_spectrum(self.build_trace())
+        by_key = {v.key: v for v in spectrum.verdicts}
+        assert by_key["atomic"].num_operations == len(serial_history(4, 1))
+        assert spectrum.num_keys == 3

@@ -1,0 +1,144 @@
+"""Integration tests for the end-to-end store simulator (Experiment E8 substrate)."""
+
+import pytest
+
+from repro.analysis.spectrum import StalenessBucket, atomicity_spectrum
+from repro.core.api import verify
+from repro.core.preprocess import find_anomalies
+from repro.simulation import (
+    ExponentialLatency,
+    FaultSchedule,
+    FixedLatency,
+    QuorumConfig,
+    SloppyQuorumStore,
+    StoreConfig,
+    crash_window,
+)
+from repro.workloads import SingleKey, UniformKeys, WorkloadSpec, ZipfianKeys
+
+
+def run_store(n, r, w, *, seed=7, clients=10, ops=30, drop=0.0, latency=None,
+              read_repair=False, faults=None, keys=None, think=2.0):
+    config = StoreConfig(
+        quorum=QuorumConfig(num_replicas=n, read_quorum=r, write_quorum=w,
+                            read_repair=read_repair),
+        latency=latency if latency is not None else ExponentialLatency(mean_ms=3.0),
+        drop_probability=drop,
+    )
+    store = SloppyQuorumStore(config, seed=seed)
+    spec = WorkloadSpec(
+        num_clients=clients,
+        operations_per_client=ops,
+        write_ratio=0.5,
+        key_selector=keys if keys is not None else SingleKey(),
+        mean_think_time_ms=think,
+        seed=seed,
+    )
+    return store.run(spec, faults=faults)
+
+
+class TestBasicRuns:
+    def test_all_operations_complete_without_faults(self):
+        result = run_store(3, 2, 2)
+        assert result.failed_operations == 0
+        expected = result.workload.total_operations + 1  # + seed write
+        assert result.completed_operations == expected
+
+    def test_histories_are_anomaly_free(self):
+        result = run_store(5, 1, 2)
+        for key in result.history.keys():
+            assert not find_anomalies(result.history[key])
+
+    def test_deterministic_given_seeds(self):
+        a = run_store(3, 1, 1, seed=42)
+        b = run_store(3, 1, 1, seed=42)
+        ops_a = [(op.op_type, op.value, op.start, op.finish)
+                 for op in a.history["key-00000"].operations]
+        ops_b = [(op.op_type, op.value, op.start, op.finish)
+                 for op in b.history["key-00000"].operations]
+        assert ops_a == ops_b
+
+    def test_different_seeds_differ(self):
+        a = run_store(3, 1, 1, seed=1)
+        b = run_store(3, 1, 1, seed=2)
+        ops_a = [(op.value, op.start) for op in a.history["key-00000"].operations]
+        ops_b = [(op.value, op.start) for op in b.history["key-00000"].operations]
+        assert ops_a != ops_b
+
+    def test_multi_key_workload_splits_histories(self):
+        result = run_store(3, 2, 2, keys=UniformKeys(4), clients=8, ops=20)
+        assert len(result.history) == 4
+        assert result.history.total_operations() == result.completed_operations
+
+    def test_summary_mentions_quorum(self):
+        result = run_store(5, 1, 2, clients=4, ops=5)
+        assert "N=5" in result.summary()
+
+
+class TestConsistencyBehaviour:
+    def test_strict_quorums_are_atomic(self):
+        # R + W > N with last-writer-wins versions and symmetric latency:
+        # every read sees the latest completed write.
+        result = run_store(3, 2, 2, seed=5, clients=10, ops=40)
+        h = result.history["key-00000"]
+        assert verify(h, 1)
+
+    def test_sloppy_quorums_eventually_violate_atomicity(self):
+        # R=1, W=1 on 5 replicas: reads frequently miss the latest write.
+        violations = 0
+        for seed in range(4):
+            result = run_store(5, 1, 1, seed=seed, clients=12, ops=40)
+            h = result.history["key-00000"]
+            if not verify(h, 1):
+                violations += 1
+        assert violations >= 1
+
+    def test_read_repair_reduces_staleness(self):
+        stale_without = 0
+        stale_with = 0
+        for seed in range(3):
+            no_repair = run_store(5, 1, 1, seed=seed, clients=12, ops=40)
+            with_repair = run_store(5, 1, 1, seed=seed, clients=12, ops=40, read_repair=True)
+            from repro.analysis.metrics import staleness_stats
+
+            stale_without += staleness_stats(no_repair.history["key-00000"]).stale_reads
+            stale_with += staleness_stats(with_repair.history["key-00000"]).stale_reads
+        assert stale_with <= stale_without
+
+    def test_spectrum_on_sloppy_store(self):
+        result = run_store(5, 1, 2, seed=11, clients=10, ops=40, keys=ZipfianKeys(3))
+        spectrum = atomicity_spectrum(result.history)
+        assert spectrum.num_keys == 3
+        assert spectrum.worst_bucket() in (
+            StalenessBucket.ATOMIC,
+            StalenessBucket.TWO_ATOMIC,
+            StalenessBucket.THREE_PLUS,
+        )
+
+
+class TestFaultInjection:
+    def test_crashed_replica_can_cause_timeouts(self):
+        faults = crash_window("replica-0", 0.0, 1e9)
+        result = run_store(3, 1, 3, seed=3, clients=5, ops=10, faults=faults)
+        assert result.coordinator.writes_timed_out > 0
+        assert result.failed_operations > 0
+
+    def test_crash_window_heals(self):
+        faults = crash_window("replica-0", 0.0, 30.0)
+        result = run_store(3, 2, 2, seed=3, clients=5, ops=20, faults=faults)
+        # After recovery the cluster keeps serving; most operations complete.
+        assert result.completed_operations > result.failed_operations
+
+    def test_fault_schedule_composition(self):
+        schedule = FaultSchedule()
+        schedule.add_crash("replica-1", 10.0).add_recover("replica-1", 50.0)
+        schedule.add_partition("client-0", "replica-2", 5.0)
+        schedule.add_heal("client-0", "replica-2", 60.0)
+        assert len(schedule) == 4
+        result = run_store(3, 2, 2, seed=9, clients=4, ops=15, faults=schedule)
+        assert result.completed_operations > 0
+
+    def test_message_loss_still_makes_progress(self):
+        result = run_store(3, 2, 2, seed=13, clients=5, ops=15, drop=0.05)
+        assert result.completed_operations > 0
+        assert result.network.dropped > 0

@@ -1,0 +1,112 @@
+"""Unit tests for weighted k-AV (Section V) front-end helpers."""
+
+import pytest
+
+from repro.algorithms.wkav import (
+    is_weighted_k_atomic,
+    verify_weighted_k_atomic,
+    weighted_lower_bound,
+    with_weights,
+    total_write_weight,
+)
+from repro.core.errors import VerificationError
+from repro.core.history import History
+from repro.core.operation import read, write
+
+
+@pytest.fixture
+def weighted_history():
+    return History(
+        [
+            write("a", 0.0, 1.0),
+            write("important", 2.0, 3.0),
+            read("a", 4.0, 5.0),
+        ]
+    )
+
+
+class TestWithWeights:
+    def test_weights_applied_to_named_values(self, weighted_history):
+        h = with_weights(weighted_history, {"important": 5})
+        assert h.writer_of("important").weight == 5
+        assert h.writer_of("a").weight == 1
+
+    def test_reads_unaffected(self, weighted_history):
+        h = with_weights(weighted_history, {"a": 3})
+        assert all(r.weight == 1 for r in h.reads)
+
+    def test_rejects_non_positive_weights(self, weighted_history):
+        with pytest.raises(VerificationError):
+            with_weights(weighted_history, {"a": 0})
+        with pytest.raises(VerificationError):
+            with_weights(weighted_history, {"a": -2})
+
+    def test_rejects_non_integer_weights(self, weighted_history):
+        with pytest.raises(VerificationError):
+            with_weights(weighted_history, {"a": 1.5})
+
+    def test_total_write_weight(self, weighted_history):
+        h = with_weights(weighted_history, {"a": 2, "important": 5})
+        assert total_write_weight(h) == 7
+
+
+class TestLowerBound:
+    def test_unweighted_lower_bound_is_one(self, weighted_history):
+        assert weighted_lower_bound(weighted_history) == 1
+
+    def test_lower_bound_ignores_unread_writes(self, weighted_history):
+        h = with_weights(weighted_history, {"important": 9})  # never read
+        assert weighted_lower_bound(h) == 1
+
+    def test_lower_bound_tracks_read_writes(self, weighted_history):
+        h = with_weights(weighted_history, {"a": 4})
+        assert weighted_lower_bound(h) == 4
+
+
+class TestVerification:
+    def test_plain_history_weighted_verdicts(self, weighted_history):
+        # With unit weights the separation of r(a) is 2 (a itself plus the
+        # intervening write), so k = 2 works and k = 1 does not.
+        assert not is_weighted_k_atomic(weighted_history, 1)
+        assert is_weighted_k_atomic(weighted_history, 2)
+
+    def test_important_write_raises_required_k(self, weighted_history):
+        h = with_weights(weighted_history, {"important": 5})
+        # Separation of r(a) becomes 1 + 5 = 6.
+        assert not is_weighted_k_atomic(h, 5)
+        assert is_weighted_k_atomic(h, 6)
+
+    def test_heavy_dictating_write_short_circuit(self, weighted_history):
+        h = with_weights(weighted_history, {"a": 10})
+        result = verify_weighted_k_atomic(h, 3)
+        assert not result
+        assert "weight" in result.reason
+
+    def test_invalid_k_rejected(self, weighted_history):
+        with pytest.raises(VerificationError):
+            verify_weighted_k_atomic(weighted_history, 0)
+
+    def test_empty_history(self):
+        assert verify_weighted_k_atomic(History([]), 1)
+
+    def test_anomalous_history_rejected(self):
+        h = History([write("a", 5.0, 6.0), read("ghost", 0.0, 1.0)])
+        assert not verify_weighted_k_atomic(h, 3)
+
+    def test_concurrent_heavy_write_can_be_dodged(self):
+        # The heavy write overlaps the read, so a valid order can place it
+        # after the read and the weighted bound stays small.
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                write("heavy", 2.0, 20.0, weight=7),
+                read("a", 3.0, 4.0),
+            ]
+        )
+        assert is_weighted_k_atomic(h, 1)
+
+    def test_witness_satisfies_weighted_definition(self, weighted_history):
+        h = with_weights(weighted_history, {"important": 3})
+        result = verify_weighted_k_atomic(h, 4)
+        assert result
+        assert h.is_weighted_k_atomic_total_order(result.require_witness(), 4)

@@ -1,0 +1,102 @@
+"""Unit tests for workload specifications and key selectors."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.spec import (
+    HotspotKeys,
+    SingleKey,
+    UniformKeys,
+    WorkloadSpec,
+    ZipfianKeys,
+)
+
+
+class TestKeySelectors:
+    def test_single_key_always_same(self):
+        selector = SingleKey()
+        rng = random.Random(0)
+        assert {selector.select(rng) for _ in range(20)} == {"key-00000"}
+        assert selector.keys() == ["key-00000"]
+
+    def test_uniform_covers_all_keys(self):
+        selector = UniformKeys(5)
+        rng = random.Random(0)
+        seen = {selector.select(rng) for _ in range(500)}
+        assert seen == set(selector.keys())
+        assert len(selector.keys()) == 5
+
+    def test_uniform_is_roughly_balanced(self):
+        selector = UniformKeys(4)
+        rng = random.Random(1)
+        counts = Counter(selector.select(rng) for _ in range(4000))
+        for key in selector.keys():
+            assert 800 <= counts[key] <= 1200
+
+    def test_zipfian_prefers_low_ranks(self):
+        selector = ZipfianKeys(num_keys=20, theta=0.99)
+        rng = random.Random(2)
+        counts = Counter(selector.select(rng) for _ in range(5000))
+        hottest = counts["key-00000"]
+        coldest = counts.get("key-00019", 0)
+        assert hottest > 5 * max(coldest, 1)
+
+    def test_zipfian_with_zero_theta_is_uniformish(self):
+        selector = ZipfianKeys(num_keys=4, theta=0.0)
+        rng = random.Random(3)
+        counts = Counter(selector.select(rng) for _ in range(4000))
+        assert min(counts.values()) > 700
+
+    def test_hotspot_traffic_share(self):
+        selector = HotspotKeys(num_keys=10, hot_fraction=0.1, hot_traffic=0.9)
+        rng = random.Random(4)
+        counts = Counter(selector.select(rng) for _ in range(5000))
+        hot = counts["key-00000"]
+        assert hot / 5000 == pytest.approx(0.9, abs=0.05)
+
+    def test_selectors_validate_parameters(self):
+        with pytest.raises(ValueError):
+            UniformKeys(0)
+        with pytest.raises(ValueError):
+            ZipfianKeys(0)
+        with pytest.raises(ValueError):
+            ZipfianKeys(3, theta=-1.0)
+        with pytest.raises(ValueError):
+            HotspotKeys(5, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotKeys(5, hot_traffic=1.5)
+
+    def test_all_selectors_return_known_keys(self):
+        rng = random.Random(5)
+        for selector in (UniformKeys(3), ZipfianKeys(3), HotspotKeys(3), SingleKey()):
+            keys = set(selector.keys())
+            assert all(selector.select(rng) in keys for _ in range(50))
+
+
+class TestWorkloadSpec:
+    def test_total_operations(self):
+        spec = WorkloadSpec(num_clients=4, operations_per_client=25)
+        assert spec.total_operations == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_clients=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(operations_per_client=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(write_ratio=2.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(mean_think_time_ms=-1.0)
+
+    def test_client_rng_deterministic_and_distinct(self):
+        spec = WorkloadSpec(seed=9)
+        first = spec.client_rng(0).random()
+        again = spec.client_rng(0).random()
+        other = spec.client_rng(1).random()
+        assert first == again
+        assert first != other
+
+    def test_default_key_selector_is_single_key(self):
+        assert isinstance(WorkloadSpec().key_selector, SingleKey)

@@ -1,0 +1,79 @@
+"""Unit tests for the adversarial (high write concurrency) history generators."""
+
+import pytest
+
+from repro.algorithms.fzf import verify_2atomic_fzf
+from repro.algorithms.lbt import verify_2atomic
+from repro.core.preprocess import find_anomalies
+from repro.workloads.adversarial import (
+    concurrent_batch_history,
+    high_concurrency_history,
+    non_2atomic_batch_history,
+)
+
+
+class TestConcurrentBatchHistory:
+    def test_operation_counts(self):
+        h = concurrent_batch_history(num_batches=4, batch_size=6, reads_per_batch=2)
+        assert len(h.writes) == 24
+        assert len(h.reads) == 8
+
+    def test_write_concurrency_equals_batch_size(self):
+        h = concurrent_batch_history(num_batches=3, batch_size=7)
+        assert h.max_concurrent_writes() == 7
+
+    def test_is_2atomic(self):
+        h = concurrent_batch_history(num_batches=3, batch_size=5)
+        assert verify_2atomic(h)
+        assert verify_2atomic_fzf(h)
+
+    def test_no_anomalies(self):
+        assert not find_anomalies(concurrent_batch_history(3, 4))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            concurrent_batch_history(0, 3)
+        with pytest.raises(ValueError):
+            concurrent_batch_history(3, 0)
+
+    def test_values_are_unique(self):
+        h = concurrent_batch_history(5, 5)
+        values = [w.value for w in h.writes]
+        assert len(values) == len(set(values))
+
+
+class TestHighConcurrencyHistory:
+    def test_concurrency_scales_with_size(self):
+        small = high_concurrency_history(40, concurrency_fraction=0.25)
+        large = high_concurrency_history(160, concurrency_fraction=0.25)
+        assert large.max_concurrent_writes() > small.max_concurrent_writes()
+
+    def test_concurrency_close_to_requested_fraction(self):
+        n = 200
+        h = high_concurrency_history(n, concurrency_fraction=0.25)
+        assert h.max_concurrent_writes() == pytest.approx(n * 0.25, rel=0.1)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            high_concurrency_history(3)
+
+    def test_still_2atomic(self):
+        h = high_concurrency_history(60)
+        assert verify_2atomic(h)
+
+
+class TestNon2AtomicBatchHistory:
+    def test_rejected_by_both_algorithms(self):
+        h = non_2atomic_batch_history(num_batches=3, batch_size=4)
+        assert not verify_2atomic(h)
+        assert not verify_2atomic_fzf(h)
+
+    def test_requires_batch_size_three(self):
+        with pytest.raises(ValueError):
+            non_2atomic_batch_history(2, 2)
+
+    def test_single_batch_is_already_non_2atomic(self):
+        assert not verify_2atomic(non_2atomic_batch_history(1, 3))
+
+    def test_no_anomalies(self):
+        assert not find_anomalies(non_2atomic_batch_history(2, 4))

@@ -1,0 +1,119 @@
+"""Unit tests for the synthetic history generators."""
+
+import random
+
+import pytest
+
+from repro.core.api import minimal_k, verify
+from repro.core.preprocess import find_anomalies
+from repro.workloads.synthetic import (
+    exactly_k_atomic_history,
+    practical_history,
+    random_history,
+    serial_history,
+)
+
+
+class TestSerialHistory:
+    def test_counts(self):
+        h = serial_history(num_writes=5, reads_per_write=2)
+        assert len(h.writes) == 5
+        assert len(h.reads) == 10
+
+    def test_is_1atomic(self):
+        assert verify(serial_history(10, 1), 1)
+
+    def test_fully_serial(self):
+        h = serial_history(6, 1)
+        ops = list(h.operations)
+        for earlier, later in zip(ops, ops[1:]):
+            assert earlier.precedes(later)
+
+    def test_no_anomalies(self):
+        assert not find_anomalies(serial_history(8, 3))
+
+    def test_key_propagated(self):
+        h = serial_history(3, 1, key="register-9")
+        assert h.key == "register-9"
+        assert all(op.key == "register-9" for op in h)
+
+
+class TestExactlyKAtomicHistory:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 6])
+    def test_minimal_k_is_exactly_k(self, k):
+        h = exactly_k_atomic_history(k, num_writes=k + 3)
+        assert minimal_k(h) == k
+
+    def test_needs_at_least_k_writes(self):
+        with pytest.raises(ValueError):
+            exactly_k_atomic_history(5, num_writes=4)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            exactly_k_atomic_history(0, num_writes=3)
+
+    def test_reads_per_write_multiplies_reads(self):
+        h = exactly_k_atomic_history(2, num_writes=5, reads_per_write=3)
+        assert len(h.reads) == 3 * 4  # writes with index >= k-1 get reads
+
+    def test_no_anomalies(self):
+        assert not find_anomalies(exactly_k_atomic_history(3, 8))
+
+
+class TestPracticalHistory:
+    def test_requested_size(self, rng):
+        h = practical_history(rng, 150)
+        assert len(h) == 150
+
+    def test_no_anomalies(self, rng):
+        h = practical_history(rng, 200, staleness_probability=0.2, max_staleness=2)
+        assert not find_anomalies(h)
+
+    def test_write_concurrency_bounded_by_clients(self, rng):
+        num_clients = 6
+        h = practical_history(rng, 300, num_clients=num_clients, write_ratio=0.5)
+        assert h.max_concurrent_writes() <= num_clients
+
+    def test_zero_staleness_is_mostly_fresh(self, rng):
+        from repro.analysis.metrics import staleness_stats
+
+        h = practical_history(rng, 200, staleness_probability=0.0, num_clients=2)
+        stats = staleness_stats(h)
+        # With no injected staleness and little write concurrency, the vast
+        # majority of reads observe the freshest preceding value.
+        assert stats.stale_fraction < 0.2
+
+    def test_write_ratio_validation(self, rng):
+        with pytest.raises(ValueError):
+            practical_history(rng, 10, write_ratio=1.5)
+
+    def test_deterministic_given_seed(self):
+        a = practical_history(random.Random(5), 100)
+        b = practical_history(random.Random(5), 100)
+        assert [(op.op_type, op.value, op.start) for op in a.operations] == [
+            (op.op_type, op.value, op.start) for op in b.operations
+        ]
+
+    def test_client_ids_assigned(self, rng):
+        h = practical_history(rng, 50, num_clients=4)
+        clients = {op.client for op in h.operations if op.client is not None}
+        assert len(clients) >= 2
+
+
+class TestRandomHistory:
+    def test_counts(self, rng):
+        h = random_history(rng, num_writes=7, num_reads=9)
+        assert len(h.writes) == 7
+        assert len(h.reads) == 9
+
+    def test_read_values_reference_written_values(self, rng):
+        h = random_history(rng, 5, 20)
+        written = {w.value for w in h.writes}
+        assert all(r.value in written for r in h.reads)
+
+    def test_deterministic_given_seed(self):
+        a = random_history(random.Random(9), 5, 5)
+        b = random_history(random.Random(9), 5, 5)
+        assert [(op.value, op.start) for op in a.operations] == [
+            (op.value, op.start) for op in b.operations
+        ]

@@ -1,0 +1,107 @@
+"""Unit tests for clusters and zones (Gibbons–Korach terminology)."""
+
+import pytest
+
+from repro.core.errors import HistoryError
+from repro.core.history import History
+from repro.core.operation import read, write
+from repro.core.zones import Zone, build_clusters, zone_table, zones_of
+
+
+class TestZoneGeometry:
+    def test_forward_zone(self):
+        z = Zone(min_finish=1.0, max_start=5.0)
+        assert z.is_forward and not z.is_backward
+        assert z.low == 1.0 and z.high == 5.0
+        assert z.length == 4.0
+
+    def test_backward_zone(self):
+        z = Zone(min_finish=5.0, max_start=1.0)
+        assert z.is_backward and not z.is_forward
+        assert z.low == 1.0 and z.high == 5.0
+
+    def test_overlap_symmetric(self):
+        a = Zone(1.0, 4.0)
+        b = Zone(3.0, 6.0)
+        c = Zone(5.0, 8.0)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_containment(self):
+        outer = Zone(0.0, 10.0)
+        inner = Zone(2.0, 3.0)
+        assert outer.contains_zone(inner)
+        assert not inner.contains_zone(outer)
+
+    def test_contains_point(self):
+        z = Zone(1.0, 4.0)
+        assert z.contains_point(2.5)
+        assert not z.contains_point(4.5)
+
+
+class TestClusters:
+    def test_cluster_per_write(self):
+        h = History(
+            [
+                write("a", 0.0, 1.0),
+                read("a", 2.0, 3.0),
+                write("b", 4.0, 5.0),
+            ]
+        )
+        clusters = build_clusters(h)
+        assert len(clusters) == 2
+        values = {cl.value for cl in clusters}
+        assert values == {"a", "b"}
+
+    def test_cluster_of_lonely_write_is_backward(self):
+        # A write with no reads has zone [finish, start] reversed -> backward.
+        h = History([write("a", 0.0, 5.0)])
+        (cl,) = build_clusters(h)
+        assert cl.is_backward
+        assert cl.zone.low == 0.0 and cl.zone.high == 5.0
+
+    def test_write_then_later_read_forms_forward_zone(self):
+        h = History([write("a", 0.0, 1.0), read("a", 5.0, 6.0)])
+        (cl,) = build_clusters(h)
+        assert cl.is_forward
+        assert cl.zone.low == 1.0   # min finish = write finish
+        assert cl.zone.high == 5.0  # max start = read start
+
+    def test_overlapping_write_and_read_form_backward_zone(self):
+        h = History([write("a", 0.0, 10.0), read("a", 2.0, 4.0)])
+        (cl,) = build_clusters(h)
+        assert cl.is_backward
+
+    def test_cluster_operations_include_write_and_reads(self):
+        h = History([write("a", 0.0, 1.0), read("a", 2.0, 3.0), read("a", 4.0, 5.0)])
+        (cl,) = build_clusters(h)
+        assert cl.size == 3
+        assert cl.operations[0].is_write
+
+    def test_clusters_sorted_by_zone_low(self):
+        h = History(
+            [
+                write("late", 20.0, 21.0),
+                read("late", 25.0, 26.0),
+                write("early", 0.0, 1.0),
+                read("early", 5.0, 6.0),
+            ]
+        )
+        clusters = build_clusters(h)
+        assert [cl.value for cl in clusters] == ["early", "late"]
+
+    def test_anomalous_history_rejected(self):
+        h = History([write("a", 0.0, 1.0), read("ghost", 2.0, 3.0)])
+        with pytest.raises(HistoryError):
+            build_clusters(h)
+
+    def test_zones_of_matches_clusters(self):
+        h = History([write("a", 0.0, 1.0), read("a", 5.0, 6.0), write("b", 2.0, 9.0)])
+        zones = zones_of(h)
+        clusters = build_clusters(h)
+        assert zones == [cl.zone for cl in clusters]
+
+    def test_zone_table_keys_are_writes(self):
+        h = History([write("a", 0.0, 1.0), read("a", 5.0, 6.0)])
+        table = zone_table(h)
+        assert set(table.keys()) == set(h.writes)
