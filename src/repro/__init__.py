@@ -31,12 +31,16 @@ Quickstart
 
 from .core import (
     History,
+    HistoryBuilder,
+    MinimalKBound,
     MultiHistory,
     Operation,
     OpType,
+    TraceBuilder,
     VerificationResult,
     find_anomalies,
     minimal_k,
+    minimal_k_bound,
     normalize,
     read,
     verify,
@@ -50,18 +54,24 @@ from .algorithms import (
     verify_k_atomic_exact,
     verify_weighted_k_atomic,
 )
+from .engine import Engine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Engine",
     "History",
+    "HistoryBuilder",
+    "MinimalKBound",
     "MultiHistory",
     "Operation",
     "OpType",
+    "TraceBuilder",
     "VerificationResult",
     "__version__",
     "find_anomalies",
     "minimal_k",
+    "minimal_k_bound",
     "normalize",
     "read",
     "verify",

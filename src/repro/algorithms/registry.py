@@ -33,6 +33,16 @@ class AlgorithmSpec:
         """True iff the algorithm can decide k-atomicity for this ``k``."""
         return self.supported_k is None or k in self.supported_k
 
+    def __reduce__(self):
+        # Pickle registered specs by *name*, never by function object: worker
+        # processes of the parallel engine resolve the spec against their own
+        # registry, so the adapter closures never cross the process boundary
+        # and un-pickling always yields the (single) registered instance.
+        # Ad-hoc specs that are not in the registry keep default pickling.
+        if REGISTRY.get(self.name) is self:
+            return (get_algorithm, (self.name,))
+        return super().__reduce__()
+
 
 def _gk_adapter(history: History, k: int) -> VerificationResult:
     if k != 1:

@@ -8,7 +8,13 @@ from .metrics import (
     read_value_lag,
     staleness_stats,
 )
-from .report import ConsistencyReport, audit_trace, format_table
+from .report import (
+    ConsistencyReport,
+    ShardStats,
+    TraceVerificationReport,
+    audit_trace,
+    format_table,
+)
 from .spectrum import (
     KeyVerdict,
     StalenessBucket,
@@ -21,9 +27,11 @@ __all__ = [
     "ConsistencyReport",
     "HistoryProfile",
     "KeyVerdict",
+    "ShardStats",
     "StalenessBucket",
     "StalenessSpectrum",
     "StalenessStats",
+    "TraceVerificationReport",
     "atomicity_spectrum",
     "audit_trace",
     "format_table",

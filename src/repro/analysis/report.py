@@ -10,13 +10,20 @@ experiments produce.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.history import History, MultiHistory
+from ..core.result import VerificationResult
 from .metrics import StalenessStats, staleness_stats
 from .spectrum import StalenessBucket, StalenessSpectrum, atomicity_spectrum
 
-__all__ = ["format_table", "ConsistencyReport", "audit_trace"]
+__all__ = [
+    "format_table",
+    "ConsistencyReport",
+    "audit_trace",
+    "ShardStats",
+    "TraceVerificationReport",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -90,6 +97,134 @@ class ConsistencyReport:
                 ["key", "ops", "bucket", "minimal k", "stale reads", "max lag"], rows
             )
         )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Timing and size of one shard processed by the verification engine."""
+
+    shard_id: int
+    num_registers: int
+    num_ops: int
+    elapsed_s: float
+
+    @property
+    def ops_per_second(self) -> float:
+        """Verification throughput of the shard (ops / wall-clock second)."""
+        return self.num_ops / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class TraceVerificationReport:
+    """Aggregated outcome of an engine run over a multi-register trace.
+
+    Merges the per-register :class:`~repro.core.result.VerificationResult`
+    objects produced by the shards with run-level context: which executor and
+    partitioner ran, per-shard timing, total wall-clock time, and — when the
+    engine short-circuited on the first failure — which registers were never
+    verified.
+
+    By the locality theorem the trace is k-atomic iff *every* register is, so
+    :attr:`is_k_atomic` additionally requires that no register was skipped.
+    """
+
+    k: int
+    #: Per-register results in the trace's register order (skipped registers
+    #: are absent; see :attr:`skipped_keys`).
+    results: Mapping[Hashable, VerificationResult]
+    executor: str
+    partitioner: str
+    jobs: int
+    num_shards: int
+    shard_stats: Tuple[ShardStats, ...]
+    elapsed_s: float
+    #: Registers left unverified because the engine short-circuited.
+    skipped_keys: Tuple[Hashable, ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_registers(self) -> int:
+        """Registers with a verdict (excludes skipped ones)."""
+        return len(self.results)
+
+    @property
+    def total_ops(self) -> int:
+        """Total operations verified across all shards."""
+        return sum(s.num_ops for s in self.shard_stats)
+
+    @property
+    def failures(self) -> Dict[Hashable, VerificationResult]:
+        """The registers that failed verification, in trace order."""
+        return {key: r for key, r in self.results.items() if not r}
+
+    @property
+    def first_failure(self) -> Optional[Tuple[Hashable, VerificationResult]]:
+        """The first failing ``(key, result)`` in trace order, if any."""
+        for key, r in self.results.items():
+            if not r:
+                return key, r
+        return None
+
+    @property
+    def is_k_atomic(self) -> bool:
+        """True iff every register was verified and every verdict is YES."""
+        return not self.skipped_keys and all(bool(r) for r in self.results.values())
+
+    def verdicts(self) -> Dict[Hashable, bool]:
+        """Plain boolean verdict per verified register."""
+        return {key: bool(r) for key, r in self.results.items()}
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line human-readable summary of the run."""
+        verdict = "YES" if self.is_k_atomic else "NO"
+        parts = [
+            f"{self.k}-atomic: {verdict}",
+            f"{self.num_registers} registers / {self.total_ops} ops",
+            f"{self.num_shards} shards via {self.executor} (jobs={self.jobs}, "
+            f"partitioner={self.partitioner})",
+            f"{self.elapsed_s:.3f}s",
+        ]
+        if self.skipped_keys:
+            parts.append(f"{len(self.skipped_keys)} registers skipped after first failure")
+        return " — ".join(parts)
+
+    def render(self) -> str:
+        """Render the full report (summary, shard table, failures) as text."""
+        lines: List[str] = [self.summary(), ""]
+        if self.shard_stats:
+            lines.append("per-shard statistics:")
+            lines.append(
+                format_table(
+                    ["shard", "registers", "ops", "elapsed (s)", "ops/s"],
+                    [
+                        [
+                            s.shard_id,
+                            s.num_registers,
+                            s.num_ops,
+                            f"{s.elapsed_s:.4f}",
+                            f"{s.ops_per_second:,.0f}",
+                        ]
+                        for s in sorted(self.shard_stats, key=lambda s: s.shard_id)
+                    ],
+                )
+            )
+        failures = self.failures
+        if failures:
+            lines.append("")
+            lines.append("failing registers:")
+            lines.append(
+                format_table(
+                    ["key", "algorithm", "reason"],
+                    [[key, r.algorithm, r.reason] for key, r in failures.items()],
+                )
+            )
+        if self.skipped_keys:
+            lines.append("")
+            skipped = ", ".join(repr(k) for k in self.skipped_keys[:8])
+            more = "" if len(self.skipped_keys) <= 8 else f" (+{len(self.skipped_keys) - 8} more)"
+            lines.append(f"skipped (fail-fast): {skipped}{more}")
         return "\n".join(lines)
 
 

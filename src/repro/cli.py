@@ -19,30 +19,39 @@ from pathlib import Path
 from typing import List, Optional
 
 from .analysis.report import audit_trace, format_table
-from .core.api import verify_trace
-from .core.history import MultiHistory
-from .io.formats import dump_jsonl, load_csv, load_jsonl
+from .core.builder import TraceBuilder
+from .engine import Engine
+from .io.formats import dump_jsonl, load_trace, stream_trace
 from .simulation import ExponentialLatency, QuorumConfig, SloppyQuorumStore, StoreConfig
 from .workloads import UniformKeys, WorkloadSpec, ZipfianKeys
 
 __all__ = ["main", "build_parser"]
 
 
-def _load_trace(path: str) -> MultiHistory:
-    p = Path(path)
-    if p.suffix.lower() == ".csv":
-        return load_csv(p)
-    return load_jsonl(p)
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
+    return value
 
 
 # ----------------------------------------------------------------------
 # Subcommand implementations
 # ----------------------------------------------------------------------
 def _cmd_verify(args: argparse.Namespace, out) -> int:
-    trace = _load_trace(args.trace)
-    results = verify_trace(
-        trace, args.k, algorithm=args.algorithm, max_exact_ops=args.max_exact_ops
+    # Stream the trace straight into per-register buckets; the engine shards
+    # and (optionally) parallelises verification from there.
+    builder = TraceBuilder(stream_trace(args.trace))
+    engine = Engine(
+        executor=args.engine,
+        jobs=args.jobs,
+        partitioner=args.partitioner,
+        algorithm=args.algorithm,
+        max_exact_ops=args.max_exact_ops,
     )
+    report = engine.verify_trace(builder, args.k)
+    results = report.results
+    op_counts = builder.operation_counts()
     rows = []
     failures = 0
     for key in sorted(results, key=repr):
@@ -52,7 +61,7 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         rows.append(
             [
                 key,
-                len(trace[key]),
+                op_counts[key],
                 "YES" if result else "NO",
                 result.algorithm,
                 result.reason if not result else "",
@@ -63,11 +72,13 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         f"\n{len(results) - failures}/{len(results)} registers are {args.k}-atomic",
         file=out,
     )
+    if args.engine != "serial" or args.jobs:
+        print(report.summary(), file=out)
     return 1 if failures and args.strict else 0
 
 
 def _cmd_audit(args: argparse.Namespace, out) -> int:
-    trace = _load_trace(args.trace)
+    trace = load_trace(args.trace)
     report = audit_trace(
         trace,
         title=f"consistency audit of {Path(args.trace).name}",
@@ -134,6 +145,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="exit with status 1 if any register fails verification",
+    )
+    p_verify.add_argument(
+        "--engine",
+        choices=["serial", "threads", "processes"],
+        default="serial",
+        help="shard executor for per-register verification (default serial)",
+    )
+    p_verify.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker count for parallel engines (default: available CPUs)",
+    )
+    p_verify.add_argument(
+        "--partitioner",
+        choices=["hash", "round-robin", "size-balanced"],
+        default="size-balanced",
+        help="register-to-shard assignment strategy (default size-balanced)",
     )
     p_verify.set_defaults(func=_cmd_verify)
 

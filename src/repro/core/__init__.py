@@ -6,7 +6,8 @@ of Section IV, anomaly detection and normalisation (Section II-C), the
 result type, and the top-level :func:`repro.core.api.verify` entry point.
 """
 
-from .api import minimal_k, verify, verify_trace
+from .api import MinimalKBound, minimal_k, minimal_k_bound, verify, verify_trace
+from .builder import HistoryBuilder, TraceBuilder
 from .chunks import Chunk, ChunkSet, compute_chunk_set
 from .errors import (
     AnomalyError,
@@ -34,14 +35,17 @@ __all__ = [
     "Cluster",
     "DuplicateValueError",
     "History",
+    "HistoryBuilder",
     "HistoryError",
     "MalformedOperationError",
+    "MinimalKBound",
     "MultiHistory",
     "Operation",
     "OpType",
     "ReductionError",
     "ReproError",
     "SimulationError",
+    "TraceBuilder",
     "TraceFormatError",
     "VerificationError",
     "VerificationResult",
@@ -51,6 +55,7 @@ __all__ = [
     "find_anomalies",
     "has_anomalies",
     "minimal_k",
+    "minimal_k_bound",
     "normalize",
     "read",
     "verify",

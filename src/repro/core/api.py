@@ -15,6 +15,7 @@ Algorithm selection (``algorithm="auto"``):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Hashable, Optional
 
 from ..algorithms.registry import get_algorithm
@@ -23,7 +24,14 @@ from .history import History, MultiHistory
 from .preprocess import find_anomalies, normalize
 from .result import VerificationResult
 
-__all__ = ["verify", "verify_trace", "minimal_k", "DEFAULT_MAX_EXACT_OPS"]
+__all__ = [
+    "verify",
+    "verify_trace",
+    "minimal_k",
+    "minimal_k_bound",
+    "MinimalKBound",
+    "DEFAULT_MAX_EXACT_OPS",
+]
 
 #: Histories larger than this are refused by the exact oracle in "auto" mode
 #: (the caller can always invoke the oracle directly, or raise the limit).
@@ -108,55 +116,106 @@ def verify_trace(
     algorithm: str = "auto",
     preprocess: bool = True,
     max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+    executor: str = "serial",
+    jobs: Optional[int] = None,
 ) -> Dict[Hashable, VerificationResult]:
     """Verify every per-register history of a multi-register trace.
 
     k-atomicity is a local property (Section II-B), so the trace is k-atomic
-    iff every returned result is positive.
+    iff every returned result is positive.  Verification is delegated to the
+    sharded engine (:class:`repro.engine.Engine`); the default serial executor
+    with a single round-robin shard reproduces the historical behaviour
+    exactly — registers verified one by one, in trace order.  Pass
+    ``executor="threads"``/``"processes"`` (and optionally ``jobs``) to verify
+    registers in parallel, or use :class:`repro.engine.Engine` directly for
+    the full report (per-shard timing, fail-fast, pluggable partitioning).
     """
-    return {
-        key: verify(
-            trace[key],
-            k,
-            algorithm=algorithm,
-            preprocess=preprocess,
-            max_exact_ops=max_exact_ops,
-        )
-        for key in trace.keys()
-    }
+    from ..engine import Engine  # local import; the engine builds on this module
+
+    report = Engine(
+        executor=executor,
+        jobs=jobs,
+        partitioner="round-robin" if executor == "serial" else "size-balanced",
+        shards_per_job=1 if executor == "serial" else 2,
+        algorithm=algorithm,
+        preprocess=preprocess,
+        max_exact_ops=max_exact_ops,
+    ).verify_trace(trace, k)
+    return dict(report.results)
 
 
-def minimal_k(
+@dataclass(frozen=True)
+class MinimalKBound:
+    """Structured answer to "what is the minimal staleness bound?".
+
+    Attributes
+    ----------
+    k:
+        The minimal staleness bound when :attr:`exact` is true; otherwise a
+        certified *lower* bound (the history is not ``(k-1)``-atomic, but its
+        true minimal bound may be larger).  ``None`` when the history contains
+        anomalies, in which case no finite ``k`` exists.
+    exact:
+        Whether :attr:`k` is the exact minimal bound.
+    reason:
+        Human-readable explanation, non-empty whenever the answer is not an
+        exact finite ``k``.
+    """
+
+    k: Optional[int]
+    exact: bool
+    reason: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if self.k is None:
+            return "no finite k (anomalous)"
+        return f"k = {self.k}" if self.exact else f"k >= {self.k}"
+
+
+def minimal_k_bound(
     history: History,
     *,
     preprocess: bool = True,
     max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
     max_k: Optional[int] = None,
-) -> Optional[int]:
-    """Compute the smallest ``k`` for which ``history`` is k-atomic.
+) -> MinimalKBound:
+    """Compute the minimal staleness bound, or a certified lower bound.
 
-    Returns ``None`` when the history contains anomalies (no finite ``k``
-    exists).  For ``k <= 2`` the polynomial algorithms are used; beyond that
-    the exact oracle takes over, so for histories larger than
-    ``max_exact_ops`` the function returns ``3`` as a *lower bound* flagged by
-    raising :class:`~repro.core.errors.VerificationError` — callers that only
-    need "1, 2, or more" should catch it or use
-    :func:`repro.analysis.spectrum.staleness_bucket` instead.
+    This is the total (never-raising for large inputs) form of
+    :func:`minimal_k`:
+
+    * anomalous history → ``MinimalKBound(None, exact=True)`` — no finite
+      ``k`` exists;
+    * minimal bound 1 or 2 → exact, via the polynomial algorithms;
+    * minimal bound >= 3 with at most ``max_exact_ops`` operations → exact,
+      via binary search over the exponential oracle;
+    * minimal bound >= 3 on a larger history → ``MinimalKBound(3,
+      exact=False)``: a certified lower bound (the history is provably not
+      2-atomic), with the exact search declined as infeasible.
     """
     if history.is_empty:
-        return 1
+        return MinimalKBound(k=1, exact=True)
     if preprocess:
         if find_anomalies(history):
-            return None
+            return MinimalKBound(
+                k=None,
+                exact=True,
+                reason="history contains anomalies; it is not k-atomic for any k",
+            )
         history = normalize(history)
     if verify(history, 1, preprocess=False):
-        return 1
+        return MinimalKBound(k=1, exact=True)
     if verify(history, 2, preprocess=False):
-        return 2
+        return MinimalKBound(k=2, exact=True)
     if len(history) > max_exact_ops:
-        raise VerificationError(
-            f"history needs k >= 3 and has {len(history)} operations "
-            f"(> max_exact_ops={max_exact_ops}); the exact search would be exponential"
+        return MinimalKBound(
+            k=3,
+            exact=False,
+            reason=(
+                f"history needs k >= 3 and has {len(history)} operations "
+                f"(> max_exact_ops={max_exact_ops}); the exact search would be "
+                "exponential and was not attempted"
+            ),
         )
     upper = max_k if max_k is not None else max(1, len(history.writes))
     lo, hi = 3, upper
@@ -170,4 +229,35 @@ def minimal_k(
             hi = mid
         else:
             lo = mid + 1
-    return lo
+    return MinimalKBound(k=lo, exact=True)
+
+
+def minimal_k(
+    history: History,
+    *,
+    preprocess: bool = True,
+    max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+    max_k: Optional[int] = None,
+) -> Optional[int]:
+    """Compute the smallest ``k`` for which ``history`` is k-atomic.
+
+    Returns ``None`` when the history contains anomalies (no finite ``k``
+    exists).  For ``k <= 2`` the polynomial algorithms are used; beyond that
+    the exact oracle takes over.
+
+    Raises
+    ------
+    VerificationError
+        When the history needs ``k >= 3`` but has more than ``max_exact_ops``
+        operations: the exact search would be exponential, so this function
+        *does not return* in that case.  Callers that want a total answer —
+        the certified lower bound ``k >= 3`` instead of an exception — should
+        use :func:`minimal_k_bound`; callers that only need "1, 2, or more"
+        can use :func:`repro.analysis.spectrum.staleness_bucket`.
+    """
+    bound = minimal_k_bound(
+        history, preprocess=preprocess, max_exact_ops=max_exact_ops, max_k=max_k
+    )
+    if not bound.exact:
+        raise VerificationError(bound.reason)
+    return bound.k

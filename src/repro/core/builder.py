@@ -1,0 +1,173 @@
+"""Incremental (streaming) construction of histories and traces.
+
+:class:`History` and :class:`MultiHistory` are immutable snapshots: they sort,
+index and validate their operations at construction time.  That is the right
+contract for the verification algorithms, but it forces callers that *produce*
+operations — trace file readers, the simulator's recorder, synthetic workload
+generators — to accumulate one flat list and group it at the end.
+
+The builders here invert that: operations are appended one at a time (e.g.
+straight off a JSON Lines reader) and are bucketed by register key as they
+arrive, so a multi-register trace is already partitioned along register
+boundaries by the time it is complete.  The verification engine
+(:mod:`repro.engine`) consumes a :class:`TraceBuilder` directly and
+materialises each register's sorted/indexed :class:`History` from its bucket
+— there is never a global flat operation list, a trace-wide regrouping pass,
+or a trace-wide index (the operations themselves, of course, stay in memory).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from .errors import HistoryError
+from .history import History, MultiHistory
+from .operation import Operation
+
+__all__ = ["HistoryBuilder", "TraceBuilder"]
+
+
+class HistoryBuilder:
+    """Accumulates operations on a *single* register and builds a :class:`History`.
+
+    Parameters
+    ----------
+    key:
+        Optional register name.  When given, appended operations must either
+        carry the same key or no key at all; a mismatch raises
+        :class:`~repro.core.errors.HistoryError` immediately (rather than at
+        ``build()`` time), so streaming producers fail fast.
+    """
+
+    __slots__ = ("_key", "_ops")
+
+    def __init__(self, key: Optional[Hashable] = None):
+        self._key = key
+        self._ops: List[Operation] = []
+
+    def append(self, op: Operation) -> "HistoryBuilder":
+        """Add one operation; returns ``self`` for chaining."""
+        if op.key is not None:
+            if self._key is None:
+                self._key = op.key
+            elif op.key != self._key:
+                raise HistoryError(
+                    f"HistoryBuilder for register {self._key!r} received an "
+                    f"operation on register {op.key!r}; use TraceBuilder for "
+                    "multi-register streams"
+                )
+        self._ops.append(op)
+        return self
+
+    def extend(self, ops: Iterable[Operation]) -> "HistoryBuilder":
+        """Add many operations; returns ``self`` for chaining."""
+        for op in ops:
+            self.append(op)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def key(self) -> Optional[Hashable]:
+        """The register the accumulated operations belong to."""
+        return self._key
+
+    @property
+    def op_count(self) -> int:
+        """Number of operations appended so far."""
+        return len(self._ops)
+
+    def build(self) -> History:
+        """Materialise the (sorted, indexed, validated) :class:`History`."""
+        return History(self._ops, key=self._key)
+
+
+class TraceBuilder:
+    """Accumulates a multi-register operation stream, bucketed by key.
+
+    Operations are grouped into per-register buckets as they arrive, so by the
+    time the stream ends the trace is already partitioned along the boundary
+    that the locality theorem (Section II-B) makes meaningful: the engine
+    builds each register's history straight from its bucket, skipping the
+    flat-list-then-regroup pass (and the trace-wide indexing) that a
+    :class:`MultiHistory` round-trip would cost.
+
+    Registers are remembered in first-appearance order, which is what keeps
+    engine output ordering identical to the seed ``verify_trace`` loop.
+    """
+
+    __slots__ = ("_ops_by_key", "_op_count")
+
+    def __init__(self, operations: Iterable[Operation] = ()):
+        self._ops_by_key: Dict[Hashable, List[Operation]] = {}
+        self._op_count = 0
+        self.extend(operations)
+
+    def append(self, op: Operation) -> "TraceBuilder":
+        """Add one operation to its register's bucket; returns ``self``."""
+        self._ops_by_key.setdefault(op.key, []).append(op)
+        self._op_count += 1
+        return self
+
+    def extend(self, ops: Iterable[Operation]) -> "TraceBuilder":
+        """Add many operations; returns ``self`` for chaining."""
+        for op in ops:
+            self.append(op)
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ops_by_key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._ops_by_key
+
+    @property
+    def op_count(self) -> int:
+        """Total operations appended across all registers."""
+        return self._op_count
+
+    @property
+    def num_registers(self) -> int:
+        """Number of distinct register keys seen so far."""
+        return len(self._ops_by_key)
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Register keys in first-appearance order."""
+        return tuple(self._ops_by_key)
+
+    def operation_counts(self) -> Dict[Hashable, int]:
+        """Mapping from register key to its operation count (for sharding)."""
+        return {key: len(ops) for key, ops in self._ops_by_key.items()}
+
+    def iter_operations(self) -> Iterator[Operation]:
+        """Yield all operations, grouped by register in appearance order."""
+        for ops in self._ops_by_key.values():
+            yield from ops
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def history(self, key: Hashable) -> History:
+        """Materialise the :class:`History` of one register.
+
+        This is the lazy, shard-at-a-time path the engine uses: only the
+        requested register is sorted/indexed/validated.
+        """
+        try:
+            ops = self._ops_by_key[key]
+        except KeyError:
+            raise HistoryError(f"no operations recorded for register {key!r}") from None
+        return History(ops, key=key)
+
+    def build(self) -> MultiHistory:
+        """Materialise the full :class:`MultiHistory` snapshot."""
+        return MultiHistory(
+            histories={key: History(ops, key=key) for key, ops in self._ops_by_key.items()}
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceBuilder keys={len(self._ops_by_key)} ops={self._op_count}>"

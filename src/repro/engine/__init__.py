@@ -1,0 +1,46 @@
+"""Sharded, parallel verification engine (ingestion → shard → execute → aggregate).
+
+k-atomicity is local (Section II-B), so a multi-register trace can be
+verified register-by-register, in parallel, with no coordination beyond the
+final aggregation.  This package turns that theorem into an execution
+pipeline; see :class:`Engine` for the entry point.
+"""
+
+from .engine import Engine, ShardOutcome, ShardTask, run_shard
+from .executors import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    ThreadExecutor,
+    default_jobs,
+    get_executor,
+)
+from .partition import (
+    PARTITIONERS,
+    HashPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    SizeBalancedPartitioner,
+    get_partitioner,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "Engine",
+    "HashPartitioner",
+    "PARTITIONERS",
+    "Partitioner",
+    "ProcessExecutor",
+    "RoundRobinPartitioner",
+    "SerialExecutor",
+    "ShardExecutor",
+    "ShardOutcome",
+    "ShardTask",
+    "SizeBalancedPartitioner",
+    "ThreadExecutor",
+    "default_jobs",
+    "get_executor",
+    "get_partitioner",
+    "run_shard",
+]

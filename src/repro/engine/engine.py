@@ -1,0 +1,249 @@
+"""The sharded verification engine.
+
+Pipeline (each stage pluggable):
+
+1. **Ingestion** — the trace arrives as a :class:`~repro.core.history.MultiHistory`,
+   a streaming :class:`~repro.core.builder.TraceBuilder`, or a raw iterable of
+   operations; it is normalised into per-register work without building any
+   global index.
+2. **Sharding** — a :mod:`partitioner <repro.engine.partition>` groups
+   registers into shard tasks.
+3. **Execution** — an :mod:`executor <repro.engine.executors>` runs the shard
+   tasks serially, on a thread pool, or on a process pool; each shard verifies
+   its registers with the unified :func:`repro.core.api.verify` entry point.
+4. **Aggregation** — shard results stream back in completion order and are
+   merged into a :class:`~repro.analysis.report.TraceVerificationReport`,
+   optionally short-circuiting on the first failing register.
+
+Correctness rests on the paper's locality theorem (Section II-B): a
+multi-register trace is k-atomic iff every per-register projection is, so the
+per-register verdicts are independent and any partitioning/scheduling of
+registers yields the same aggregate answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
+
+from ..core.builder import TraceBuilder
+from ..core.errors import VerificationError
+from ..core.history import History, MultiHistory
+from ..core.operation import Operation
+from ..core.result import VerificationResult
+from ..analysis.report import ShardStats, TraceVerificationReport
+from .executors import ShardExecutor, default_jobs, get_executor
+from .partition import Partitioner, get_partitioner
+
+__all__ = ["ShardTask", "ShardOutcome", "Engine", "DEFAULT_MAX_EXACT_OPS"]
+
+# Re-exported so the engine can be configured without importing core.api.
+from ..core.api import DEFAULT_MAX_EXACT_OPS
+
+TraceLike = Union[MultiHistory, TraceBuilder, Iterable[Operation]]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of work: a group of per-register histories plus verify options.
+
+    Everything here pickles by value — algorithm dispatch crosses the process
+    boundary as a *name*, resolved against the registry inside the worker —
+    so the same task object serves all executors.
+    """
+
+    shard_id: int
+    items: Tuple[Tuple[Hashable, History], ...]
+    k: int
+    algorithm: str
+    preprocess: bool
+    max_exact_ops: int
+
+    @property
+    def num_ops(self) -> int:
+        """Total operations across the shard's registers."""
+        return sum(len(h) for _, h in self.items)
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """The results of one executed shard, with timing."""
+
+    shard_id: int
+    results: Tuple[Tuple[Hashable, VerificationResult], ...]
+    num_ops: int
+    elapsed_s: float
+
+    @property
+    def has_failure(self) -> bool:
+        """True iff any register in the shard failed verification."""
+        return any(not r for _, r in self.results)
+
+
+def run_shard(task: ShardTask) -> ShardOutcome:
+    """Verify every register of one shard (module-level: picklable).
+
+    Worker processes receive this function by qualified name and the task by
+    value; the algorithm is resolved from the registry *here*, inside the
+    worker, never shipped as a function object.
+    """
+    from ..core.api import verify  # local import keeps worker start-up lean
+
+    t0 = time.perf_counter()
+    results = tuple(
+        (
+            key,
+            verify(
+                history,
+                task.k,
+                algorithm=task.algorithm,
+                preprocess=task.preprocess,
+                max_exact_ops=task.max_exact_ops,
+            ),
+        )
+        for key, history in task.items
+    )
+    return ShardOutcome(
+        shard_id=task.shard_id,
+        results=results,
+        num_ops=task.num_ops,
+        elapsed_s=time.perf_counter() - t0,
+    )
+
+
+class Engine:
+    """Sharded, parallel k-atomicity verification of multi-register traces.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (default), ``"threads"`` or ``"processes"`` — or a
+        :class:`~repro.engine.executors.ShardExecutor` instance.
+    jobs:
+        Worker count for pool executors (default: available CPUs; always 1
+        for the serial executor unless given explicitly).
+    partitioner:
+        ``"hash"``, ``"round-robin"`` or ``"size-balanced"`` (default) — or a
+        :class:`~repro.engine.partition.Partitioner` instance.
+    shards_per_job:
+        Shards created per worker.  Values above 1 (default 2) let completion
+        order smooth out imbalance that the partitioner could not predict.
+    algorithm, preprocess, max_exact_ops:
+        Forwarded to :func:`repro.core.api.verify` for every register.
+    fail_fast:
+        When true, stop dispatching after the first shard containing a
+        failing register; unverified registers are reported as skipped.
+    """
+
+    def __init__(
+        self,
+        *,
+        executor: Union[str, ShardExecutor] = "serial",
+        jobs: Optional[int] = None,
+        partitioner: Union[str, Partitioner] = "size-balanced",
+        shards_per_job: int = 2,
+        algorithm: str = "auto",
+        preprocess: bool = True,
+        max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+        fail_fast: bool = False,
+    ):
+        self.executor = get_executor(executor) if isinstance(executor, str) else executor
+        self.partitioner = (
+            get_partitioner(partitioner) if isinstance(partitioner, str) else partitioner
+        )
+        if jobs is not None and jobs < 1:
+            raise VerificationError(f"jobs must be >= 1, got {jobs}")
+        if shards_per_job < 1:
+            raise VerificationError(f"shards_per_job must be >= 1, got {shards_per_job}")
+        self.jobs = jobs if jobs is not None else (
+            1 if self.executor.name == "serial" else default_jobs()
+        )
+        self.shards_per_job = shards_per_job
+        self.algorithm = algorithm
+        self.preprocess = preprocess
+        self.max_exact_ops = max_exact_ops
+        self.fail_fast = fail_fast
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_register_histories(trace: TraceLike) -> "List[Tuple[Hashable, History]]":
+        """Normalise any accepted trace shape into ``(key, History)`` pairs."""
+        if isinstance(trace, MultiHistory):
+            return [(key, trace[key]) for key in trace.keys()]
+        if isinstance(trace, History):
+            return [(trace.key, trace)]
+        if not isinstance(trace, TraceBuilder):
+            trace = TraceBuilder(trace)  # raw operation stream
+        return [(key, trace.history(key)) for key in trace.keys()]
+
+    # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+    def plan(self, registers: "List[Tuple[Hashable, History]]", k: int) -> List[ShardTask]:
+        """Partition registers into shard tasks (exposed for inspection)."""
+        sized = [(key, len(history)) for key, history in registers]
+        num_shards = max(1, min(len(sized), self.jobs * self.shards_per_job))
+        assignment = self.partitioner.partition(sized, num_shards)
+        by_key = dict(registers)
+        tasks: List[ShardTask] = []
+        for keys in assignment:
+            if not keys:
+                continue
+            tasks.append(
+                ShardTask(
+                    shard_id=len(tasks),
+                    items=tuple((key, by_key[key]) for key in keys),
+                    k=k,
+                    algorithm=self.algorithm,
+                    preprocess=self.preprocess,
+                    max_exact_ops=self.max_exact_ops,
+                )
+            )
+        return tasks
+
+    # ------------------------------------------------------------------
+    # Execution + aggregation
+    # ------------------------------------------------------------------
+    def verify_trace(self, trace: TraceLike, k: int) -> TraceVerificationReport:
+        """Verify every register of ``trace`` and aggregate the results."""
+        registers = self._as_register_histories(trace)
+        key_order = [key for key, _ in registers]
+        tasks = self.plan(registers, k)
+
+        merged: Dict[Hashable, VerificationResult] = {}
+        stats: List[ShardStats] = []
+        t0 = time.perf_counter()
+        outcome_stream = self.executor.run(run_shard, tasks, self.jobs)
+        try:
+            for outcome in outcome_stream:
+                merged.update(outcome.results)
+                stats.append(
+                    ShardStats(
+                        shard_id=outcome.shard_id,
+                        num_registers=len(outcome.results),
+                        num_ops=outcome.num_ops,
+                        elapsed_s=outcome.elapsed_s,
+                    )
+                )
+                if self.fail_fast and outcome.has_failure:
+                    break
+        finally:
+            outcome_stream.close()
+        elapsed = time.perf_counter() - t0
+
+        results = {key: merged[key] for key in key_order if key in merged}
+        skipped = tuple(key for key in key_order if key not in merged)
+        return TraceVerificationReport(
+            k=k,
+            results=results,
+            executor=self.executor.name,
+            partitioner=self.partitioner.name,
+            jobs=self.jobs,
+            num_shards=len(tasks),
+            shard_stats=tuple(stats),
+            elapsed_s=elapsed,
+            skipped_keys=skipped,
+        )

@@ -1,0 +1,146 @@
+"""Register-to-shard partitioning strategies.
+
+The locality theorem (Section II-B) makes the register the natural unit of
+parallel verification: per-register histories are verified independently and
+a trace's verdict is the conjunction of its registers' verdicts.  A
+*partitioner* groups registers into shards — the work units handed to an
+executor — trading off balance, determinism and placement stability:
+
+* ``hash`` — stable hashing of the register key (CRC-32 of its ``repr``):
+  for a *fixed shard count*, a register's placement depends only on its own
+  key, never on what else is in the trace (note the engine derives the shard
+  count from ``jobs`` and the register count, so pin those — or call
+  :meth:`HashPartitioner.shard_of` directly — when placement must be stable
+  across runs).
+* ``round-robin`` — registers are dealt to shards in first-appearance order;
+  preserves the seed verification order inside each shard and is the default
+  for the serial executor.
+* ``size-balanced`` — greedy longest-processing-time assignment by operation
+  count, which minimises the makespan when register sizes are skewed (e.g.
+  Zipfian workloads, where the hottest register dominates).
+
+All partitioners are deterministic: no ``PYTHONHASHSEED`` dependence, no
+randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from ..core.errors import VerificationError
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RoundRobinPartitioner",
+    "SizeBalancedPartitioner",
+    "PARTITIONERS",
+    "get_partitioner",
+]
+
+
+class Partitioner:
+    """Base class: assigns register keys to ``num_shards`` shards."""
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def partition(
+        self, sized_keys: Sequence[Tuple[Hashable, int]], num_shards: int
+    ) -> List[List[Hashable]]:
+        """Group registers into at most ``num_shards`` shards.
+
+        Parameters
+        ----------
+        sized_keys:
+            ``(key, operation_count)`` pairs in first-appearance order.
+        num_shards:
+            Upper bound on the number of shards; empty shards are dropped by
+            the caller, so fewer may be used.
+
+        Returns
+        -------
+        A list of ``num_shards`` key lists (some possibly empty).
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(num_shards: int) -> None:
+        if num_shards < 1:
+            raise VerificationError(f"num_shards must be >= 1, got {num_shards}")
+
+
+class HashPartitioner(Partitioner):
+    """Key-determined placement: ``crc32(repr(key)) % num_shards``."""
+
+    name = "hash"
+
+    @staticmethod
+    def shard_of(key: Hashable, num_shards: int) -> int:
+        """The shard index of ``key`` — stable across runs and processes."""
+        return zlib.crc32(repr(key).encode("utf-8")) % num_shards
+
+    def partition(self, sized_keys, num_shards):
+        self._check(num_shards)
+        shards: List[List[Hashable]] = [[] for _ in range(num_shards)]
+        for key, _size in sized_keys:
+            shards[self.shard_of(key, num_shards)].append(key)
+        return shards
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Deal registers to shards in first-appearance order."""
+
+    name = "round-robin"
+
+    def partition(self, sized_keys, num_shards):
+        self._check(num_shards)
+        shards: List[List[Hashable]] = [[] for _ in range(num_shards)]
+        for i, (key, _size) in enumerate(sized_keys):
+            shards[i % num_shards].append(key)
+        return shards
+
+
+class SizeBalancedPartitioner(Partitioner):
+    """Greedy LPT bin packing on operation counts.
+
+    Registers are assigned largest-first to the currently least-loaded shard,
+    the classic 4/3-approximation to minimum makespan.  Ties (equal sizes,
+    equal loads) break on first-appearance order, keeping the assignment
+    deterministic.
+    """
+
+    name = "size-balanced"
+
+    def partition(self, sized_keys, num_shards):
+        self._check(num_shards)
+        shards: List[List[Hashable]] = [[] for _ in range(num_shards)]
+        # (size descending, appearance order ascending) — deterministic LPT.
+        order = sorted(
+            range(len(sized_keys)), key=lambda i: (-sized_keys[i][1], i)
+        )
+        heap: List[Tuple[int, int]] = [(0, s) for s in range(num_shards)]
+        heapq.heapify(heap)
+        for i in order:
+            key, size = sized_keys[i]
+            load, shard = heapq.heappop(heap)
+            shards[shard].append(key)
+            heapq.heappush(heap, (load + size, shard))
+        return shards
+
+
+PARTITIONERS: Dict[str, Partitioner] = {
+    p.name: p for p in (HashPartitioner(), RoundRobinPartitioner(), SizeBalancedPartitioner())
+}
+
+
+def get_partitioner(name: str) -> Partitioner:
+    """Look up a partitioner by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in PARTITIONERS:
+        raise VerificationError(
+            f"unknown partitioner {name!r}; available: {', '.join(sorted(PARTITIONERS))}"
+        )
+    return PARTITIONERS[key]

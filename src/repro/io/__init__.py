@@ -1,19 +1,27 @@
-"""Trace input/output (JSON Lines and CSV)."""
+"""Trace input/output (JSON Lines and CSV), batch and streaming."""
 
 from .formats import (
     dump_csv,
     dump_jsonl,
+    iter_csv,
+    iter_jsonl,
     load_csv,
     load_jsonl,
+    load_trace,
     operation_from_dict,
     operation_to_dict,
+    stream_trace,
 )
 
 __all__ = [
     "dump_csv",
     "dump_jsonl",
+    "iter_csv",
+    "iter_jsonl",
     "load_csv",
     "load_jsonl",
+    "load_trace",
     "operation_from_dict",
     "operation_to_dict",
+    "stream_trace",
 ]

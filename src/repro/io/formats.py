@@ -12,6 +12,15 @@ Both formats store, per operation: type (``read``/``write``), key, value,
 start, finish, client, and (for writes) the weight.  Values are stored as
 strings; the uniqueness assumption of Section II-C is checked when the trace
 is loaded back into :class:`~repro.core.history.History` objects.
+
+Readers come in two shapes: the ``iter_*`` generators stream one
+:class:`~repro.core.operation.Operation` at a time (the ingestion stage of
+the sharded verification engine feeds them straight into a
+:class:`~repro.core.builder.TraceBuilder`, bucketing the trace by register
+as it is read instead of accumulating one flat list and regrouping), and the
+``load_*`` functions materialise a full
+:class:`~repro.core.history.MultiHistory` for callers that want the classic
+snapshot.
 """
 
 from __future__ import annotations
@@ -19,8 +28,9 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
+from ..core.builder import TraceBuilder
 from ..core.errors import TraceFormatError
 from ..core.history import History, MultiHistory
 from ..core.operation import Operation, OpType
@@ -30,8 +40,12 @@ __all__ = [
     "operation_from_dict",
     "dump_jsonl",
     "load_jsonl",
+    "iter_jsonl",
     "dump_csv",
     "load_csv",
+    "iter_csv",
+    "stream_trace",
+    "load_trace",
 ]
 
 _CSV_FIELDS = ["op_type", "key", "value", "start", "finish", "client", "weight"]
@@ -88,9 +102,8 @@ def dump_jsonl(trace: Union[History, MultiHistory, Iterable[Operation]], path: U
     return count
 
 
-def load_jsonl(path: Union[str, Path]) -> MultiHistory:
-    """Load a JSON Lines trace into a :class:`MultiHistory`."""
-    operations: List[Operation] = []
+def iter_jsonl(path: Union[str, Path]) -> Iterator[Operation]:
+    """Stream the operations of a JSON Lines trace one at a time."""
     with open(path, "r", encoding="utf-8") as fh:
         for line_number, line in enumerate(fh, start=1):
             line = line.strip()
@@ -102,8 +115,12 @@ def load_jsonl(path: Union[str, Path]) -> MultiHistory:
                 raise TraceFormatError(
                     f"{path}:{line_number}: invalid JSON: {exc}"
                 ) from exc
-            operations.append(operation_from_dict(record))
-    return MultiHistory(operations)
+            yield operation_from_dict(record)
+
+
+def load_jsonl(path: Union[str, Path]) -> MultiHistory:
+    """Load a JSON Lines trace into a :class:`MultiHistory`."""
+    return TraceBuilder(iter_jsonl(path)).build()
 
 
 # ----------------------------------------------------------------------
@@ -124,9 +141,8 @@ def dump_csv(trace: Union[History, MultiHistory, Iterable[Operation]], path: Uni
     return count
 
 
-def load_csv(path: Union[str, Path]) -> MultiHistory:
-    """Load a CSV trace into a :class:`MultiHistory`."""
-    operations: List[Operation] = []
+def iter_csv(path: Union[str, Path]) -> Iterator[Operation]:
+    """Stream the operations of a CSV trace one at a time."""
     with open(path, "r", encoding="utf-8", newline="") as fh:
         reader = csv.DictReader(fh)
         for row_number, row in enumerate(reader, start=2):
@@ -138,10 +154,30 @@ def load_csv(path: Union[str, Path]) -> MultiHistory:
             if record.get("key") in ("", None):
                 record["key"] = None
             try:
-                operations.append(operation_from_dict(record))
+                yield operation_from_dict(record)
             except TraceFormatError as exc:
                 raise TraceFormatError(f"{path}:{row_number}: {exc}") from exc
-    return MultiHistory(operations)
+
+
+def load_csv(path: Union[str, Path]) -> MultiHistory:
+    """Load a CSV trace into a :class:`MultiHistory`."""
+    return TraceBuilder(iter_csv(path)).build()
+
+
+# ----------------------------------------------------------------------
+# Format dispatch
+# ----------------------------------------------------------------------
+def stream_trace(path: Union[str, Path]) -> Iterator[Operation]:
+    """Stream any supported trace file (dispatch on extension, JSONL default)."""
+    p = Path(path)
+    if p.suffix.lower() == ".csv":
+        return iter_csv(p)
+    return iter_jsonl(p)
+
+
+def load_trace(path: Union[str, Path]) -> MultiHistory:
+    """Load any supported trace file into a :class:`MultiHistory`."""
+    return TraceBuilder(stream_trace(path)).build()
 
 
 # ----------------------------------------------------------------------

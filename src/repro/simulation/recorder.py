@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
 
+from ..core.builder import TraceBuilder
 from ..core.history import MultiHistory
 from ..core.operation import Operation, OpType
 from .events import EventLoop
@@ -63,7 +64,11 @@ class HistoryRecorder:
         self.rng = rng if rng is not None else random.Random(0)
         self._tokens = itertools.count()
         self._pending: Dict[int, PendingOperation] = {}
-        self._completed: List[Operation] = []
+        # Completed operations stream into the trace builder, which buckets
+        # them per register as they arrive — the same ingestion surface the
+        # sharded verification engine consumes, so a recorded trace is ready
+        # for per-register verification without any regrouping pass.
+        self._trace = TraceBuilder()
         self._failed = 0
 
     # ------------------------------------------------------------------
@@ -118,7 +123,7 @@ class HistoryRecorder:
             op_value = pending.value
         else:
             op_value = value
-        self._completed.append(
+        self._trace.append(
             Operation(
                 op_type=pending.op_type,
                 value=op_value,
@@ -132,7 +137,7 @@ class HistoryRecorder:
     def record_instant_write(self, client: Hashable, key: Hashable, value: Hashable,
                              start: float, finish: float) -> None:
         """Record a write with explicit timestamps (used for seed writes)."""
-        self._completed.append(
+        self._trace.append(
             Operation(
                 op_type=OpType.WRITE,
                 value=value,
@@ -147,7 +152,7 @@ class HistoryRecorder:
     @property
     def completed_count(self) -> int:
         """Number of operations recorded so far."""
-        return len(self._completed)
+        return self._trace.op_count
 
     @property
     def failed_count(self) -> int:
@@ -159,10 +164,19 @@ class HistoryRecorder:
         """Number of invocations still awaiting a response."""
         return len(self._pending)
 
+    def trace_builder(self) -> TraceBuilder:
+        """The live per-register trace builder (the engine consumes it as-is)."""
+        return self._trace
+
     def multi_history(self) -> MultiHistory:
         """Assemble the per-register histories of all completed operations."""
-        return MultiHistory(self._completed)
+        return self._trace.build()
 
     def operations(self) -> List[Operation]:
-        """All completed operations in completion order."""
-        return list(self._completed)
+        """All completed operations in completion order.
+
+        Operations are created at completion time with monotonically
+        increasing ids, so sorting the per-register buckets by id recovers
+        the global completion order.
+        """
+        return sorted(self._trace.iter_operations(), key=lambda op: op.op_id)

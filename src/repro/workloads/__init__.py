@@ -18,6 +18,7 @@ from .synthetic import (
     practical_history,
     random_history,
     serial_history,
+    synthetic_trace,
 )
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "practical_history",
     "random_history",
     "serial_history",
+    "synthetic_trace",
 ]

@@ -18,8 +18,7 @@ the benchmark harness can sweep ``c`` and exhibit exactly that behaviour:
 
 from __future__ import annotations
 
-import random
-from typing import List, Optional
+from typing import List
 
 from ..core.history import History
 from ..core.operation import Operation, read, write

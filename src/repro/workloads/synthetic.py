@@ -13,10 +13,14 @@ benchmark harness:
   concurrent, occasional bounded staleness;
 * :func:`random_history` — unconstrained random intervals and read values,
   which may or may not be k-atomic (the fuzzing input for cross-validation
-  tests).
+  tests);
+* :func:`synthetic_trace` — a many-register trace assembled from per-register
+  practical histories, the standard input of the sharded-engine benchmarks
+  and parity tests.
 
-All generators take an explicit :class:`random.Random` instance so every
-experiment is reproducible from a seed.
+All randomised generators take an explicit :class:`random.Random` instance —
+never the module-global ``random`` state — so every experiment is
+reproducible from the seed its caller threads through.
 """
 
 from __future__ import annotations
@@ -24,7 +28,8 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
-from ..core.history import History
+from ..core.builder import TraceBuilder
+from ..core.history import History, MultiHistory
 from ..core.operation import Operation, read, write
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "exactly_k_atomic_history",
     "practical_history",
     "random_history",
+    "synthetic_trace",
 ]
 
 
@@ -179,6 +185,53 @@ def practical_history(
             op = read(target_value, start, finish, key=key, client=client)
         ops.append(op)
     return History(ops, key=key)
+
+
+def synthetic_trace(
+    rng: random.Random,
+    num_registers: int,
+    ops_per_register: int,
+    *,
+    num_clients: int = 8,
+    write_ratio: float = 0.2,
+    staleness_probability: float = 0.05,
+    max_staleness: int = 1,
+    size_skew: float = 0.0,
+    key_prefix: str = "reg",
+) -> MultiHistory:
+    """A multi-register trace of independent practical histories.
+
+    Each register gets its own :func:`practical_history` seeded from ``rng``
+    (one derived seed per register, drawn in register order), so the whole
+    trace is reproducible from the single stream the caller threads in, and
+    regenerating with the same seed yields identical operations.
+
+    ``size_skew`` > 0 makes register sizes uneven — register ``i`` receives
+    roughly ``ops_per_register / (1 + size_skew * i / num_registers)``
+    operations (a mild Zipf-like decay) — which is what gives the
+    size-balanced partitioner something to balance in the benchmarks.
+    """
+    if num_registers < 1:
+        raise ValueError(f"num_registers must be >= 1, got {num_registers}")
+    if ops_per_register < 1:
+        raise ValueError(f"ops_per_register must be >= 1, got {ops_per_register}")
+    if size_skew < 0:
+        raise ValueError(f"size_skew must be non-negative, got {size_skew}")
+    builder = TraceBuilder()
+    for i in range(num_registers):
+        register_rng = random.Random(rng.getrandbits(64))
+        size = max(2, round(ops_per_register / (1.0 + size_skew * i / num_registers)))
+        history = practical_history(
+            register_rng,
+            size,
+            num_clients=num_clients,
+            write_ratio=write_ratio,
+            staleness_probability=staleness_probability,
+            max_staleness=max_staleness,
+            key=f"{key_prefix}-{i:04d}",
+        )
+        builder.extend(history.operations)
+    return builder.build()
 
 
 def random_history(

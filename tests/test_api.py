@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.core.api import DEFAULT_MAX_EXACT_OPS, minimal_k, verify, verify_trace
+from repro.core.api import (
+    DEFAULT_MAX_EXACT_OPS,
+    MinimalKBound,
+    minimal_k,
+    minimal_k_bound,
+    verify,
+    verify_trace,
+)
 from repro.core.errors import VerificationError
 from repro.core.history import History, MultiHistory
 from repro.core.operation import read, write
@@ -128,10 +135,62 @@ class TestMinimalK:
         assert minimal_k(History([])) == 1
 
     def test_large_history_needing_k3_raises(self):
+        # The documented contract: minimal_k does NOT return a lower bound,
+        # it raises; minimal_k_bound is the total variant.
         h = exactly_k_atomic_history(3, num_writes=40)
-        with pytest.raises(VerificationError):
+        with pytest.raises(VerificationError, match="k >= 3"):
             minimal_k(h)
 
     def test_large_history_within_2_is_fine(self):
         h = exactly_k_atomic_history(2, num_writes=60)
         assert minimal_k(h) == 2
+
+
+class TestMinimalKBound:
+    def test_exact_small_ks(self, atomic_history, stale_by_one_history, stale_by_two_history):
+        assert minimal_k_bound(atomic_history) == MinimalKBound(k=1, exact=True)
+        assert minimal_k_bound(stale_by_one_history) == MinimalKBound(k=2, exact=True)
+        bound = minimal_k_bound(stale_by_two_history)
+        assert (bound.k, bound.exact) == (3, True)
+
+    def test_large_history_returns_lower_bound_instead_of_raising(self):
+        h = exactly_k_atomic_history(3, num_writes=40)
+        assert len(h) > DEFAULT_MAX_EXACT_OPS
+        bound = minimal_k_bound(h)
+        assert (bound.k, bound.exact) == (3, False)
+        assert "max_exact_ops" in bound.reason
+        assert str(bound) == "k >= 3"
+
+    def test_anomalous_history_has_no_finite_k(self):
+        h = History([write("a", 5.0, 6.0), read("ghost", 0.0, 1.0)])
+        bound = minimal_k_bound(h)
+        assert (bound.k, bound.exact) == (None, True)
+        assert "anomal" in bound.reason
+
+    def test_empty_history_is_atomic(self):
+        assert minimal_k_bound(History([])) == MinimalKBound(k=1, exact=True)
+
+    def test_agrees_with_minimal_k_when_exact(self):
+        for k in (1, 2, 3):
+            h = exactly_k_atomic_history(k, num_writes=k + 2)
+            bound = minimal_k_bound(h)
+            assert bound.exact and bound.k == minimal_k(h) == k
+
+
+class TestVerifyTraceEngineDelegation:
+    def _trace(self):
+        ops = []
+        ops.extend(serial_history(3, 1, key="fresh").operations)
+        ops.extend(exactly_k_atomic_history(2, 4, key="lagging").operations)
+        return MultiHistory(ops)
+
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    def test_parallel_executors_match_serial(self, executor):
+        trace = self._trace()
+        expected = {key: bool(r) for key, r in verify_trace(trace, 2).items()}
+        got = verify_trace(trace, 2, executor=executor, jobs=2)
+        assert {key: bool(r) for key, r in got.items()} == expected
+
+    def test_serial_preserves_trace_key_order(self):
+        trace = self._trace()
+        assert list(verify_trace(trace, 2)) == list(trace.keys())

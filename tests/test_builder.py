@@ -1,0 +1,92 @@
+"""Tests for the streaming history/trace builders (repro.core.builder)."""
+
+import pytest
+
+from repro.core.builder import HistoryBuilder, TraceBuilder
+from repro.core.errors import HistoryError
+from repro.core.history import MultiHistory
+from repro.core.operation import read, write
+
+
+class TestHistoryBuilder:
+    def test_incremental_build_equals_direct_construction(self):
+        ops = [write("a", 0.0, 1.0), read("a", 2.0, 3.0), write("b", 4.0, 5.0)]
+        builder = HistoryBuilder()
+        for op in ops:
+            builder.append(op)
+        from repro.core.history import History
+
+        assert builder.build() == History(ops)
+
+    def test_adopts_key_from_operations(self):
+        builder = HistoryBuilder().append(write("a", 0.0, 1.0, key="reg"))
+        assert builder.key == "reg"
+        assert builder.build().key == "reg"
+
+    def test_key_mismatch_fails_fast(self):
+        builder = HistoryBuilder(key="reg-a")
+        with pytest.raises(HistoryError):
+            builder.append(write("v", 0.0, 1.0, key="reg-b"))
+
+    def test_len_and_op_count(self):
+        builder = HistoryBuilder().extend(
+            [write("a", 0.0, 1.0), read("a", 2.0, 3.0)]
+        )
+        assert len(builder) == builder.op_count == 2
+
+    def test_empty_build(self):
+        assert HistoryBuilder().build().is_empty
+
+
+class TestTraceBuilder:
+    def _ops(self):
+        return [
+            write("a", 0.0, 1.0, key="k1"),
+            write("x", 0.0, 1.0, key="k2"),
+            read("a", 2.0, 3.0, key="k1"),
+            read("x", 2.0, 3.0, key="k2"),
+        ]
+
+    def test_streaming_build_equals_batch_multihistory(self):
+        ops = self._ops()
+        builder = TraceBuilder()
+        for op in ops:
+            builder.append(op)
+        built = builder.build()
+        batch = MultiHistory(ops)
+        assert set(built.keys()) == set(batch.keys())
+        for key in batch.keys():
+            assert built[key] == batch[key]
+
+    def test_keys_in_first_appearance_order(self):
+        builder = TraceBuilder(self._ops())
+        assert builder.keys() == ("k1", "k2")
+        assert list(builder.build().keys()) == ["k1", "k2"]
+
+    def test_counts(self):
+        builder = TraceBuilder(self._ops())
+        assert builder.op_count == 4
+        assert builder.num_registers == len(builder) == 2
+        assert builder.operation_counts() == {"k1": 2, "k2": 2}
+        assert "k1" in builder and "missing" not in builder
+
+    def test_lazy_per_register_history(self):
+        builder = TraceBuilder(self._ops())
+        history = builder.history("k1")
+        assert history.key == "k1" and len(history) == 2
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(HistoryError):
+            TraceBuilder().history("missing")
+
+    def test_iter_operations_yields_everything(self):
+        ops = self._ops()
+        builder = TraceBuilder(ops)
+        assert sorted(op.op_id for op in builder.iter_operations()) == sorted(
+            op.op_id for op in ops
+        )
+
+    def test_keyless_operations_grouped_under_none(self):
+        builder = TraceBuilder([write("a", 0.0, 1.0), read("a", 2.0, 3.0)])
+        assert builder.keys() == (None,)
+        assert len(builder.build()[None]) == 2

@@ -108,3 +108,45 @@ class TestSimulateCommand:
         # The recorded trace is immediately verifiable by the verify command.
         verify_out = io.StringIO()
         assert main(["verify", str(out_path), "--k", "2"], out=verify_out) == 0
+
+
+class TestEngineFlags:
+    def test_engine_defaults(self):
+        args = build_parser().parse_args(["verify", "t.jsonl"])
+        assert args.engine == "serial" and args.jobs is None
+        assert args.partitioner == "size-balanced"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "t.jsonl", "--engine", "gpu"])
+
+    @pytest.mark.parametrize("engine", ["serial", "threads", "processes"])
+    def test_engines_agree_on_verdicts(self, trace_path, engine):
+        out = io.StringIO()
+        status = main(
+            ["verify", str(trace_path), "--k", "2", "--engine", engine, "--jobs", "2"],
+            out=out,
+        )
+        assert status == 0
+        assert "2/2 registers are 2-atomic" in out.getvalue()
+
+    def test_parallel_run_prints_engine_summary(self, trace_path):
+        out = io.StringIO()
+        main(
+            ["verify", str(trace_path), "--k", "2", "--engine", "threads", "--jobs", "2"],
+            out=out,
+        )
+        assert "shards via threads" in out.getvalue()
+
+    def test_partitioner_flag_accepted(self, trace_path):
+        out = io.StringIO()
+        status = main(
+            ["verify", str(trace_path), "--k", "2", "--partitioner", "hash"], out=out
+        )
+        assert status == 0
+
+    def test_non_positive_jobs_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "t.jsonl", "--jobs", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "t.jsonl", "--jobs", "-2"])

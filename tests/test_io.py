@@ -7,13 +7,17 @@ import pytest
 from repro.core.errors import TraceFormatError
 from repro.core.history import History, MultiHistory
 from repro.core.operation import OpType, read, write
+from repro.core.builder import TraceBuilder
 from repro.io.formats import (
     dump_csv,
     dump_jsonl,
+    iter_jsonl,
     load_csv,
     load_jsonl,
+    load_trace,
     operation_from_dict,
     operation_to_dict,
+    stream_trace,
 )
 from repro.workloads.synthetic import exactly_k_atomic_history
 
@@ -135,3 +139,48 @@ class TestCsv:
         )
         with pytest.raises(TraceFormatError):
             load_csv(path)
+
+
+class TestStreaming:
+    def test_iter_jsonl_streams_operations_lazily(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        dump_jsonl(trace, path)
+        stream = iter_jsonl(path)
+        first = next(stream)
+        assert first.key in set(trace.keys())
+        rest = list(stream)
+        assert 1 + len(rest) == trace.total_operations()
+
+    def test_builder_fed_from_stream_matches_batch_load(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        dump_jsonl(trace, path)
+        streamed = TraceBuilder(iter_jsonl(path)).build()
+        batch = load_jsonl(path)
+        assert set(streamed.keys()) == set(batch.keys())
+        for key in batch.keys():
+            assert len(streamed[key]) == len(batch[key])
+
+    def test_stream_trace_dispatches_on_extension(self, tmp_path):
+        trace = sample_trace()
+        jsonl, csvp = tmp_path / "t.jsonl", tmp_path / "t.csv"
+        dump_jsonl(trace, jsonl)
+        dump_csv(trace, csvp)
+        assert len(list(stream_trace(jsonl))) == trace.total_operations()
+        assert len(list(stream_trace(csvp))) == trace.total_operations()
+
+    def test_load_trace_round_trips_both_formats(self, tmp_path):
+        trace = sample_trace()
+        for name in ("t.jsonl", "t.csv"):
+            path = tmp_path / name
+            (dump_csv if name.endswith(".csv") else dump_jsonl)(trace, path)
+            back = load_trace(path)
+            assert back.total_operations() == trace.total_operations()
+            assert set(back.keys()) == set(trace.keys())
+
+    def test_iter_jsonl_reports_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"op_type": "write"\n')
+        with pytest.raises(TraceFormatError):
+            list(iter_jsonl(path))

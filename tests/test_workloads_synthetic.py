@@ -11,6 +11,7 @@ from repro.workloads.synthetic import (
     practical_history,
     random_history,
     serial_history,
+    synthetic_trace,
 )
 
 
@@ -117,3 +118,42 @@ class TestRandomHistory:
         assert [(op.value, op.start) for op in a.operations] == [
             (op.value, op.start) for op in b.operations
         ]
+
+
+class TestSyntheticTrace:
+    def test_register_count_and_keys(self):
+        trace = synthetic_trace(random.Random(3), num_registers=6, ops_per_register=10)
+        assert len(trace) == 6
+        assert sorted(trace.keys()) == [f"reg-{i:04d}" for i in range(6)]
+
+    def test_deterministic_from_threaded_rng(self):
+        a = synthetic_trace(random.Random(11), 5, 12, size_skew=1.0)
+        b = synthetic_trace(random.Random(11), 5, 12, size_skew=1.0)
+        for key in a.keys():
+            assert [(op.op_type, op.value, op.start, op.finish) for op in a[key].operations] == [
+                (op.op_type, op.value, op.start, op.finish) for op in b[key].operations
+            ]
+
+    def test_different_seeds_differ(self):
+        a = synthetic_trace(random.Random(1), 4, 20)
+        b = synthetic_trace(random.Random(2), 4, 20)
+        key = next(iter(a.keys()))
+        assert [op.start for op in a[key].operations] != [op.start for op in b[key].operations]
+
+    def test_anomaly_free_by_construction(self):
+        trace = synthetic_trace(random.Random(5), 4, 25, staleness_probability=0.3)
+        for key in trace.keys():
+            assert not find_anomalies(trace[key])
+
+    def test_size_skew_produces_uneven_registers(self):
+        trace = synthetic_trace(random.Random(7), 8, 60, size_skew=4.0)
+        sizes = [len(trace[key]) for key in sorted(trace.keys())]
+        assert sizes[0] > sizes[-1]
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(random.Random(0), 0, 10)
+        with pytest.raises(ValueError):
+            synthetic_trace(random.Random(0), 2, 0)
+        with pytest.raises(ValueError):
+            synthetic_trace(random.Random(0), 2, 10, size_skew=-1.0)
