@@ -15,7 +15,13 @@ The library provides:
   packing (Section V),
 * a Dynamo-style sloppy-quorum store simulator, workload generators and
   analysis tools for auditing the consistency that such systems actually
-  deliver — the motivating use case of the paper.
+  deliver — the motivating use case of the paper,
+* an **online verification** stack: incremental checkers
+  (:mod:`repro.algorithms.online`), stream windowing
+  (:mod:`repro.core.windows`), a streaming engine
+  (:mod:`repro.engine.streaming`) and live simulation auditing
+  (:class:`repro.simulation.LiveAuditor`), so verdicts exist while
+  operations are still arriving.
 
 Quickstart
 ----------
@@ -54,13 +60,17 @@ from .algorithms import (
     verify_k_atomic_exact,
     verify_weighted_k_atomic,
 )
-from .engine import Engine
+from .engine import Engine, StreamingEngine
 
-__version__ = "1.1.0"
+#: Single source of truth for the package version: ``pyproject.toml`` reads
+#: it via ``[tool.setuptools.dynamic]`` and the CLI exposes it as
+#: ``repro --version``.  Bump it here and nowhere else.
+__version__ = "1.2.0"
 
 __all__ = [
     "Engine",
     "History",
+    "StreamingEngine",
     "HistoryBuilder",
     "MinimalKBound",
     "MultiHistory",

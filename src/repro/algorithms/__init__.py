@@ -9,8 +9,10 @@
 * :mod:`repro.algorithms.wkav` — weighted k-AV front end (Section V).
 * :mod:`repro.algorithms.gls` — zone-only partial 2-AV checker (pre-paper
   state of the art, used as a baseline).
-* :mod:`repro.algorithms.registry` — name → algorithm lookup used by the
-  unified API and the benchmarks.
+* :mod:`repro.algorithms.online` — incremental (streaming) checker protocol
+  and the online variants of GK and LBT.
+* :mod:`repro.algorithms.registry` — name → algorithm/checker lookup used by
+  the unified API, the streaming engine and the benchmarks.
 """
 
 from .exact import (
@@ -23,7 +25,20 @@ from .fzf import is_2atomic_fzf, verify_2atomic_fzf
 from .gk import is_1atomic, verify_1atomic
 from .gls import PartialResult, PartialVerdict, verify_2atomic_zones_only
 from .lbt import LBTChecker, is_2atomic, verify_2atomic, verify_2atomic_reference
-from .registry import REGISTRY, available_algorithms, get_algorithm
+from .online import (
+    Checker,
+    IncrementalGKChecker,
+    IncrementalLBTChecker,
+    RecheckChecker,
+    checker_for,
+)
+from .registry import (
+    CHECKERS,
+    REGISTRY,
+    available_algorithms,
+    get_algorithm,
+    get_checker,
+)
 from .wkav import (
     is_weighted_k_atomic,
     verify_weighted_k_atomic,
@@ -32,12 +47,19 @@ from .wkav import (
 )
 
 __all__ = [
+    "CHECKERS",
+    "Checker",
+    "IncrementalGKChecker",
+    "IncrementalLBTChecker",
     "LBTChecker",
     "PartialResult",
     "PartialVerdict",
     "REGISTRY",
+    "RecheckChecker",
     "available_algorithms",
+    "checker_for",
     "get_algorithm",
+    "get_checker",
     "is_1atomic",
     "is_2atomic",
     "is_2atomic_fzf",

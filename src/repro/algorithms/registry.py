@@ -2,7 +2,10 @@
 
 The unified API (:mod:`repro.core.api`) and the benchmark harness select
 algorithms by name; this registry is the single source of truth for which
-names exist and which staleness bounds each algorithm supports.
+names exist and which staleness bounds each algorithm supports.  Batch
+verifiers live in :data:`REGISTRY`; their incremental (streaming)
+counterparts live in :data:`CHECKERS` and are constructed per register by the
+streaming engine.
 """
 
 from __future__ import annotations
@@ -14,8 +17,18 @@ from ..core.errors import VerificationError
 from ..core.history import History
 from ..core.result import VerificationResult
 from . import exact, fzf, gk, lbt
+from .online import Checker, IncrementalGKChecker, IncrementalLBTChecker
 
-__all__ = ["AlgorithmSpec", "REGISTRY", "get_algorithm", "algorithms_for_k", "available_algorithms"]
+__all__ = [
+    "AlgorithmSpec",
+    "REGISTRY",
+    "get_algorithm",
+    "algorithms_for_k",
+    "available_algorithms",
+    "CheckerSpec",
+    "CHECKERS",
+    "get_checker",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +117,54 @@ REGISTRY: Dict[str, AlgorithmSpec] = {
         description="Exact exponential oracle for any k (testing / k >= 3 fallback)",
     ),
 }
+
+
+@dataclass(frozen=True)
+class CheckerSpec:
+    """Metadata about a registered incremental (streaming) checker."""
+
+    name: str
+    #: The staleness bounds the checker can decide.
+    supported_k: Sequence[int]
+    #: Zero-argument-friendly factory: ``factory(**options) -> Checker``.
+    factory: Callable[..., Checker]
+    #: Name of the batch algorithm whose verdicts the checker reproduces.
+    batch_counterpart: str
+    description: str
+
+    def supports(self, k: int) -> bool:
+        """True iff the checker can decide k-atomicity for this ``k``."""
+        return k in self.supported_k
+
+
+CHECKERS: Dict[str, CheckerSpec] = {
+    "gk-online": CheckerSpec(
+        name="gk-online",
+        supported_k=(1,),
+        factory=IncrementalGKChecker,
+        batch_counterpart="gk",
+        description="Incremental Gibbons–Korach 1-AV: O(1) cluster/zone upkeep, "
+        "O(log n) forward-zone index, batch-confirmed alarms",
+    ),
+    "lbt-online": CheckerSpec(
+        name="lbt-online",
+        supported_k=(2,),
+        factory=IncrementalLBTChecker,
+        batch_counterpart="lbt",
+        description="Incremental 2-AV by buffered LBT re-check at geometric "
+        "checkpoints (no true incremental LBT is known)",
+    ),
+}
+
+
+def get_checker(name: str) -> CheckerSpec:
+    """Look up an incremental checker by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in CHECKERS:
+        raise VerificationError(
+            f"unknown incremental checker {name!r}; available: {', '.join(sorted(CHECKERS))}"
+        )
+    return CHECKERS[key]
 
 
 def get_algorithm(name: str) -> AlgorithmSpec:

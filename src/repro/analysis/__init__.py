@@ -11,12 +11,16 @@ from .metrics import (
 from .report import (
     ConsistencyReport,
     ShardStats,
+    StreamVerificationReport,
     TraceVerificationReport,
+    WindowReport,
+    WindowStats,
     audit_trace,
     format_table,
 )
 from .spectrum import (
     KeyVerdict,
+    OnlineSpectrum,
     StalenessBucket,
     StalenessSpectrum,
     atomicity_spectrum,
@@ -27,11 +31,15 @@ __all__ = [
     "ConsistencyReport",
     "HistoryProfile",
     "KeyVerdict",
+    "OnlineSpectrum",
     "ShardStats",
     "StalenessBucket",
     "StalenessSpectrum",
     "StalenessStats",
+    "StreamVerificationReport",
     "TraceVerificationReport",
+    "WindowReport",
+    "WindowStats",
     "atomicity_spectrum",
     "audit_trace",
     "format_table",

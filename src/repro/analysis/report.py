@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.history import History, MultiHistory
-from ..core.result import VerificationResult
+from ..core.result import StreamVerdict, VerificationResult
 from .metrics import StalenessStats, staleness_stats
 from .spectrum import StalenessBucket, StalenessSpectrum, atomicity_spectrum
 
@@ -23,6 +23,9 @@ __all__ = [
     "audit_trace",
     "ShardStats",
     "TraceVerificationReport",
+    "WindowStats",
+    "WindowReport",
+    "StreamVerificationReport",
 ]
 
 
@@ -225,6 +228,199 @@ class TraceVerificationReport:
             skipped = ", ".join(repr(k) for k in self.skipped_keys[:8])
             more = "" if len(self.skipped_keys) <= 8 else f" (+{len(self.skipped_keys) - 8} more)"
             lines.append(f"skipped (fail-fast): {skipped}{more}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Size and timing of one stream window processed by the streaming engine."""
+
+    index: int
+    num_ops: int
+    num_registers: int
+    t_low: float
+    t_high: float
+    elapsed_s: float
+
+    @property
+    def ops_per_second(self) -> float:
+        """Verification throughput of the window (ops / wall-clock second)."""
+        return self.num_ops / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class WindowReport:
+    """Rolling verdicts produced when one stream window closed.
+
+    ``verdicts`` maps each register *touched by the window* to its current
+    :class:`~repro.core.result.StreamVerdict` — provisional YES or final NO.
+    """
+
+    stats: WindowStats
+    verdicts: Mapping[Hashable, StreamVerdict]
+
+    @property
+    def has_alarm(self) -> bool:
+        """True iff some register's verdict turned (finally) negative."""
+        return any(v.final and not v for v in self.verdicts.values())
+
+    def alarms(self) -> Dict[Hashable, StreamVerdict]:
+        """The registers whose verdict is a final NO, in report order."""
+        return {key: v for key, v in self.verdicts.items() if v.final and not v}
+
+    def render_lines(self) -> List[str]:
+        """Terminal-friendly one-line-per-register rendering of the window."""
+        s = self.stats
+        header = (
+            f"[window {s.index:>3}] ops={s.num_ops} registers={s.num_registers} "
+            f"t=[{s.t_low:g}, {s.t_high:g}]"
+        )
+        lines = [header]
+        for key, verdict in self.verdicts.items():
+            mark = "NO " if not verdict else "yes"
+            strength = "final" if verdict.final else "provisional"
+            line = f"  {key!r}: {mark} ({strength})"
+            if not verdict and verdict.result.reason:
+                line += f" — {verdict.result.reason}"
+            lines.append(line)
+        return lines
+
+
+@dataclass(frozen=True)
+class StreamVerificationReport:
+    """Aggregated outcome of a streaming-engine run over an operation stream.
+
+    The timeline preserves every mid-stream :class:`WindowReport`; ``results``
+    holds the final per-register verdicts after end-of-stream (in rolling mode
+    these equal the batch algorithms' verdicts exactly; in windowed mode YES
+    verdicts are per-window approximations and say so in their ``reason``).
+    """
+
+    k: int
+    #: ``"rolling"`` (persistent incremental checkers) or ``"windowed"``
+    #: (independent per-window batch verification).
+    mode: str
+    #: Human-readable window policy, e.g. ``count(64, overlap=8)``.
+    window: str
+    results: Mapping[Hashable, VerificationResult]
+    timeline: Tuple[WindowReport, ...]
+    executor: str
+    jobs: int
+    elapsed_s: float
+
+    # ------------------------------------------------------------------
+    @property
+    def num_registers(self) -> int:
+        """Registers that received at least one operation."""
+        return len(self.results)
+
+    @property
+    def num_windows(self) -> int:
+        """Windows the stream was cut into."""
+        return len(self.timeline)
+
+    @property
+    def total_ops(self) -> int:
+        """Total operations pumped through the engine."""
+        return sum(w.stats.num_ops for w in self.timeline)
+
+    @property
+    def failures(self) -> Dict[Hashable, VerificationResult]:
+        """The registers whose final verdict is NO."""
+        return {key: r for key, r in self.results.items() if not r}
+
+    @property
+    def is_k_atomic(self) -> bool:
+        """True iff every register's final verdict is YES."""
+        return all(bool(r) for r in self.results.values())
+
+    @property
+    def first_alarm(self) -> Optional[Tuple[int, Hashable, StreamVerdict]]:
+        """The earliest mid-stream final NO as ``(window index, key, verdict)``."""
+        for window in self.timeline:
+            for key, verdict in window.verdicts.items():
+                if verdict.final and not verdict:
+                    return (window.stats.index, key, verdict)
+        return None
+
+    # ------------------------------------------------------------------
+    def to_trace_report(self) -> TraceVerificationReport:
+        """Merge the timeline into the batch :class:`TraceVerificationReport`.
+
+        Windows take the place of shards (one :class:`ShardStats` entry per
+        window, in stream order) and the window policy takes the partitioner
+        slot, so every consumer of the batch report — renderers, benchmark
+        tables, comparison scripts — works unchanged on streaming output.
+        """
+        return TraceVerificationReport(
+            k=self.k,
+            results=dict(self.results),
+            executor=f"streaming-{self.mode}",
+            partitioner=self.window,
+            jobs=self.jobs,
+            num_shards=len(self.timeline),
+            shard_stats=tuple(
+                ShardStats(
+                    shard_id=w.stats.index,
+                    num_registers=w.stats.num_registers,
+                    num_ops=w.stats.num_ops,
+                    elapsed_s=w.stats.elapsed_s,
+                )
+                for w in self.timeline
+            ),
+            elapsed_s=self.elapsed_s,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the streaming run."""
+        verdict = "YES" if self.is_k_atomic else "NO"
+        parts = [
+            f"{self.k}-atomic: {verdict}",
+            f"{self.num_registers} registers / {self.total_ops} ops",
+            f"{self.num_windows} windows of {self.window} via {self.mode} "
+            f"({self.executor}, jobs={self.jobs})",
+            f"{self.elapsed_s:.3f}s",
+        ]
+        alarm = self.first_alarm
+        if alarm is not None:
+            index, key, verdict_obj = alarm
+            parts.append(
+                f"first alarm in window {index} on register {key!r} "
+                f"after {verdict_obj.ops_seen} ops"
+            )
+        return " — ".join(parts)
+
+    def render(self) -> str:
+        """Render the summary, per-window table, and failing registers."""
+        lines: List[str] = [self.summary(), ""]
+        if self.timeline:
+            lines.append("window timeline:")
+            lines.append(
+                format_table(
+                    ["window", "ops", "registers", "t range", "alarms", "elapsed (s)"],
+                    [
+                        [
+                            w.stats.index,
+                            w.stats.num_ops,
+                            w.stats.num_registers,
+                            f"[{w.stats.t_low:g}, {w.stats.t_high:g}]",
+                            len(w.alarms()),
+                            f"{w.stats.elapsed_s:.4f}",
+                        ]
+                        for w in self.timeline
+                    ],
+                )
+            )
+        failures = self.failures
+        if failures:
+            lines.append("")
+            lines.append("failing registers:")
+            lines.append(
+                format_table(
+                    ["key", "algorithm", "reason"],
+                    [[key, r.algorithm, r.reason] for key, r in failures.items()],
+                )
+            )
         return "\n".join(lines)
 
 

@@ -19,8 +19,16 @@ from typing import Dict, Hashable, List, Optional, Tuple
 from ..core.api import DEFAULT_MAX_EXACT_OPS, verify
 from ..core.history import History, MultiHistory
 from ..core.preprocess import find_anomalies, normalize
+from ..core.result import StreamVerdict
 
-__all__ = ["StalenessBucket", "staleness_bucket", "KeyVerdict", "StalenessSpectrum", "atomicity_spectrum"]
+__all__ = [
+    "StalenessBucket",
+    "staleness_bucket",
+    "KeyVerdict",
+    "StalenessSpectrum",
+    "atomicity_spectrum",
+    "OnlineSpectrum",
+]
 
 
 class StalenessBucket(enum.Enum):
@@ -146,6 +154,104 @@ class StalenessSpectrum:
         if all(m is not None for m in resolved):
             return all(m <= k for m in resolved)
         return None
+
+
+class OnlineSpectrum:
+    """A staleness spectrum maintained incrementally, one window at a time.
+
+    The batch :func:`atomicity_spectrum` classifies a *finished* trace; the
+    online spectrum answers the same "how far from atomic is each register?"
+    question while the trace is still being recorded.  A live audit runs a
+    bank of incremental checkers per register (typically ``k = 1`` and
+    ``k = 2``; see :class:`repro.simulation.auditor.LiveAuditor`) and calls
+    :meth:`observe` with the rolling verdicts at each window close; the
+    spectrum folds them into the per-register bucket:
+
+    * 1-atomic YES → ``ATOMIC``;
+    * 1-atomic NO, 2-atomic YES → ``TWO_ATOMIC``;
+    * both NO → ``THREE_PLUS`` (or ``ANOMALOUS`` when the verdict came from
+      the Section II-C preprocessing rather than an algorithm).
+
+    Because NO stream verdicts are final and YES verdicts are provisional,
+    buckets only ever move toward more staleness as the stream continues —
+    the online spectrum at any instant is an optimistic-but-sound view that
+    converges to the batch spectrum at end-of-stream.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Hashable, StalenessBucket] = {}
+        self._minimal: Dict[Hashable, Optional[int]] = {}
+        self._num_ops: Dict[Hashable, int] = {}
+        self._key_order: List[Hashable] = []
+        self._updates = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_keys(self) -> int:
+        """Registers observed so far."""
+        return len(self._key_order)
+
+    @property
+    def updates(self) -> int:
+        """How many :meth:`observe` calls the spectrum has folded in."""
+        return self._updates
+
+    def observe(
+        self,
+        key: Hashable,
+        *,
+        one_atomic: Optional[StreamVerdict] = None,
+        two_atomic: Optional[StreamVerdict] = None,
+        num_ops: int = 0,
+    ) -> StalenessBucket:
+        """Fold one register's rolling verdicts into the spectrum.
+
+        Either verdict may be ``None`` when the corresponding checker was not
+        run; the bucket is then derived from the available one (a lone
+        1-atomic NO yields ``TWO_ATOMIC`` as the optimistic-but-sound bound).
+        Returns the register's updated bucket.
+        """
+        self._updates += 1
+        if key not in self._buckets:
+            self._key_order.append(key)
+        if num_ops:
+            self._num_ops[key] = num_ops
+        anomalous = any(
+            v is not None and not v and v.result.algorithm == "preprocess"
+            for v in (one_atomic, two_atomic)
+        )
+        if anomalous:
+            bucket, minimal = StalenessBucket.ANOMALOUS, None
+        elif one_atomic is not None and one_atomic:
+            bucket, minimal = StalenessBucket.ATOMIC, 1
+        elif two_atomic is not None and two_atomic:
+            bucket, minimal = StalenessBucket.TWO_ATOMIC, 2
+        elif two_atomic is not None and not two_atomic:
+            bucket, minimal = StalenessBucket.THREE_PLUS, None
+        elif one_atomic is not None and not one_atomic:
+            bucket, minimal = StalenessBucket.TWO_ATOMIC, None
+        else:
+            bucket, minimal = StalenessBucket.EMPTY, None
+        self._buckets[key] = bucket
+        self._minimal[key] = minimal
+        return bucket
+
+    def bucket_of(self, key: Hashable) -> Optional[StalenessBucket]:
+        """The register's current bucket, or ``None`` if never observed."""
+        return self._buckets.get(key)
+
+    def snapshot(self) -> StalenessSpectrum:
+        """Freeze the current state into a :class:`StalenessSpectrum`."""
+        verdicts = tuple(
+            KeyVerdict(
+                key=key,
+                bucket=self._buckets[key],
+                minimal_k=self._minimal[key],
+                num_operations=self._num_ops.get(key, 0),
+            )
+            for key in sorted(self._key_order, key=repr)
+        )
+        return StalenessSpectrum(verdicts=verdicts)
 
 
 def atomicity_spectrum(

@@ -1,14 +1,19 @@
 """Command-line interface for trace verification and store auditing.
 
-Three subcommands cover the offline-audit workflow end to end::
+Four subcommands cover the audit workflow — offline and online — end to end::
 
     python -m repro verify TRACE --k 2        # per-register k-AV verdicts
+    python -m repro verify TRACE --online     # windowed streaming verification
+    python -m repro watch TRACE --follow      # rolling verdicts while a log grows
     python -m repro audit TRACE               # staleness spectrum + report
     python -m repro simulate --out TRACE ...  # record a sloppy-quorum trace
 
-Traces are JSON Lines (``.jsonl``, the format of :mod:`repro.io`) or CSV
-(by extension).  The CLI is a thin layer over the library API so that
-everything it does can also be scripted.
+``watch`` reads JSON Lines from a file, a growing log (``--follow``) or
+stdin (``-``) and prints a verdict block every time a window closes, so a
+piped stream yields intermediate verdicts long before end-of-input.  Traces
+are JSON Lines (``.jsonl``, the format of :mod:`repro.io`) or CSV (by
+extension).  The CLI is a thin layer over the library API so that everything
+it does can also be scripted.
 """
 
 from __future__ import annotations
@@ -18,10 +23,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from . import __version__
 from .analysis.report import audit_trace, format_table
 from .core.builder import TraceBuilder
-from .engine import Engine
-from .io.formats import dump_jsonl, load_trace, stream_trace
+from .core.windows import WindowPolicy
+from .engine import Engine, StreamingEngine
+from .io.formats import dump_jsonl, follow_jsonl, iter_jsonl_handle, load_trace, stream_trace
 from .simulation import ExponentialLatency, QuorumConfig, SloppyQuorumStore, StoreConfig
 from .workloads import UniformKeys, WorkloadSpec, ZipfianKeys
 
@@ -35,10 +42,55 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _window_policy(args: argparse.Namespace) -> WindowPolicy:
+    """Build the window policy from --window/--window-mode/--overlap flags.
+
+    Values are passed through unrounded; WindowPolicy rejects fractional
+    sizes/overlaps in count mode instead of silently truncating them.
+    """
+    return WindowPolicy(
+        mode=args.window_mode, size=args.window, overlap=args.overlap
+    )
+
+
+def _add_window_flags(parser: argparse.ArgumentParser, *, default_window: float) -> None:
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=default_window,
+        help=f"window size: operations, or time units with --window-mode time "
+        f"(default {default_window:g})",
+    )
+    parser.add_argument(
+        "--window-mode",
+        choices=["count", "time"],
+        default="count",
+        dest="window_mode",
+        help="cut windows by operation count or by finish-timestamp grid (default count)",
+    )
+    parser.add_argument(
+        "--overlap",
+        type=float,
+        default=0,
+        help="sliding-window overlap margin carried between windows (default 0: tumbling)",
+    )
+    parser.add_argument(
+        "--stream-mode",
+        choices=["rolling", "windowed"],
+        default="rolling",
+        dest="stream_mode",
+        help="rolling: persistent incremental checkers (exact final verdicts); "
+        "windowed: independent per-window batch verification (window-bounded "
+        "buffering, approximate YES verdicts)",
+    )
+
+
 # ----------------------------------------------------------------------
 # Subcommand implementations
 # ----------------------------------------------------------------------
 def _cmd_verify(args: argparse.Namespace, out) -> int:
+    if args.online:
+        return _cmd_verify_online(args, out)
     # Stream the trace straight into per-register buckets; the engine shards
     # and (optionally) parallelises verification from there.
     builder = TraceBuilder(stream_trace(args.trace))
@@ -74,6 +126,74 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
     )
     if args.engine != "serial" or args.jobs:
         print(report.summary(), file=out)
+    return 1 if failures and args.strict else 0
+
+
+def _cmd_verify_online(args: argparse.Namespace, out) -> int:
+    """The --online path of ``verify``: windowed streaming over the trace."""
+    if args.stream_mode == "rolling" and args.engine == "processes":
+        print(
+            "error: rolling streaming needs a shared-memory executor; use "
+            "--engine serial/threads or --stream-mode windowed",
+            file=out,
+        )
+        return 2
+    engine = StreamingEngine(
+        window=_window_policy(args),
+        mode=args.stream_mode,
+        algorithm=args.algorithm,
+        executor=args.engine,
+        jobs=args.jobs,
+        max_exact_ops=args.max_exact_ops,
+    )
+    report = engine.verify_stream(stream_trace(args.trace), args.k)
+    print(report.render(), file=out)
+    print(
+        f"\n{report.num_registers - len(report.failures)}/{report.num_registers} "
+        f"registers are {args.k}-atomic",
+        file=out,
+    )
+    return 1 if report.failures and args.strict else 0
+
+
+def _cmd_watch(args: argparse.Namespace, out) -> int:
+    """Rolling verdicts over a JSONL stream: stdin, a file, or a growing log."""
+    engine = StreamingEngine(
+        window=_window_policy(args),
+        mode=args.stream_mode,
+        algorithm=args.algorithm,
+        executor="serial",
+    )
+    if args.trace == "-":
+        ops = iter_jsonl_handle(sys.stdin, source="<stdin>")
+    elif args.follow:
+        ops = follow_jsonl(
+            args.trace,
+            poll_interval_s=args.poll_interval,
+            idle_timeout_s=args.idle_timeout,
+        )
+    else:
+        ops = stream_trace(args.trace)
+
+    def on_window(window_report) -> None:
+        for line in window_report.render_lines():
+            print(line, file=out)
+        if hasattr(out, "flush"):
+            out.flush()
+
+    report = engine.verify_stream(ops, args.k, on_window=on_window)
+    print("", file=out)
+    print(report.summary(), file=out)
+    failures = report.failures
+    if failures:
+        print("", file=out)
+        print(
+            format_table(
+                ["key", "algorithm", "reason"],
+                [[key, r.algorithm, r.reason] for key, r in failures.items()],
+            ),
+            file=out,
+        )
     return 1 if failures and args.strict else 0
 
 
@@ -124,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="k-atomicity verification for replicated storage histories",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_verify = sub.add_parser("verify", help="verify k-atomicity of every register in a trace")
@@ -164,7 +287,57 @@ def build_parser() -> argparse.ArgumentParser:
         default="size-balanced",
         help="register-to-shard assignment strategy (default size-balanced)",
     )
+    p_verify.add_argument(
+        "--online",
+        action="store_true",
+        help="stream the trace through windows and report a verdict timeline "
+        "instead of one batch pass",
+    )
+    _add_window_flags(p_verify, default_window=256)
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="rolling k-AV verdicts over a JSONL stream (file, growing log, or stdin)",
+    )
+    p_watch.add_argument(
+        "trace",
+        nargs="?",
+        default="-",
+        help="JSONL trace file, or '-' for stdin (default '-')",
+    )
+    p_watch.add_argument("--k", type=int, default=2, help="staleness bound to watch (default 2)")
+    p_watch.add_argument(
+        "--algorithm",
+        default="auto",
+        help="auto or a registered algorithm name (default auto)",
+    )
+    _add_window_flags(p_watch, default_window=64)
+    p_watch.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail the file for appended operations (tail -f style)",
+    )
+    p_watch.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        dest="poll_interval",
+        help="seconds between polls while following (default 0.2)",
+    )
+    p_watch.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        dest="idle_timeout",
+        help="stop following after this many idle seconds (default: follow forever)",
+    )
+    p_watch.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit with status 1 if any register fails verification",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_audit = sub.add_parser("audit", help="full staleness-spectrum audit of a trace")
     p_audit.add_argument("trace", help="trace file (.jsonl or .csv)")

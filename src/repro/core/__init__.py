@@ -23,7 +23,8 @@ from .errors import (
 from .history import History, MultiHistory
 from .operation import Operation, OpType, read, write
 from .preprocess import Anomaly, AnomalyKind, find_anomalies, has_anomalies, normalize
-from .result import VerificationResult
+from .result import StreamVerdict, VerificationResult
+from .windows import Window, WindowAssembler, WindowPolicy, iter_windows
 from .zones import Cluster, Zone, build_clusters, zones_of
 
 __all__ = [
@@ -45,15 +46,20 @@ __all__ = [
     "ReductionError",
     "ReproError",
     "SimulationError",
+    "StreamVerdict",
     "TraceBuilder",
     "TraceFormatError",
     "VerificationError",
     "VerificationResult",
+    "Window",
+    "WindowAssembler",
+    "WindowPolicy",
     "Zone",
     "build_clusters",
     "compute_chunk_set",
     "find_anomalies",
     "has_anomalies",
+    "iter_windows",
     "minimal_k",
     "minimal_k_bound",
     "normalize",

@@ -23,6 +23,7 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 from .errors import HistoryError
 from .history import History, MultiHistory
 from .operation import Operation
+from .windows import Window, WindowPolicy, iter_windows
 
 __all__ = ["HistoryBuilder", "TraceBuilder"]
 
@@ -81,6 +82,18 @@ class HistoryBuilder:
     def build(self) -> History:
         """Materialise the (sorted, indexed, validated) :class:`History`."""
         return History(self._ops, key=self._key)
+
+    def windows(self, policy: WindowPolicy) -> List[Window]:
+        """Cut the accumulated operations into windows, in completion order.
+
+        This is the batch counterpart of the live windowing the streaming
+        engine performs: the buffered operations are replayed in finish-time
+        order through a :class:`~repro.core.windows.WindowAssembler`, so a
+        recorded register history can be analysed with exactly the window
+        boundaries an online audit would have used.
+        """
+        ordered = sorted(self._ops, key=lambda op: (op.finish, op.op_id))
+        return list(iter_windows(ordered, policy))
 
 
 class TraceBuilder:
@@ -168,6 +181,17 @@ class TraceBuilder:
         return MultiHistory(
             histories={key: History(ops, key=key) for key, ops in self._ops_by_key.items()}
         )
+
+    def windows(self, policy: WindowPolicy) -> List[Window]:
+        """Cut the accumulated multi-register trace into windows.
+
+        Operations from all registers are interleaved in finish-time order —
+        the order a completion-time stream would deliver them — and replayed
+        through a :class:`~repro.core.windows.WindowAssembler`, reproducing
+        the window boundaries of an online audit over the recorded trace.
+        """
+        ordered = sorted(self.iter_operations(), key=lambda op: (op.finish, op.op_id))
+        return list(iter_windows(ordered, policy))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<TraceBuilder keys={len(self._ops_by_key)} ops={self._op_count}>"

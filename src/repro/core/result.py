@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 from .history import History
 from .operation import Operation
 
-__all__ = ["VerificationResult", "Verdict"]
+__all__ = ["VerificationResult", "StreamVerdict", "Verdict"]
 
 
 # Backwards-compatible alias used in a few call sites and examples.
@@ -126,3 +126,42 @@ class VerificationResult:
             reason=reason,
             stats=dict(stats or {}),
         )
+
+
+@dataclass(frozen=True)
+class StreamVerdict:
+    """A mid-stream verdict emitted by an incremental checker.
+
+    Online verification is asymmetric: a history that is not k-atomic stays
+    not k-atomic when more operations arrive (any dictating-closed prefix of a
+    k-atomic history is itself k-atomic), whereas a prefix that *is* k-atomic
+    may still be ruined by later operations.  A stream verdict therefore comes
+    in two strengths:
+
+    * ``final=True`` — a NO that will never be retracted (or the verdict of a
+      finished stream); the audit can alarm immediately;
+    * ``final=False`` — a provisional YES: every operation seen so far admits
+      a k-atomic total order, subject to revision as the stream continues.
+
+    Attributes
+    ----------
+    result:
+        The underlying :class:`VerificationResult` for the checked prefix.
+    ops_seen:
+        How many operations the checker had ingested when the verdict was
+        produced (pending/unresolved reads included).
+    final:
+        Whether the verdict is immune to future operations.
+    """
+
+    result: VerificationResult
+    ops_seen: int
+    final: bool
+
+    def __bool__(self) -> bool:
+        return bool(self.result)
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the stream verdict."""
+        strength = "final" if self.final else "provisional"
+        return f"{self.result.summary()} [{strength}, after {self.ops_seen} ops]"

@@ -1,0 +1,252 @@
+"""Windowing of operation streams (the online-audit ingestion unit).
+
+Batch verification sees a complete trace; online verification sees an
+unbounded operation stream and must produce verdicts *while* operations
+arrive.  The bridge between the two is the **window**: a finite slice of the
+stream that the streaming engine (:mod:`repro.engine.streaming`) hands to the
+verification machinery, either to advance persistent incremental checkers or
+to verify as a standalone mini-trace.
+
+Two window shapes are supported, both tumbling and sliding:
+
+* **count windows** close after a fixed number of fresh operations;
+* **time windows** close when an operation's *finish* timestamp crosses the
+  next boundary of a fixed-width time grid (completion-ordered streams, such
+  as those produced by :class:`~repro.simulation.recorder.HistoryRecorder` or
+  an audit pipeline tailing a log, have non-decreasing finish times).
+
+A sliding window carries an *overlap margin* — the trailing ``overlap``
+operations (count mode) or the trailing ``overlap`` time units (time mode) of
+the previous window are replayed at the head of the next one.  The margin
+matters when windows are verified independently: a cluster whose zone spans a
+boundary would otherwise be split across two windows and neither half would
+see the complete zone.  With an overlap of at least the typical zone length,
+every boundary-spanning zone appears whole in at least one window.  (The
+rolling-checker mode does not need the margin — checkers are persistent — so
+it consumes only the fresh operations of each window.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from .errors import VerificationError
+from .operation import Operation
+
+__all__ = ["WindowPolicy", "Window", "WindowAssembler", "iter_windows"]
+
+
+@dataclass(frozen=True)
+class WindowPolicy:
+    """How an operation stream is cut into windows.
+
+    Attributes
+    ----------
+    mode:
+        ``"count"`` or ``"time"``.
+    size:
+        Window size: number of fresh operations (count mode, positive int) or
+        width in time units (time mode, positive float).
+    overlap:
+        Sliding margin carried from each window into the next: trailing
+        operations (count mode) or trailing time units (time mode).  ``0``
+        gives tumbling windows.  Must be strictly smaller than ``size``.
+    """
+
+    mode: str
+    size: float
+    overlap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("count", "time"):
+            raise VerificationError(
+                f"window mode must be 'count' or 'time', got {self.mode!r}"
+            )
+        if self.size <= 0:
+            raise VerificationError(f"window size must be positive, got {self.size!r}")
+        if self.mode == "count" and int(self.size) != self.size:
+            raise VerificationError(
+                f"count windows need an integer size, got {self.size!r}"
+            )
+        if self.mode == "count" and int(self.overlap) != self.overlap:
+            raise VerificationError(
+                f"count windows need an integer overlap, got {self.overlap!r}"
+            )
+        if self.overlap < 0:
+            raise VerificationError(f"window overlap must be >= 0, got {self.overlap!r}")
+        if self.overlap >= self.size:
+            raise VerificationError(
+                f"window overlap ({self.overlap!r}) must be smaller than the "
+                f"window size ({self.size!r})"
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def count(size: int, *, overlap: int = 0) -> "WindowPolicy":
+        """A count-based policy (tumbling unless ``overlap`` > 0)."""
+        return WindowPolicy(mode="count", size=size, overlap=overlap)
+
+    @staticmethod
+    def time(size: float, *, overlap: float = 0.0) -> "WindowPolicy":
+        """A time-based policy (tumbling unless ``overlap`` > 0)."""
+        return WindowPolicy(mode="time", size=size, overlap=overlap)
+
+    @property
+    def is_sliding(self) -> bool:
+        """True iff consecutive windows share an overlap margin."""
+        return self.overlap > 0
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``count(64, overlap=8)``."""
+        size = int(self.size) if self.mode == "count" else self.size
+        if self.is_sliding:
+            overlap = int(self.overlap) if self.mode == "count" else self.overlap
+            return f"{self.mode}({size}, overlap={overlap})"
+        return f"{self.mode}({size})"
+
+
+@dataclass(frozen=True)
+class Window:
+    """One finite slice of an operation stream.
+
+    ``ops`` holds the carried overlap margin (if any) followed by the fresh
+    operations; ``fresh_ops`` is the suffix that has not been seen by any
+    earlier window.  ``t_low``/``t_high`` span the finish timestamps of all
+    contained operations.
+    """
+
+    index: int
+    ops: Tuple[Operation, ...]
+    carried: int
+    t_low: float
+    t_high: float
+    is_last: bool = False
+
+    @property
+    def fresh_ops(self) -> Tuple[Operation, ...]:
+        """The operations first seen in this window (overlap margin excluded)."""
+        return self.ops[self.carried :]
+
+    @property
+    def num_fresh(self) -> int:
+        """Number of fresh operations in the window."""
+        return len(self.ops) - self.carried
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Window #{self.index} ops={len(self.ops)} carried={self.carried} "
+            f"t=[{self.t_low:g},{self.t_high:g}]{' last' if self.is_last else ''}>"
+        )
+
+
+class WindowAssembler:
+    """Cuts a fed operation stream into :class:`Window` objects.
+
+    Feed operations one at a time; each :meth:`feed` returns the window the
+    operation *closed* (or ``None``).  Call :meth:`flush` at end-of-stream to
+    obtain the final partial window.
+
+    Count mode closes a window as soon as it holds ``size`` fresh operations.
+    Time mode lays a grid of width ``size`` anchored at the first operation's
+    finish timestamp and closes the current window when an operation's finish
+    crosses the current boundary; empty grid cells are skipped rather than
+    emitted.  Operations are expected in non-decreasing finish order; a
+    straggler with an older finish timestamp is simply included in the current
+    window (windows never reopen).
+    """
+
+    def __init__(self, policy: WindowPolicy):
+        self.policy = policy
+        self._buffer: List[Operation] = []
+        self._carried = 0
+        self._index = 0
+        self._boundary: Optional[float] = None  # time mode: current window end
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Operations buffered in the currently open window."""
+        return len(self._buffer)
+
+    def feed(self, op: Operation) -> Optional[Window]:
+        """Add one operation; returns the window it closed, if any."""
+        if self._closed:
+            raise VerificationError("WindowAssembler already flushed")
+        policy = self.policy
+        window: Optional[Window] = None
+        if policy.mode == "time":
+            if self._boundary is None:
+                self._boundary = op.finish + policy.size
+            elif op.finish >= self._boundary:
+                window = self._close()
+                # Skip empty grid cells so the new operation lands inside the
+                # freshly opened window.
+                while op.finish >= self._boundary:
+                    self._boundary += policy.size
+            self._buffer.append(op)
+        else:
+            self._buffer.append(op)
+            if len(self._buffer) - self._carried >= policy.size:
+                window = self._close()
+        return window
+
+    def extend(self, ops: Iterable[Operation]) -> List[Window]:
+        """Feed many operations; returns every window they closed."""
+        windows = []
+        for op in ops:
+            window = self.feed(op)
+            if window is not None:
+                windows.append(window)
+        return windows
+
+    def flush(self) -> Optional[Window]:
+        """Close the stream; returns the final partial window, if non-empty.
+
+        The returned window is marked ``is_last``.  A flushed assembler
+        rejects further :meth:`feed` calls.
+        """
+        self._closed = True
+        if len(self._buffer) - self._carried <= 0:
+            return None
+        return self._close(last=True)
+
+    # ------------------------------------------------------------------
+    def _close(self, *, last: bool = False) -> Window:
+        ops = tuple(self._buffer)
+        window = Window(
+            index=self._index,
+            ops=ops,
+            carried=self._carried,
+            t_low=min(op.finish for op in ops),
+            t_high=max(op.finish for op in ops),
+            is_last=last,
+        )
+        self._index += 1
+        policy = self.policy
+        if last or not policy.is_sliding:
+            carry: List[Operation] = []
+        elif policy.mode == "count":
+            carry = list(ops[-int(policy.overlap) :])
+        else:
+            threshold = self._boundary - policy.overlap if self._boundary is not None else window.t_high
+            carry = [op for op in ops if op.finish >= threshold]
+        self._buffer = carry
+        self._carried = len(carry)
+        return window
+
+
+def iter_windows(ops: Iterable[Operation], policy: WindowPolicy) -> Iterator[Window]:
+    """Cut a complete operation iterable into windows (flushing at the end)."""
+    assembler = WindowAssembler(policy)
+    for op in ops:
+        window = assembler.feed(op)
+        if window is not None:
+            yield window
+    tail = assembler.flush()
+    if tail is not None:
+        yield tail

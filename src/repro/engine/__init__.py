@@ -7,6 +7,7 @@ pipeline; see :class:`Engine` for the entry point.
 """
 
 from .engine import Engine, ShardOutcome, ShardTask, run_shard
+from .streaming import DEFAULT_WINDOW, StreamingEngine
 from .executors import (
     EXECUTORS,
     ProcessExecutor,
@@ -26,6 +27,7 @@ from .partition import (
 )
 
 __all__ = [
+    "DEFAULT_WINDOW",
     "EXECUTORS",
     "Engine",
     "HashPartitioner",
@@ -38,6 +40,7 @@ __all__ = [
     "ShardOutcome",
     "ShardTask",
     "SizeBalancedPartitioner",
+    "StreamingEngine",
     "ThreadExecutor",
     "default_jobs",
     "get_executor",

@@ -1,0 +1,387 @@
+"""The streaming verification engine (online mode).
+
+Where :class:`repro.engine.engine.Engine` verifies a *complete* trace, the
+streaming engine verifies an *operation stream*: operations are pumped
+through the core windowing machinery (:mod:`repro.core.windows`) and every
+closed window produces rolling per-register verdicts, merged into a
+:class:`~repro.analysis.report.StreamVerificationReport` timeline.  Verdicts
+exist *while the stream runs* — the live-audit posture of the paper's
+introduction, where an operator watches consistency of a running store rather
+than post-processing a finished trace.
+
+Two modes:
+
+* ``"rolling"`` (default) — each register owns a persistent incremental
+  checker (:mod:`repro.algorithms.online`).  Window boundaries only set the
+  verdict cadence; the final verdicts equal batch verification exactly, and
+  memory grows with the stream (the checkers buffer for exactness).
+* ``"windowed"`` — each window is verified *independently* with the batch
+  engine: operation buffering is bounded by the window size at the price of
+  exactness.  YES verdicts cover one window at a time (cross-window
+  interleavings are unchecked; use a sliding overlap margin so zones spanning
+  a boundary are seen whole by at least one window), while NO verdicts remain
+  sound and final because every checked window — reads paired with their
+  carried dictating writes — is a dictating-closed sub-history of the full
+  trace.  Retained state is the per-register write cache used to pair stale
+  reads with their dictating writes, which grows with the number of
+  *distinct written values*, not with total stream length.
+
+Both modes demultiplex the stream per register (k-atomicity is local,
+Section II-B) and run per-register work through the existing shard executors.
+Rolling mode requires a shared-memory executor (``serial`` or ``threads``)
+because checker state persists across windows; windowed mode may also use
+``processes`` since each window is a self-contained batch job.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..algorithms.online import (
+    DEFAULT_CADENCE_GROWTH,
+    DEFAULT_CHECK_INTERVAL,
+    Checker,
+    checker_for,
+)
+from ..core.api import DEFAULT_MAX_EXACT_OPS
+from ..core.builder import TraceBuilder
+from ..core.errors import VerificationError
+from ..core.operation import Operation
+from ..core.result import StreamVerdict, VerificationResult
+from ..core.windows import Window, WindowAssembler, WindowPolicy
+from ..analysis.report import StreamVerificationReport, WindowReport, WindowStats
+from .engine import Engine
+from .executors import ShardExecutor, default_jobs, get_executor
+
+__all__ = ["StreamingEngine", "DEFAULT_WINDOW"]
+
+#: Default window policy: tumbling, 256 fresh operations per window.
+DEFAULT_WINDOW = WindowPolicy.count(256)
+
+
+class _RegisterCarry:
+    """Per-register carry state for windowed mode.
+
+    Keeps one write per distinct written value (so reads in later windows can
+    be paired with their dictating write — the state that grows with distinct
+    values, not stream length) and parks reads that completed before their
+    dictating write arrived (a completion-ordered stream can deliver them out
+    of dictation order) until the write shows up.
+    """
+
+    __slots__ = ("writes", "pending", "ops_admitted")
+
+    def __init__(self) -> None:
+        self.writes: Dict[Hashable, Operation] = {}
+        self.pending: Dict[Hashable, List[Operation]] = {}
+        self.ops_admitted = 0
+
+    def admit(self, op: Operation) -> List[Operation]:
+        """Record one fresh operation; returns the ops that became checkable."""
+        self.ops_admitted += 1
+        if op.is_write:
+            self.writes[op.value] = op
+            return [op] + self.pending.pop(op.value, [])
+        if op.value in self.writes:
+            return [op]
+        self.pending.setdefault(op.value, []).append(op)
+        return []
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(reads) for reads in self.pending.values())
+
+
+class StreamingEngine:
+    """Windowed, online k-atomicity verification of operation streams.
+
+    Parameters
+    ----------
+    window:
+        The :class:`~repro.core.windows.WindowPolicy` cutting the stream
+        (default: tumbling windows of 256 operations).
+    mode:
+        ``"rolling"`` (persistent incremental checkers, exact final verdicts)
+        or ``"windowed"`` (independent per-window batch verification;
+        buffering bounded by the window size, plus a per-register write cache
+        that grows with distinct written values).
+    algorithm:
+        Algorithm selection forwarded to the checkers / the batch engine
+        (``"auto"`` or a registry name).
+    executor, jobs:
+        Per-register work distribution within a window.  Rolling mode accepts
+        ``"serial"``/``"threads"``; windowed mode additionally accepts
+        ``"processes"``.
+    check_interval, cadence_growth:
+        Cadence of the incremental checkers' authoritative re-checks
+        (rolling mode only; see :mod:`repro.algorithms.online`).
+    check_per_window:
+        Rolling mode only.  When true (default) every window close forces an
+        authoritative re-check of each touched register, so window verdicts
+        are exact for the stream so far — the live-monitoring posture, where
+        stream arrival dominates cost anyway.  When false, window closes only
+        :meth:`~repro.algorithms.online.Checker.peek` at the latest
+        cadence-driven verdict (possibly one cadence gap stale), keeping
+        total work at the geometric-cadence bound — the high-throughput
+        replay posture.  Final verdicts are identical either way.
+    max_exact_ops:
+        Size guard for the exponential ``k >= 3`` fallback.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: WindowPolicy = DEFAULT_WINDOW,
+        mode: str = "rolling",
+        algorithm: str = "auto",
+        executor: str = "serial",
+        jobs: Optional[int] = None,
+        check_interval: int = DEFAULT_CHECK_INTERVAL,
+        cadence_growth: float = DEFAULT_CADENCE_GROWTH,
+        check_per_window: bool = True,
+        max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+    ):
+        if mode not in ("rolling", "windowed"):
+            raise VerificationError(
+                f"streaming mode must be 'rolling' or 'windowed', got {mode!r}"
+            )
+        self.window = window
+        self.mode = mode
+        self.algorithm = algorithm
+        self.executor: ShardExecutor = (
+            get_executor(executor) if isinstance(executor, str) else executor
+        )
+        if mode == "rolling" and self.executor.crosses_process_boundary:
+            raise VerificationError(
+                "rolling streaming mode keeps checker state in shared memory; "
+                "use executor='serial' or 'threads' (or mode='windowed' for "
+                "process-based windows)"
+            )
+        if jobs is not None and jobs < 1:
+            raise VerificationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else (
+            1 if self.executor.name == "serial" else default_jobs()
+        )
+        self.check_interval = check_interval
+        self.cadence_growth = cadence_growth
+        self.check_per_window = check_per_window
+        self.max_exact_ops = max_exact_ops
+        self._batch_engine = Engine(
+            executor=self.executor,
+            jobs=self.jobs,
+            algorithm=algorithm,
+            max_exact_ops=max_exact_ops,
+        )
+
+    # ------------------------------------------------------------------
+    def verify_stream(
+        self,
+        ops: Iterable[Operation],
+        k: int,
+        *,
+        on_window: Optional[Callable[[WindowReport], None]] = None,
+    ) -> StreamVerificationReport:
+        """Pump a stream through windows and aggregate rolling verdicts.
+
+        ``on_window`` is invoked with every :class:`WindowReport` the moment
+        its window closes — this is the live-consumption hook the ``repro
+        watch`` command prints from.  The returned report carries the full
+        timeline plus the end-of-stream per-register verdicts.
+        """
+        if k < 1:
+            raise VerificationError(f"k must be a positive integer, got {k!r}")
+        t0 = time.perf_counter()
+        timeline: List[WindowReport] = []
+        checkers: Dict[Hashable, Checker] = {}
+        carries: Dict[Hashable, _RegisterCarry] = {}
+        latched: Dict[Hashable, VerificationResult] = {}
+        key_order: List[Hashable] = []
+
+        def handle(window: Window) -> None:
+            if self.mode == "rolling":
+                report = self._run_rolling_window(window, k, checkers, key_order)
+            else:
+                report = self._run_windowed_window(window, k, carries, latched, key_order)
+            timeline.append(report)
+            if on_window is not None:
+                on_window(report)
+
+        assembler = WindowAssembler(self.window)
+        for op in ops:
+            window = assembler.feed(op)
+            if window is not None:
+                handle(window)
+        tail = assembler.flush()
+        if tail is not None:
+            handle(tail)
+
+        if self.mode == "rolling":
+            results = {key: checkers[key].finish() for key in key_order}
+        else:
+            results = self._finalize_windowed(k, carries, latched, key_order, len(timeline))
+        return StreamVerificationReport(
+            k=k,
+            mode=self.mode,
+            window=self.window.describe(),
+            results=results,
+            timeline=tuple(timeline),
+            executor=self.executor.name,
+            jobs=self.jobs,
+            elapsed_s=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------
+    # Rolling mode: persistent incremental checkers
+    # ------------------------------------------------------------------
+    def _make_checker(self, k: int) -> Checker:
+        return checker_for(
+            k,
+            algorithm=self.algorithm,
+            check_interval=self.check_interval,
+            cadence_growth=self.cadence_growth,
+            max_exact_ops=self.max_exact_ops,
+        )
+
+    def _run_rolling_window(
+        self,
+        window: Window,
+        k: int,
+        checkers: Dict[Hashable, Checker],
+        key_order: List[Hashable],
+    ) -> WindowReport:
+        t0 = time.perf_counter()
+        by_key: Dict[Hashable, List[Operation]] = {}
+        for op in window.fresh_ops:
+            by_key.setdefault(op.key, []).append(op)
+        for key in by_key:
+            if key not in checkers:
+                checkers[key] = self._make_checker(k)
+                key_order.append(key)
+
+        def feed_register(task: Tuple[Hashable, List[Operation]]):
+            key, register_ops = task
+            checker = checkers[key]
+            for op in register_ops:
+                checker.feed(op)
+            verdict = checker.check_now() if self.check_per_window else checker.peek()
+            return key, verdict
+
+        # Each register appears in exactly one task, so pool executors never
+        # touch the same checker from two workers within a window.
+        verdicts: Dict[Hashable, StreamVerdict] = {}
+        outcome_stream = self.executor.run(feed_register, list(by_key.items()), self.jobs)
+        try:
+            for key, verdict in outcome_stream:
+                verdicts[key] = verdict
+        finally:
+            outcome_stream.close()
+        ordered = {key: verdicts[key] for key in by_key if key in verdicts}
+        return WindowReport(
+            stats=WindowStats(
+                index=window.index,
+                num_ops=window.num_fresh,
+                num_registers=len(by_key),
+                t_low=window.t_low,
+                t_high=window.t_high,
+                elapsed_s=time.perf_counter() - t0,
+            ),
+            verdicts=ordered,
+        )
+
+    # ------------------------------------------------------------------
+    # Windowed mode: independent per-window batch verification
+    # ------------------------------------------------------------------
+    def _run_windowed_window(
+        self,
+        window: Window,
+        k: int,
+        carries: Dict[Hashable, _RegisterCarry],
+        latched: Dict[Hashable, VerificationResult],
+        key_order: List[Hashable],
+    ) -> WindowReport:
+        t0 = time.perf_counter()
+        # Admit fresh operations; collect the checkable ops per register.
+        checkable: Dict[Hashable, Dict[int, Operation]] = {}
+        for op in window.fresh_ops:
+            carry = carries.get(op.key)
+            if carry is None:
+                carry = carries[op.key] = _RegisterCarry()
+                key_order.append(op.key)
+            for ready in carry.admit(op):
+                checkable.setdefault(op.key, {})[ready.op_id] = ready
+        # Replay the overlap margin (already admitted in an earlier window) so
+        # boundary-spanning zones are seen whole at least once.
+        for op in window.ops[: window.carried]:
+            carry = carries.get(op.key)
+            if carry is not None and (op.is_write or op.value in carry.writes):
+                checkable.setdefault(op.key, {}).setdefault(op.op_id, op)
+        # Pair every read with its dictating write so a window never reports a
+        # spurious Section II-C anomaly for a write that simply arrived in an
+        # earlier window.  The injected writes keep their original timestamps,
+        # which makes each checked window a dictating-closed sub-history of
+        # the full trace — the property that makes its NO verdicts final.
+        builder = TraceBuilder()
+        for key, ops_by_id in checkable.items():
+            writes_cache = carries[key].writes
+            injected: Dict[int, Operation] = dict(ops_by_id)
+            for op in ops_by_id.values():
+                if op.is_read:
+                    write = writes_cache[op.value]
+                    injected.setdefault(write.op_id, write)
+            builder.extend(injected.values())
+
+        verdicts: Dict[Hashable, StreamVerdict] = {}
+        if len(builder):
+            report = self._batch_engine.verify_trace(builder, k)
+            for key, result in report.results.items():
+                final = not result
+                if final and key not in latched:
+                    latched[key] = result
+                # ops_seen is the register's cumulative stream count, matching
+                # what rolling-mode checkers report for the same stream.
+                verdicts[key] = StreamVerdict(
+                    result=result, ops_seen=carries[key].ops_admitted, final=final
+                )
+        return WindowReport(
+            stats=WindowStats(
+                index=window.index,
+                num_ops=window.num_fresh,
+                num_registers=len(verdicts),
+                t_low=window.t_low,
+                t_high=window.t_high,
+                elapsed_s=time.perf_counter() - t0,
+            ),
+            verdicts=verdicts,
+        )
+
+    def _finalize_windowed(
+        self,
+        k: int,
+        carries: Dict[Hashable, _RegisterCarry],
+        latched: Dict[Hashable, VerificationResult],
+        key_order: List[Hashable],
+        num_windows: int,
+    ) -> Dict[Hashable, VerificationResult]:
+        results: Dict[Hashable, VerificationResult] = {}
+        for key in key_order:
+            if key in latched:
+                results[key] = latched[key]
+                continue
+            pending = carries[key].pending_count
+            if pending:
+                results[key] = VerificationResult.no(
+                    k,
+                    "windowed",
+                    reason=f"{pending} reads returned values no write in the "
+                    "stream ever assigned (Section II-C anomaly)",
+                )
+            else:
+                results[key] = VerificationResult.yes(
+                    k,
+                    "windowed",
+                    reason=f"every one of {num_windows} windows verified YES "
+                    "(windowed approximation: cross-window interleavings are "
+                    "not checked; rolling mode gives exact verdicts)",
+                )
+        return results

@@ -3,8 +3,10 @@
 from .formats import (
     dump_csv,
     dump_jsonl,
+    follow_jsonl,
     iter_csv,
     iter_jsonl,
+    iter_jsonl_handle,
     load_csv,
     load_jsonl,
     load_trace,
@@ -16,8 +18,10 @@ from .formats import (
 __all__ = [
     "dump_csv",
     "dump_jsonl",
+    "follow_jsonl",
     "iter_csv",
     "iter_jsonl",
+    "iter_jsonl_handle",
     "load_csv",
     "load_jsonl",
     "load_trace",

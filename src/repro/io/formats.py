@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import csv
 import json
+import time
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Union
 
 from ..core.builder import TraceBuilder
 from ..core.errors import TraceFormatError
@@ -41,6 +42,8 @@ __all__ = [
     "dump_jsonl",
     "load_jsonl",
     "iter_jsonl",
+    "iter_jsonl_handle",
+    "follow_jsonl",
     "dump_csv",
     "load_csv",
     "iter_csv",
@@ -105,17 +108,82 @@ def dump_jsonl(trace: Union[History, MultiHistory, Iterable[Operation]], path: U
 def iter_jsonl(path: Union[str, Path]) -> Iterator[Operation]:
     """Stream the operations of a JSON Lines trace one at a time."""
     with open(path, "r", encoding="utf-8") as fh:
-        for line_number, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TraceFormatError(
-                    f"{path}:{line_number}: invalid JSON: {exc}"
-                ) from exc
-            yield operation_from_dict(record)
+        yield from iter_jsonl_handle(fh, source=str(path))
+
+
+def iter_jsonl_handle(
+    fh: Union[IO[str], Iterable[str]], *, source: str = "<stream>"
+) -> Iterator[Operation]:
+    """Stream operations from an open JSON Lines text handle (or line iterable).
+
+    This is the ingestion surface of ``repro watch -``: any line-oriented
+    text source works — ``sys.stdin``, a pipe from another process, a socket
+    file object, a generator of lines — without the caller materialising
+    anything.  ``source`` is used in error messages in place of a file name.
+    """
+    for line_number, line in enumerate(fh, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{source}:{line_number}: invalid JSON: {exc}"
+            ) from exc
+        yield operation_from_dict(record)
+
+
+def follow_jsonl(
+    path: Union[str, Path],
+    *,
+    poll_interval_s: float = 0.2,
+    idle_timeout_s: Optional[float] = None,
+    from_start: bool = True,
+) -> Iterator[Operation]:
+    """Tail a JSON Lines trace file, yielding operations as they are appended.
+
+    The live-audit counterpart of :func:`iter_jsonl`: a store (or the
+    simulator) appends operations to a log while ``repro watch --follow``
+    verifies them.  Partial lines (a writer mid-append) are buffered until
+    their newline arrives.  The generator ends when no new data has arrived
+    for ``idle_timeout_s`` seconds (``None`` follows forever, like
+    ``tail -f``); ``from_start=False`` skips the existing content and watches
+    only new appends.
+    """
+    if poll_interval_s <= 0:
+        raise TraceFormatError(
+            f"poll_interval_s must be positive, got {poll_interval_s!r}"
+        )
+
+    def tailed_lines():
+        buffer = ""
+        with open(path, "r", encoding="utf-8") as fh:
+            if not from_start:
+                fh.seek(0, 2)  # end of file
+            last_data = time.monotonic()
+            while True:
+                chunk = fh.readline()
+                if chunk:
+                    last_data = time.monotonic()
+                    buffer += chunk
+                    if buffer.endswith("\n"):
+                        yield buffer
+                        buffer = ""
+                    # else: partial line — wait for the writer to finish it
+                    continue
+                if (
+                    idle_timeout_s is not None
+                    and time.monotonic() - last_data >= idle_timeout_s
+                ):
+                    # A final record without a trailing newline (writer died
+                    # mid-append or never terminated the file) still counts.
+                    if buffer:
+                        yield buffer
+                    return
+                time.sleep(poll_interval_s)
+
+    yield from iter_jsonl_handle(tailed_lines(), source=str(path))
 
 
 def load_jsonl(path: Union[str, Path]) -> MultiHistory:

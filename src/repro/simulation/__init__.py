@@ -9,6 +9,7 @@ into the verification algorithms, reproducing the audit workflow the paper's
 introduction and conclusion describe.
 """
 
+from .auditor import AuditSample, LiveAuditor
 from .client import Client
 from .coordinator import Coordinator, CoordinatorStats, QuorumConfig
 from .events import Event, EventLoop
@@ -27,6 +28,7 @@ from .replica import Replica, ReplicaStats, StoredVersion
 from .store import RunResult, SloppyQuorumStore, StoreConfig
 
 __all__ = [
+    "AuditSample",
     "Client",
     "Coordinator",
     "CoordinatorStats",
@@ -39,6 +41,7 @@ __all__ = [
     "FixedLatency",
     "HistoryRecorder",
     "LatencyModel",
+    "LiveAuditor",
     "LogNormalLatency",
     "Network",
     "NetworkStats",

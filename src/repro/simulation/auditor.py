@@ -1,0 +1,254 @@
+"""Live consistency auditing of a running simulation.
+
+The paper's framing is operational: an auditor watches an Internet-scale
+store and tells the operator how far from atomic it is, so the consistency
+tuning knobs can be adjusted.  :class:`LiveAuditor` realises that loop inside
+the simulator: it subscribes to the :class:`~repro.simulation.recorder.HistoryRecorder`
+completion stream, cuts it into windows, drives a bank of per-register
+incremental checkers (one per audited staleness bound), and keeps a rolling
+:class:`~repro.analysis.spectrum.OnlineSpectrum` — all *while the simulated
+store is still serving its workload*, so mid-run verdicts exist long before
+the trace is complete.
+
+Typical use::
+
+    auditor = LiveAuditor(window=WindowPolicy.count(64))
+    store = SloppyQuorumStore(config, seed=7)
+    result = store.run(workload, auditor=auditor)
+
+    auditor.samples                # mid-run verdict stream, in audit order
+    auditor.spectrum_snapshot()    # rolling staleness spectrum
+    auditor.final_results(k=2)     # end-of-run verdicts (== batch verdicts)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..algorithms.online import (
+    DEFAULT_CADENCE_GROWTH,
+    DEFAULT_CHECK_INTERVAL,
+    Checker,
+    checker_for,
+)
+from ..analysis.spectrum import OnlineSpectrum, StalenessSpectrum
+from ..core.errors import SimulationError
+from ..core.operation import Operation
+from ..core.result import StreamVerdict, VerificationResult
+from ..core.windows import Window, WindowAssembler, WindowPolicy
+
+__all__ = ["AuditSample", "LiveAuditor"]
+
+
+@dataclass(frozen=True)
+class AuditSample:
+    """One rolling verdict emitted while the simulation was still running."""
+
+    window_index: int
+    #: Simulated time of the latest operation folded into the verdict.
+    sim_time_ms: float
+    key: Hashable
+    k: int
+    verdict: StreamVerdict
+
+    def describe(self) -> str:
+        """Terminal-friendly one-liner for live audit logs."""
+        mark = "yes" if self.verdict else "NO "
+        strength = "final" if self.verdict.final else "provisional"
+        return (
+            f"t={self.sim_time_ms:8.1f}ms window={self.window_index:<3} "
+            f"{self.key!r}: {self.k}-atomic {mark} ({strength})"
+        )
+
+
+class LiveAuditor:
+    """Rolling per-register k-atomicity verdicts for a running store.
+
+    Parameters
+    ----------
+    ks:
+        The staleness bounds to audit concurrently (default ``(1, 2)``, which
+        is what feeds the online staleness spectrum: linearizable vs 2-atomic
+        vs worse).
+    window:
+        Window policy cutting the completion stream (default: tumbling
+        windows of 32 operations — small enough for mid-run verdicts on
+        laptop-scale simulations).
+    algorithm:
+        Checker selection per bound, forwarded to
+        :func:`repro.algorithms.online.checker_for`.
+    check_interval, cadence_growth:
+        Authoritative re-check cadence of the underlying checkers.
+    """
+
+    def __init__(
+        self,
+        *,
+        ks: Sequence[int] = (1, 2),
+        window: WindowPolicy = WindowPolicy.count(32),
+        algorithm: str = "auto",
+        check_interval: int = DEFAULT_CHECK_INTERVAL,
+        cadence_growth: float = DEFAULT_CADENCE_GROWTH,
+    ):
+        if not ks:
+            raise SimulationError("LiveAuditor needs at least one staleness bound")
+        self.ks: Tuple[int, ...] = tuple(dict.fromkeys(ks))
+        self.window = window
+        self.algorithm = algorithm
+        self.check_interval = check_interval
+        self.cadence_growth = cadence_growth
+        self._assembler = WindowAssembler(window)
+        self._checkers: Dict[int, Dict[Hashable, Checker]] = {k: {} for k in self.ks}
+        self._key_order: List[Hashable] = []
+        self._ops_per_key: Dict[Hashable, int] = {}
+        self._spectrum = OnlineSpectrum()
+        self._samples: List[AuditSample] = []
+        self._windows_closed = 0
+        self._finalized: Optional[Dict[int, Dict[Hashable, VerificationResult]]] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, recorder) -> "LiveAuditor":
+        """Subscribe to a :class:`HistoryRecorder`'s completion stream."""
+        recorder.add_listener(self.observe)
+        return self
+
+    def observe(self, op: Operation) -> None:
+        """Ingest one completed operation (the recorder listener callback)."""
+        if self._finalized is not None:
+            raise SimulationError("LiveAuditor already finalized")
+        self._ops_per_key[op.key] = self._ops_per_key.get(op.key, 0) + 1
+        window = self._assembler.feed(op)
+        if window is not None:
+            self._close_window(window)
+
+    # ------------------------------------------------------------------
+    # Rolling state
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> List[AuditSample]:
+        """Every rolling verdict emitted so far, in emission order."""
+        return list(self._samples)
+
+    @property
+    def windows_closed(self) -> int:
+        """Windows processed so far."""
+        return self._windows_closed
+
+    @property
+    def ops_observed(self) -> int:
+        """Completed operations ingested so far."""
+        return sum(self._ops_per_key.values())
+
+    def rolling_verdict(self, key: Hashable, k: int) -> Optional[StreamVerdict]:
+        """The register's current verdict for bound ``k`` (``None`` if unseen)."""
+        checker = self._checkers.get(k, {}).get(key)
+        if checker is None:
+            return None
+        return checker.check_now()
+
+    def spectrum_snapshot(self) -> StalenessSpectrum:
+        """Freeze the rolling online spectrum into a batch spectrum object."""
+        return self._spectrum.snapshot()
+
+    # ------------------------------------------------------------------
+    # End of run
+    # ------------------------------------------------------------------
+    def finalize(self) -> Dict[int, Dict[Hashable, VerificationResult]]:
+        """Flush the open window and finish every checker.
+
+        Returns ``{k: {register: final VerificationResult}}``; the final
+        verdicts equal batch verification of the recorded trace (rolling
+        checkers re-verify their complete buffer on finish).  Idempotent.
+        """
+        if self._finalized is not None:
+            return self._finalized
+        tail = self._assembler.flush()
+        if tail is not None:
+            self._close_window(tail)
+        results: Dict[int, Dict[Hashable, VerificationResult]] = {}
+        for k in self.ks:
+            results[k] = {
+                key: self._checkers[k][key].finish() for key in self._key_order
+            }
+        # Fold the final verdicts into the spectrum: rolling verdicts only
+        # cover the resolved prefix, whereas finish() also accounts for reads
+        # whose dictating write never arrived, so the snapshot now equals the
+        # batch spectrum's bucketing of the recorded trace.
+        for key in self._key_order:
+            final_verdicts = {
+                k: StreamVerdict(
+                    result=results[k][key],
+                    ops_seen=self._ops_per_key.get(key, 0),
+                    final=True,
+                )
+                for k in self.ks
+            }
+            self._spectrum.observe(
+                key,
+                one_atomic=final_verdicts.get(1),
+                two_atomic=final_verdicts.get(2),
+                num_ops=self._ops_per_key.get(key, 0),
+            )
+        self._finalized = results
+        return results
+
+    def final_results(self, k: int) -> Dict[Hashable, VerificationResult]:
+        """Final per-register verdicts for one audited bound (finalizes)."""
+        return dict(self.finalize()[k])
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the audit so far."""
+        spectrum = self.spectrum_snapshot()
+        counts = ", ".join(
+            f"{bucket.value}: {count}" for bucket, count in sorted(
+                spectrum.counts().items(), key=lambda item: item[0].value
+            )
+        )
+        state = "final" if self._finalized is not None else "rolling"
+        return (
+            f"live audit ({state}): {self.ops_observed} ops over "
+            f"{len(self._key_order)} registers in {self._windows_closed} windows"
+            + (f" — {counts}" if counts else "")
+        )
+
+    # ------------------------------------------------------------------
+    def _close_window(self, window: Window) -> None:
+        self._windows_closed += 1
+        by_key: Dict[Hashable, List[Operation]] = {}
+        for op in window.fresh_ops:
+            by_key.setdefault(op.key, []).append(op)
+        for key, ops in by_key.items():
+            if key not in self._key_order:
+                self._key_order.append(key)
+            verdicts: Dict[int, StreamVerdict] = {}
+            for k in self.ks:
+                checker = self._checkers[k].get(key)
+                if checker is None:
+                    checker = self._checkers[k][key] = checker_for(
+                        k,
+                        algorithm=self.algorithm,
+                        check_interval=self.check_interval,
+                        cadence_growth=self.cadence_growth,
+                    )
+                for op in ops:
+                    checker.feed(op)
+                verdict = checker.check_now()
+                verdicts[k] = verdict
+                self._samples.append(
+                    AuditSample(
+                        window_index=window.index,
+                        sim_time_ms=window.t_high,
+                        key=key,
+                        k=k,
+                        verdict=verdict,
+                    )
+                )
+            self._spectrum.observe(
+                key,
+                one_atomic=verdicts.get(1),
+                two_atomic=verdicts.get(2),
+                num_ops=self._ops_per_key.get(key, 0),
+            )

@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional
+from typing import Callable, Dict, Hashable, List, Optional
 
 from ..core.builder import TraceBuilder
 from ..core.history import MultiHistory
@@ -70,6 +70,25 @@ class HistoryRecorder:
         # for per-register verification without any regrouping pass.
         self._trace = TraceBuilder()
         self._failed = 0
+        # Completion-order subscribers (e.g. a LiveAuditor): each completed
+        # operation is delivered to every listener the moment it is recorded,
+        # which is what lets verdicts exist while the simulation still runs.
+        self._listeners: List[Callable[[Operation], None]] = []
+
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: Callable[[Operation], None]) -> None:
+        """Subscribe a callable to every subsequently recorded operation.
+
+        Listeners receive completed operations in completion order, exactly
+        as they enter the trace — the stream shape the online verification
+        stack (:mod:`repro.engine.streaming`) consumes.
+        """
+        self._listeners.append(listener)
+
+    def _record(self, op: Operation) -> None:
+        self._trace.append(op)
+        for listener in self._listeners:
+            listener(op)
 
     # ------------------------------------------------------------------
     def _stamp(self, t: float) -> float:
@@ -123,7 +142,7 @@ class HistoryRecorder:
             op_value = pending.value
         else:
             op_value = value
-        self._trace.append(
+        self._record(
             Operation(
                 op_type=pending.op_type,
                 value=op_value,
@@ -137,7 +156,7 @@ class HistoryRecorder:
     def record_instant_write(self, client: Hashable, key: Hashable, value: Hashable,
                              start: float, finish: float) -> None:
         """Record a write with explicit timestamps (used for seed writes)."""
-        self._trace.append(
+        self._record(
             Operation(
                 op_type=OpType.WRITE,
                 value=value,

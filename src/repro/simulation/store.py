@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 from ..core.errors import SimulationError
 from ..core.history import MultiHistory
 from ..workloads.spec import WorkloadSpec
+from .auditor import LiveAuditor
 from .client import Client
 from .coordinator import Coordinator, CoordinatorStats, QuorumConfig
 from .events import EventLoop
@@ -90,12 +91,19 @@ class SloppyQuorumStore:
         workload: WorkloadSpec,
         *,
         faults: Optional[FaultSchedule] = None,
+        auditor: Optional[LiveAuditor] = None,
     ) -> RunResult:
         """Execute ``workload`` against a fresh cluster and record its history.
 
         Every run builds a brand-new cluster (replicas, network, clients) from
         the store seed and the workload seed, so results are deterministic and
         independent across runs.
+
+        When a :class:`~repro.simulation.auditor.LiveAuditor` is given it is
+        bound to the history recorder before any operation completes, so it
+        observes the full completion stream and emits rolling per-register
+        verdicts *during* the run; it is finalized (checkers finished, final
+        verdicts computed) before this method returns.
         """
         config = self.config
         loop = EventLoop()
@@ -108,6 +116,8 @@ class SloppyQuorumStore:
             clock_error_ms=config.clock_error_ms,
             rng=random.Random(f"{self.seed}-clock"),
         )
+        if auditor is not None:
+            auditor.bind(recorder)
 
         replicas: Dict[str, Replica] = {}
         for i in range(config.quorum.num_replicas):
@@ -139,6 +149,8 @@ class SloppyQuorumStore:
 
         loop.run(max_events=config.max_events)
 
+        if auditor is not None:
+            auditor.finalize()
         history = recorder.multi_history()
         return RunResult(
             history=history,

@@ -4,6 +4,7 @@ import io
 
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 from repro.core.history import MultiHistory
 from repro.io.formats import dump_csv, dump_jsonl
@@ -150,3 +151,113 @@ class TestEngineFlags:
             build_parser().parse_args(["verify", "t.jsonl", "--jobs", "0"])
         with pytest.raises(SystemExit):
             build_parser().parse_args(["verify", "t.jsonl", "--jobs", "-2"])
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestOnlineVerify:
+    def test_online_flag_defaults(self):
+        args = build_parser().parse_args(["verify", "t.jsonl", "--online"])
+        assert args.online and args.window == 256
+        assert args.window_mode == "count" and args.stream_mode == "rolling"
+
+    def test_online_verdicts_match_offline(self, trace_path):
+        offline, online = io.StringIO(), io.StringIO()
+        assert main(["verify", str(trace_path), "--k", "2"], out=offline) == 0
+        assert (
+            main(
+                ["verify", str(trace_path), "--k", "2", "--online", "--window", "5"],
+                out=online,
+            )
+            == 0
+        )
+        assert "2/2 registers are 2-atomic" in online.getvalue()
+        assert "window timeline:" in online.getvalue()
+
+    def test_online_strict_exit_status(self, trace_path):
+        status = main(
+            ["verify", str(trace_path), "--k", "1", "--online", "--strict"],
+            out=io.StringIO(),
+        )
+        assert status == 1
+
+    def test_online_windowed_mode(self, trace_path):
+        out = io.StringIO()
+        status = main(
+            [
+                "verify",
+                str(trace_path),
+                "--k",
+                "2",
+                "--online",
+                "--window",
+                "6",
+                "--overlap",
+                "2",
+                "--stream-mode",
+                "windowed",
+            ],
+            out=out,
+        )
+        assert status == 0
+        assert "windowed" in out.getvalue()
+
+    def test_online_rolling_rejects_process_engine(self, trace_path):
+        out = io.StringIO()
+        status = main(
+            ["verify", str(trace_path), "--online", "--engine", "processes"],
+            out=out,
+        )
+        assert status == 2
+        assert "shared-memory" in out.getvalue()
+
+
+class TestWatchCommand:
+    def test_watch_defaults_to_stdin(self):
+        args = build_parser().parse_args(["watch"])
+        assert args.trace == "-" and args.k == 2 and args.window == 64
+
+    def test_watch_file_emits_intermediate_verdicts(self, trace_path):
+        out = io.StringIO()
+        status = main(["watch", str(trace_path), "--k", "2", "--window", "5"], out=out)
+        assert status == 0
+        text = out.getvalue()
+        # At least two window blocks closed before the end-of-stream summary,
+        # i.e. verdicts existed mid-stream.
+        assert text.count("[window ") >= 2
+        assert "provisional" in text
+        assert "2-atomic: YES" in text
+
+    def test_watch_stdin_stream(self, trace_path, monkeypatch):
+        monkeypatch.setattr("sys.stdin", open(trace_path, "r", encoding="utf-8"))
+        out = io.StringIO()
+        status = main(["watch", "-", "--k", "1", "--window", "4", "--strict"], out=out)
+        assert status == 1  # the 'lagging' register is not 1-atomic
+        assert "[window " in out.getvalue()
+
+    def test_watch_follow_consumes_growing_file(self, tmp_path, trace_path):
+        # Non-growing file with an idle timeout: the tail path terminates and
+        # still verifies everything that was appended.
+        out = io.StringIO()
+        status = main(
+            [
+                "watch",
+                str(trace_path),
+                "--follow",
+                "--idle-timeout",
+                "0.2",
+                "--poll-interval",
+                "0.05",
+                "--window",
+                "5",
+            ],
+            out=out,
+        )
+        assert status == 0
+        assert "[window " in out.getvalue()

@@ -184,3 +184,87 @@ class TestStreaming:
         path.write_text('{"op_type": "write"\n')
         with pytest.raises(TraceFormatError):
             list(iter_jsonl(path))
+
+
+class TestLiveStreaming:
+    def test_iter_jsonl_handle_reads_any_text_stream(self, tmp_path):
+        import io as iomod
+
+        from repro.io.formats import iter_jsonl_handle
+
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        dump_jsonl(trace, path)
+        handle = iomod.StringIO(path.read_text())
+        ops = list(iter_jsonl_handle(handle, source="<test>"))
+        assert len(ops) == trace.total_operations()
+
+    def test_iter_jsonl_handle_error_names_source(self):
+        import io as iomod
+
+        from repro.io.formats import iter_jsonl_handle
+
+        with pytest.raises(TraceFormatError, match="<bad-pipe>:1"):
+            list(iter_jsonl_handle(iomod.StringIO("{broken\n"), source="<bad-pipe>"))
+
+    def test_follow_jsonl_reads_appended_operations(self, tmp_path):
+        import threading
+        import time
+
+        from repro.io.formats import follow_jsonl
+
+        trace = sample_trace()
+        records = [json.dumps(operation_to_dict(op)) for key in trace.keys()
+                   for op in trace[key].operations]
+        path = tmp_path / "grow.jsonl"
+        path.write_text(records[0] + "\n")
+
+        def appender():
+            with open(path, "a", encoding="utf-8") as fh:
+                for record in records[1:]:
+                    time.sleep(0.01)
+                    fh.write(record + "\n")
+                    fh.flush()
+
+        thread = threading.Thread(target=appender)
+        thread.start()
+        ops = list(
+            follow_jsonl(path, poll_interval_s=0.01, idle_timeout_s=0.5)
+        )
+        thread.join()
+        assert len(ops) == len(records)
+
+    def test_follow_jsonl_from_end_skips_existing(self, tmp_path):
+        from repro.io.formats import follow_jsonl
+
+        trace = sample_trace()
+        path = tmp_path / "static.jsonl"
+        dump_jsonl(trace, path)
+        ops = list(
+            follow_jsonl(
+                path, poll_interval_s=0.01, idle_timeout_s=0.05, from_start=False
+            )
+        )
+        assert ops == []
+
+    def test_follow_jsonl_yields_final_line_without_newline(self, tmp_path):
+        from repro.io.formats import follow_jsonl
+
+        trace = sample_trace()
+        records = [json.dumps(operation_to_dict(op)) for key in trace.keys()
+                   for op in trace[key].operations]
+        path = tmp_path / "truncated.jsonl"
+        # Writer died mid-append: the last record has no trailing newline.
+        path.write_text("\n".join(records))
+        ops = list(
+            follow_jsonl(path, poll_interval_s=0.01, idle_timeout_s=0.05)
+        )
+        assert len(ops) == len(records)
+
+    def test_follow_jsonl_rejects_bad_poll_interval(self, tmp_path):
+        from repro.io.formats import follow_jsonl
+
+        path = tmp_path / "x.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            next(follow_jsonl(path, poll_interval_s=0.0))

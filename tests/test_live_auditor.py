@@ -1,0 +1,181 @@
+"""Tests for live simulation auditing (LiveAuditor + OnlineSpectrum)."""
+
+import pytest
+
+from repro.analysis.spectrum import (
+    OnlineSpectrum,
+    StalenessBucket,
+    atomicity_spectrum,
+)
+from repro.core.api import verify
+from repro.core.errors import SimulationError
+from repro.core.result import StreamVerdict, VerificationResult
+from repro.core.windows import WindowPolicy
+from repro.simulation import (
+    ExponentialLatency,
+    LiveAuditor,
+    QuorumConfig,
+    SloppyQuorumStore,
+    StoreConfig,
+)
+from repro.simulation.faults import crash_window
+from repro.workloads import WorkloadSpec, ZipfianKeys
+
+
+def sloppy_store(seed=11):
+    config = StoreConfig(
+        quorum=QuorumConfig(num_replicas=3, read_quorum=1, write_quorum=1),
+        latency=ExponentialLatency(mean_ms=4.0),
+    )
+    return SloppyQuorumStore(config, seed=seed)
+
+
+def workload(seed=2):
+    return WorkloadSpec(
+        num_clients=8,
+        operations_per_client=30,
+        write_ratio=0.4,
+        key_selector=ZipfianKeys(3),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def audited_run():
+    auditor = LiveAuditor(window=WindowPolicy.count(24))
+    store = sloppy_store()
+    result = store.run(
+        workload(), faults=crash_window("replica-0", 20.0, 120.0), auditor=auditor
+    )
+    return result, auditor
+
+
+class TestLiveAuditor:
+    def test_rolling_samples_exist_midrun(self, audited_run):
+        result, auditor = audited_run
+        assert auditor.windows_closed >= 2
+        samples = auditor.samples
+        assert samples
+        # Samples were taken before the run ended: the earliest sample's
+        # simulated time is strictly inside the run, not at its end.
+        assert samples[0].sim_time_ms < result.simulated_duration_ms
+        assert samples[0].describe()
+
+    def test_audits_both_bounds_per_window(self, audited_run):
+        _, auditor = audited_run
+        ks = {sample.k for sample in auditor.samples}
+        assert ks == {1, 2}
+
+    def test_final_results_equal_batch_verification(self, audited_run):
+        result, auditor = audited_run
+        for k in (1, 2):
+            finals = auditor.final_results(k)
+            assert set(finals) == set(result.history.keys())
+            for key, verdict in finals.items():
+                assert bool(verdict) == bool(verify(result.history[key], k)), key
+
+    def test_spectrum_snapshot_matches_batch_buckets(self, audited_run):
+        result, auditor = audited_run
+        online = auditor.spectrum_snapshot()
+        batch = atomicity_spectrum(result.history)
+        online_buckets = {v.key: v.bucket for v in online.verdicts}
+        batch_buckets = {v.key: v.bucket for v in batch.verdicts}
+        assert online_buckets == batch_buckets
+
+    def test_ops_observed_counts_recorded_history(self, audited_run):
+        result, auditor = audited_run
+        assert auditor.ops_observed == result.history.total_operations()
+
+    def test_observe_after_finalize_rejected(self, audited_run):
+        _, auditor = audited_run
+        with pytest.raises(SimulationError):
+            auditor.observe(None)
+
+    def test_finalize_is_idempotent(self, audited_run):
+        _, auditor = audited_run
+        assert auditor.finalize() is auditor.finalize()
+
+    def test_summary_renders(self, audited_run):
+        _, auditor = audited_run
+        text = auditor.summary()
+        assert "live audit" in text and "windows" in text
+
+
+class TestAuditorConfiguration:
+    def test_requires_at_least_one_bound(self):
+        with pytest.raises(SimulationError):
+            LiveAuditor(ks=())
+
+    def test_single_bound_audit(self):
+        auditor = LiveAuditor(ks=(2,), window=WindowPolicy.count(16))
+        result = sloppy_store(seed=3).run(workload(seed=5), auditor=auditor)
+        assert set(auditor.finalize()) == {2}
+        finals = auditor.final_results(2)
+        for key, verdict in finals.items():
+            assert bool(verdict) == bool(verify(result.history[key], 2))
+
+    def test_rolling_verdict_accessor(self):
+        auditor = LiveAuditor(window=WindowPolicy.count(16))
+        sloppy_store(seed=4).run(workload(seed=6), auditor=auditor)
+        key = auditor.samples[0].key
+        verdict = auditor.rolling_verdict(key, 1)
+        assert verdict is not None and verdict.final
+        assert auditor.rolling_verdict("nonexistent", 1) is None
+
+
+class TestOnlineSpectrum:
+    @staticmethod
+    def verdict(k, yes, *, algorithm="X", final=False):
+        result = (
+            VerificationResult.yes(k, algorithm)
+            if yes
+            else VerificationResult.no(k, algorithm)
+        )
+        return StreamVerdict(result=result, ops_seen=10, final=final)
+
+    def test_bucketing_rules(self):
+        spectrum = OnlineSpectrum()
+        assert (
+            spectrum.observe("a", one_atomic=self.verdict(1, True), num_ops=5)
+            is StalenessBucket.ATOMIC
+        )
+        assert (
+            spectrum.observe(
+                "b",
+                one_atomic=self.verdict(1, False),
+                two_atomic=self.verdict(2, True),
+            )
+            is StalenessBucket.TWO_ATOMIC
+        )
+        assert (
+            spectrum.observe(
+                "c",
+                one_atomic=self.verdict(1, False),
+                two_atomic=self.verdict(2, False),
+            )
+            is StalenessBucket.THREE_PLUS
+        )
+        # A lone 1-atomic NO gives the optimistic-but-sound 2-atomic bound.
+        assert (
+            spectrum.observe("d", one_atomic=self.verdict(1, False))
+            is StalenessBucket.TWO_ATOMIC
+        )
+
+    def test_anomalous_detection(self):
+        spectrum = OnlineSpectrum()
+        bad = StreamVerdict(
+            result=VerificationResult.no(1, "preprocess", reason="anomalies"),
+            ops_seen=3,
+            final=True,
+        )
+        assert spectrum.observe("a", one_atomic=bad) is StalenessBucket.ANOMALOUS
+
+    def test_snapshot_structure(self):
+        spectrum = OnlineSpectrum()
+        spectrum.observe("a", one_atomic=self.verdict(1, True), num_ops=7)
+        snap = spectrum.snapshot()
+        assert snap.num_keys == 1
+        verdict = snap.verdicts[0]
+        assert verdict.key == "a" and verdict.minimal_k == 1
+        assert verdict.num_operations == 7
+        assert spectrum.updates == 1

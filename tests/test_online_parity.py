@@ -1,0 +1,181 @@
+"""Online/offline parity: incremental checkers equal their batch counterparts.
+
+The acceptance bar of the online stack: for randomized synthetic and
+adversarial traces, every incremental checker's *final* verdict must equal
+the batch algorithm's, across window sizes including degenerate ones (a
+window of one operation, and a window larger than the whole trace).  The
+streaming engine's rolling mode must inherit that parity end to end, and its
+mid-stream NO verdicts must be sound (never fired on a trace the batch
+algorithm accepts).
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.online import checker_for
+from repro.core.api import verify
+from repro.core.history import History
+from repro.core.preprocess import has_anomalies
+from repro.core.windows import WindowPolicy
+from repro.engine import Engine, StreamingEngine
+from repro.workloads.adversarial import (
+    concurrent_batch_history,
+    non_2atomic_batch_history,
+)
+from repro.workloads.synthetic import (
+    exactly_k_atomic_history,
+    practical_history,
+    random_history,
+    serial_history,
+    synthetic_trace,
+)
+
+#: Window sizes swept by the parity tests: degenerate small, odd, and
+#: larger-than-any-test-trace.
+WINDOW_SIZES = (1, 7, 100_000)
+
+
+def completion_order(ops):
+    return sorted(ops, key=lambda op: (op.finish, op.op_id))
+
+
+def stream_of(history):
+    return completion_order(history.operations)
+
+
+def checker_verdict(history, k, *, check_interval):
+    checker = checker_for(k, check_interval=check_interval)
+    for op in stream_of(history):
+        checker.feed(op)
+    return checker.finish()
+
+
+def single_register_corpus():
+    """A mix of synthetic, adversarial and fuzzed single-register histories."""
+    rng = random.Random(0xA11CE)
+    corpus = [
+        serial_history(12, 2),
+        exactly_k_atomic_history(2, 8),
+        exactly_k_atomic_history(3, 8),
+        concurrent_batch_history(4, 3),
+        non_2atomic_batch_history(4, 3),
+    ]
+    for _ in range(10):
+        corpus.append(
+            practical_history(
+                rng,
+                50,
+                staleness_probability=0.3,
+                max_staleness=2,
+            )
+        )
+    # Fuzzed histories, anomalies allowed (batch answers NO via preprocessing).
+    for _ in range(10):
+        corpus.append(random_history(rng, 6, 10, span=12.0))
+    return corpus
+
+
+CORPUS = single_register_corpus()
+
+
+class TestCheckerBatchParity:
+    @pytest.mark.parametrize("index", range(len(CORPUS)))
+    @pytest.mark.parametrize("k", [1, 2])
+    @pytest.mark.parametrize("check_interval", [1, 5, 100_000])
+    def test_final_verdict_equals_batch(self, index, k, check_interval):
+        history = CORPUS[index]
+        batch = verify(history, k)
+        online = checker_verdict(history, k, check_interval=check_interval)
+        assert bool(online) == bool(batch), (
+            f"history #{index}: online {online.summary()} != batch {batch.summary()}"
+        )
+
+    @pytest.mark.parametrize("index", range(len(CORPUS)))
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_midstream_no_is_sound(self, index, k):
+        """A mid-stream final NO may only fire on histories batch rejects."""
+        history = CORPUS[index]
+        checker = checker_for(k, check_interval=1)
+        fired = False
+        for op in stream_of(history):
+            verdict = checker.feed(op)
+            if verdict is not None and verdict.final and not verdict:
+                fired = True
+                break
+        if fired:
+            assert not verify(history, k)
+
+    def test_arrival_order_does_not_change_final_verdict(self):
+        """Parity holds even for start-ordered (non-completion) streams."""
+        rng = random.Random(7)
+        for _ in range(5):
+            history = practical_history(rng, 40, staleness_probability=0.2)
+            for k in (1, 2):
+                checker = checker_for(k, check_interval=3)
+                for op in history.operations:  # start-time order
+                    checker.feed(op)
+                assert bool(checker.finish()) == bool(verify(history, k))
+
+
+class TestStreamingEngineParity:
+    @pytest.mark.parametrize("window_size", WINDOW_SIZES)
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_rolling_mode_equals_batch_engine(self, window_size, k):
+        rng = random.Random(0xBEEF + window_size)
+        trace = synthetic_trace(
+            rng, 6, 50, staleness_probability=0.2, max_staleness=2
+        )
+        ops = completion_order(
+            op for key in trace.keys() for op in trace[key].operations
+        )
+        batch = Engine().verify_trace(trace, k)
+        streaming = StreamingEngine(
+            window=WindowPolicy.count(window_size)
+        ).verify_stream(ops, k)
+        assert {key: bool(r) for key, r in streaming.results.items()} == {
+            key: bool(r) for key, r in batch.results.items()
+        }
+        assert streaming.is_k_atomic == batch.is_k_atomic
+
+    @pytest.mark.parametrize("window_size", WINDOW_SIZES)
+    def test_windowed_mode_no_is_sound_and_yes_when_batch_yes(self, window_size):
+        rng = random.Random(0xF00D + window_size)
+        trace = synthetic_trace(
+            rng, 5, 40, staleness_probability=0.15, max_staleness=1
+        )
+        ops = completion_order(
+            op for key in trace.keys() for op in trace[key].operations
+        )
+        overlap = 0 if window_size == 1 else min(window_size // 2, 8)
+        streaming = StreamingEngine(
+            window=WindowPolicy.count(window_size, overlap=overlap),
+            mode="windowed",
+        ).verify_stream(ops, 2)
+        batch = Engine().verify_trace(trace, 2)
+        for key, result in streaming.results.items():
+            if not result:
+                # Windowed NO verdicts must be sound.
+                assert not batch.results[key], key
+            if batch.results[key]:
+                # Batch YES implies every window verified YES.
+                assert bool(result), key
+
+    def test_intermediate_verdict_exists_before_end_of_stream(self):
+        """The acceptance criterion: a verdict strictly before end-of-input."""
+        rng = random.Random(42)
+        trace = synthetic_trace(rng, 4, 60, staleness_probability=0.2)
+        ops = completion_order(
+            op for key in trace.keys() for op in trace[key].operations
+        )
+        seen_before_end = []
+        engine = StreamingEngine(window=WindowPolicy.count(32))
+        report = engine.verify_stream(
+            ops, 2, on_window=lambda w: seen_before_end.append(w)
+        )
+        assert len(seen_before_end) == report.num_windows >= 2
+        # The first window closed after 32 of the ~240 operations: its
+        # verdicts existed while most of the stream had not arrived yet.
+        first = seen_before_end[0]
+        assert first.stats.num_ops < len(ops)
+        assert first.verdicts

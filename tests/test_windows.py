@@ -1,0 +1,137 @@
+"""Unit tests for the core stream-windowing machinery."""
+
+import pytest
+
+from repro.core.builder import HistoryBuilder, TraceBuilder
+from repro.core.errors import VerificationError
+from repro.core.operation import read, write
+from repro.core.windows import Window, WindowAssembler, WindowPolicy, iter_windows
+from repro.workloads.synthetic import serial_history
+
+
+def serial_ops(n, key=None):
+    """n serial writes with unit duration, finish-ordered."""
+    return [write(i, 2.0 * i, 2.0 * i + 1.0, key=key) for i in range(n)]
+
+
+class TestWindowPolicy:
+    def test_count_and_time_factories(self):
+        assert WindowPolicy.count(8).mode == "count"
+        assert WindowPolicy.time(5.0).mode == "time"
+        assert not WindowPolicy.count(8).is_sliding
+        assert WindowPolicy.count(8, overlap=2).is_sliding
+
+    def test_describe(self):
+        assert WindowPolicy.count(64).describe() == "count(64)"
+        assert WindowPolicy.count(64, overlap=8).describe() == "count(64, overlap=8)"
+        assert WindowPolicy.time(2.5).describe() == "time(2.5)"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mode="weird", size=4),
+            dict(mode="count", size=0),
+            dict(mode="count", size=2.5),
+            dict(mode="count", size=4, overlap=-1),
+            dict(mode="count", size=4, overlap=4),
+            dict(mode="count", size=4, overlap=1.5),
+            dict(mode="time", size=-1.0),
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(VerificationError):
+            WindowPolicy(**kwargs)
+
+
+class TestCountWindows:
+    def test_tumbling_partition(self):
+        ops = serial_ops(10)
+        windows = list(iter_windows(ops, WindowPolicy.count(4)))
+        assert [len(w) for w in windows] == [4, 4, 2]
+        assert [w.index for w in windows] == [0, 1, 2]
+        assert windows[-1].is_last
+        assert [op for w in windows for op in w.fresh_ops] == ops
+
+    def test_single_op_windows(self):
+        ops = serial_ops(3)
+        windows = list(iter_windows(ops, WindowPolicy.count(1)))
+        assert [len(w) for w in windows] == [1, 1, 1]
+
+    def test_window_larger_than_stream(self):
+        ops = serial_ops(3)
+        windows = list(iter_windows(ops, WindowPolicy.count(100)))
+        assert len(windows) == 1
+        assert windows[0].is_last and len(windows[0]) == 3
+
+    def test_sliding_overlap_replays_tail(self):
+        ops = serial_ops(9)
+        windows = list(iter_windows(ops, WindowPolicy.count(4, overlap=2)))
+        # Every window except the first starts with the previous window's tail.
+        for prev, cur in zip(windows, windows[1:]):
+            assert cur.carried == min(2, len(cur.ops))
+            assert cur.ops[: cur.carried] == prev.ops[-cur.carried :]
+        # Fresh operations still partition the stream exactly.
+        assert [op for w in windows for op in w.fresh_ops] == ops
+
+    def test_empty_stream_yields_no_windows(self):
+        assert list(iter_windows([], WindowPolicy.count(4))) == []
+
+
+class TestTimeWindows:
+    def test_grid_anchored_at_first_finish(self):
+        ops = serial_ops(6)  # finishes at 1, 3, 5, 7, 9, 11
+        windows = list(iter_windows(ops, WindowPolicy.time(4.0)))
+        # Grid: [1, 5), [5, 9), [9, 13) by finish time.
+        assert [len(w) for w in windows] == [2, 2, 2]
+        assert windows[0].t_high < 5.0 <= windows[1].t_low
+
+    def test_gap_skips_empty_cells(self):
+        ops = [write(0, 0.0, 1.0), write(1, 100.0, 101.0)]
+        windows = list(iter_windows(ops, WindowPolicy.time(2.0)))
+        assert [len(w) for w in windows] == [1, 1]
+        assert windows[1].index == 1  # indices stay dense even across the gap
+
+    def test_time_overlap_carries_recent_tail(self):
+        ops = serial_ops(6)  # finishes at odd timestamps
+        windows = list(iter_windows(ops, WindowPolicy.time(4.0, overlap=2.0)))
+        assert sum(w.num_fresh for w in windows) == len(ops)
+        assert any(w.carried for w in windows[1:])
+
+    def test_straggler_joins_current_window(self):
+        ops = [write(0, 0.0, 1.0), write(1, 4.0, 5.0), write(2, 1.0, 1.5)]
+        windows = list(iter_windows(ops, WindowPolicy.time(3.0)))
+        # The straggler (finish 1.5 after finish 5.0) lands in the open window.
+        assert sum(w.num_fresh for w in windows) == 3
+
+
+class TestAssemblerLifecycle:
+    def test_flush_is_terminal(self):
+        assembler = WindowAssembler(WindowPolicy.count(4))
+        assembler.feed(write(0, 0.0, 1.0))
+        assert assembler.flush() is not None
+        with pytest.raises(VerificationError):
+            assembler.feed(write(1, 2.0, 3.0))
+
+    def test_flush_empty_returns_none(self):
+        assert WindowAssembler(WindowPolicy.count(4)).flush() is None
+
+
+class TestBuilderWindows:
+    def test_history_builder_windows_in_completion_order(self):
+        history = serial_history(6, 0)
+        builder = HistoryBuilder().extend(reversed(history.operations))
+        windows = builder.windows(WindowPolicy.count(4))
+        flattened = [op for w in windows for op in w.fresh_ops]
+        assert flattened == sorted(history.operations, key=lambda o: o.finish)
+
+    def test_trace_builder_windows_interleave_registers(self):
+        builder = TraceBuilder()
+        builder.extend(serial_ops(4, key="a"))
+        builder.extend(serial_ops(4, key="b"))
+        windows = builder.windows(WindowPolicy.count(3))
+        flattened = [op for w in windows for op in w.fresh_ops]
+        assert len(flattened) == 8
+        finishes = [op.finish for op in flattened]
+        assert finishes == sorted(finishes)
+        # Registers interleave: the first window spans both keys.
+        assert {op.key for op in windows[0].fresh_ops} == {"a", "b"}
