@@ -1,0 +1,334 @@
+"""Columnar fast path vs object path: end-to-end verification speedups.
+
+The columnar encoding (:mod:`repro.core.columnar`) exists to make the paper's
+``O(n log n)`` bounds real in CPython; this benchmark measures how much it
+buys end to end and doubles as a parity test:
+
+* **single-register sweep** — ``verify(h, 1)`` (GK) followed by
+  ``verify(h, 2)`` (FZF) on one practical history, over a range of trace
+  sizes, columnar vs object path, on fresh history instances each repeat so
+  the derived-structure cache cannot leak between the two paths;
+* **multi-register engine pass** — the serial engine over a synthetic trace,
+  columnar vs object path;
+* **ingestion** — JSONL → per-register histories: the streaming object
+  reader vs :func:`repro.io.formats.load_columnar` (records → columns, no
+  ``Operation`` objects);
+* **shard IPC payload** — pickled ``ShardTask`` object graphs vs the compact
+  column codec the process executor ships (:mod:`repro.engine.codec`).
+
+Every timed verdict is cross-checked between the two paths (verdict, reason
+and witness validity), so a kernel divergence fails the run loudly.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py [--sizes 10000,30000,100000]
+        [--registers N] [--repeat R] [--json PATH] [--check [--baseline PATH]]
+
+``--check`` re-validates the recorded baseline invariants (parity, a minimum
+columnar speedup, payload reduction) at whatever size was run — CI runs it at
+a small size as a regression smoke test; the committed reference numbers live
+in ``benchmarks/results/bench_columnar.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __name__ == "__main__" and __package__ is None:
+    # Allow running as a plain script without an installed package.
+    _src = Path(__file__).resolve().parents[1] / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.analysis.report import format_table
+from repro.core.api import verify
+from repro.core.history import History
+from repro.core.preprocess import normalize
+from repro.engine import Engine
+from repro.io.formats import dump_jsonl, load_columnar, load_trace
+from repro.workloads.synthetic import practical_history, synthetic_trace
+
+DEFAULT_BASELINE = Path(__file__).parent / "results" / "bench_columnar.json"
+
+
+def timed(fn, repeat):
+    """Run ``fn`` ``repeat`` times; return (best seconds, last result)."""
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def check_parity(history, res_obj, res_col, k):
+    """Assert the two paths agree on verdict, reason, stats and witness."""
+    assert bool(res_obj) == bool(res_col), (
+        f"verdict divergence at k={k}: object={bool(res_obj)} columnar={bool(res_col)}"
+    )
+    assert res_obj.reason == res_col.reason, (
+        f"reason divergence at k={k}: {res_obj.reason!r} != {res_col.reason!r}"
+    )
+    assert res_obj.stats == res_col.stats, (
+        f"stats divergence at k={k}: {res_obj.stats!r} != {res_col.stats!r}"
+    )
+    for res in (res_obj, res_col):
+        if res.witness is not None:
+            assert history.is_k_atomic_total_order(res.witness, k), (
+                f"invalid witness from {res.algorithm} at k={k}"
+            )
+
+
+def fresh(history):
+    """A cache-free copy of ``history`` (same operations, empty derived cache)."""
+    return History(history.operations, key=history.key)
+
+
+def bench_single_register(sizes, repeat, seed, out):
+    """GK then FZF on one register, columnar vs object, over a size sweep."""
+    rows = []
+    records = []
+    for n in sizes:
+        rng = random.Random(seed)
+        history = normalize(
+            practical_history(rng, n, staleness_probability=0.05, max_staleness=1)
+        )
+
+        def run_pair(use_columnar):
+            h = fresh(history)
+            r1 = verify(h, 1, preprocess=False, columnar=use_columnar)
+            r2 = verify(h, 2, preprocess=False, columnar=use_columnar)
+            return r1, r2
+
+        obj_s, (obj_r1, obj_r2) = timed(lambda: run_pair(False), repeat)
+        col_s, (col_r1, col_r2) = timed(lambda: run_pair(True), repeat)
+        check_parity(history, obj_r1, col_r1, 1)
+        check_parity(history, obj_r2, col_r2, 2)
+        speedup = obj_s / col_s if col_s > 0 else float("inf")
+        rows.append(
+            [n, f"{obj_s:.3f}", f"{col_s:.3f}", f"{speedup:.2f}x",
+             "YES" if col_r2 else "NO"]
+        )
+        records.append(
+            {
+                "ops": n,
+                "object_s": round(obj_s, 6),
+                "columnar_s": round(col_s, 6),
+                "speedup": round(speedup, 3),
+            }
+        )
+    print("single-register GK+FZF sweep (fresh caches per run):", file=out)
+    print(
+        format_table(
+            ["ops", "object (s)", "columnar (s)", "speedup", "2-atomic"], rows
+        ),
+        file=out,
+    )
+    return records
+
+
+def bench_engine(num_registers, ops_per_register, repeat, seed, out):
+    """Serial engine over a multi-register trace, columnar vs object."""
+    rng = random.Random(seed)
+    trace = synthetic_trace(
+        rng, num_registers, ops_per_register,
+        staleness_probability=0.05, max_staleness=1, size_skew=1.0,
+    )
+
+    def run(use_columnar):
+        rebuilt = synthetic_trace(
+            random.Random(seed), num_registers, ops_per_register,
+            staleness_probability=0.05, max_staleness=1, size_skew=1.0,
+        )
+        return Engine(columnar=use_columnar).verify_trace(rebuilt, 2)
+
+    # Trace regeneration inside run() guarantees cache-free histories, so
+    # time the verification via the report's own elapsed clock.
+    _, obj_report = timed(lambda: run(False), repeat)
+    _, col_report = timed(lambda: run(True), repeat)
+    assert {k: bool(r) for k, r in obj_report.results.items()} == {
+        k: bool(r) for k, r in col_report.results.items()
+    }, "engine verdicts diverge between object and columnar paths"
+    obj_s, col_s = obj_report.elapsed_s, col_report.elapsed_s
+    print("", file=out)
+    print(
+        f"multi-register serial engine ({num_registers} registers, "
+        f"{trace.total_operations()} ops, k=2): "
+        f"object {obj_s:.3f}s vs columnar {col_s:.3f}s "
+        f"({obj_s / col_s:.2f}x)",
+        file=out,
+    )
+    return {
+        "registers": num_registers,
+        "total_ops": trace.total_operations(),
+        "object_s": round(obj_s, 6),
+        "columnar_s": round(col_s, 6),
+        "speedup": round(obj_s / col_s, 3) if col_s else None,
+    }
+
+
+def bench_ingestion(num_registers, ops_per_register, repeat, seed, out):
+    """JSONL ingestion: streaming object reader vs direct columnar decode."""
+    rng = random.Random(seed)
+    trace = synthetic_trace(rng, num_registers, ops_per_register)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "trace.jsonl"
+        count = dump_jsonl(trace, path)
+        object_s, _ = timed(lambda: load_trace(path), repeat)
+        columnar_s, cols = timed(lambda: load_columnar(path), repeat)
+    assert sum(c.n for c in cols.values()) == count
+    print("", file=out)
+    print(
+        f"JSONL ingestion ({count} ops): object reader {object_s:.3f}s vs "
+        f"columnar decode {columnar_s:.3f}s ({object_s / columnar_s:.2f}x)",
+        file=out,
+    )
+    return {
+        "total_ops": count,
+        "object_s": round(object_s, 6),
+        "columnar_s": round(columnar_s, 6),
+        "speedup": round(object_s / columnar_s, 3) if columnar_s else None,
+    }
+
+
+def bench_ipc_payload(num_registers, ops_per_register, seed, out):
+    """Shard payload bytes: pickled object graphs vs the column codec."""
+    rng = random.Random(seed)
+    trace = synthetic_trace(rng, num_registers, ops_per_register)
+    engine = Engine(executor="processes", jobs=2)
+    tasks = engine.plan(engine._as_register_histories(trace), 2)
+    object_bytes = sum(len(pickle.dumps(t, pickle.HIGHEST_PROTOCOL)) for t in tasks)
+    column_bytes = sum(
+        len(pickle.dumps(t.encode(), pickle.HIGHEST_PROTOCOL)) for t in tasks
+    )
+    total_ops = trace.total_operations()
+    print("", file=out)
+    print(
+        f"process-executor shard payload ({total_ops} ops): "
+        f"pickled objects {object_bytes} B vs columns {column_bytes} B "
+        f"({object_bytes / column_bytes:.2f}x smaller, "
+        f"{column_bytes / total_ops:.1f} B/op)",
+        file=out,
+    )
+    return {
+        "total_ops": total_ops,
+        "object_bytes": object_bytes,
+        "column_bytes": column_bytes,
+        "reduction": round(object_bytes / column_bytes, 3),
+    }
+
+
+def run(sizes, num_registers, ops_per_register, repeat, seed, json_path, check,
+        check_min_speedup, out=sys.stdout):
+    print(
+        f"columnar benchmark: sizes={sizes}, engine trace "
+        f"{num_registers}x{ops_per_register}, repeat={repeat}, seed={seed}",
+        file=out,
+    )
+    print("", file=out)
+    single = bench_single_register(sizes, repeat, seed, out)
+    engine = bench_engine(num_registers, ops_per_register, repeat, seed, out)
+    ingestion = bench_ingestion(num_registers, ops_per_register, repeat, seed, out)
+    ipc = bench_ipc_payload(num_registers, ops_per_register, seed, out)
+
+    record = {
+        "config": {
+            "sizes": list(sizes),
+            "registers": num_registers,
+            "ops_per_register": ops_per_register,
+            "repeat": repeat,
+            "seed": seed,
+        },
+        "single_register": single,
+        "engine": engine,
+        "ingestion": ingestion,
+        "ipc_payload": ipc,
+    }
+    if json_path:
+        Path(json_path).parent.mkdir(parents=True, exist_ok=True)
+        Path(json_path).write_text(json.dumps(record, indent=2) + "\n")
+        print(f"\nrecorded results in {json_path}", file=out)
+
+    if check:
+        failures = []
+        worst = min(entry["speedup"] for entry in single)
+        largest = max(single, key=lambda entry: entry["ops"])
+        if largest["speedup"] < check_min_speedup:
+            failures.append(
+                f"columnar GK+FZF speedup {largest['speedup']:.2f}x at "
+                f"{largest['ops']} ops is below the required "
+                f"{check_min_speedup:.2f}x"
+            )
+        if ipc["column_bytes"] >= ipc["object_bytes"]:
+            failures.append(
+                f"column payload {ipc['column_bytes']} B is not smaller than "
+                f"pickled objects {ipc['object_bytes']} B"
+            )
+        print("", file=out)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=out)
+            return record, 1
+        print(
+            f"CHECK OK: parity held, columnar speedup {largest['speedup']:.2f}x "
+            f"at {largest['ops']} ops (worst across sizes {worst:.2f}x), "
+            f"payload {ipc['reduction']:.2f}x smaller",
+            file=out,
+        )
+    return record, 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="10000,30000,100000",
+        help="comma-separated single-register trace sizes (default 10000,30000,100000)",
+    )
+    parser.add_argument("--registers", type=int, default=32)
+    parser.add_argument("--ops", type=int, default=1500, help="operations per register")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", default=None, help="record results to this JSON path")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when parity breaks, the largest-size speedup drops "
+        "below --check-min-speedup, or the column payload stops shrinking",
+    )
+    parser.add_argument(
+        "--check-min-speedup",
+        type=float,
+        default=None,
+        dest="check_min_speedup",
+        help="minimum required GK+FZF speedup at the largest size "
+        "(default: 2.0 at >=100k ops, 1.2 below — small sizes amortise "
+        "the encoding less)",
+    )
+    args = parser.parse_args(argv)
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    min_speedup = args.check_min_speedup
+    if min_speedup is None:
+        min_speedup = 2.0 if max(sizes) >= 100_000 else 1.2
+    _, status = run(
+        sizes=sizes,
+        num_registers=args.registers,
+        ops_per_register=args.ops,
+        repeat=args.repeat,
+        seed=args.seed,
+        json_path=args.json,
+        check=args.check,
+        check_min_speedup=min_speedup,
+    )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core import columnar
 from ..core.chunks import Chunk, ChunkSet, compute_chunk_set
 from ..core.history import History
 from ..core.operation import Operation
@@ -204,7 +205,12 @@ def _dangling_witness(cluster: Cluster) -> List[Operation]:
 # ======================================================================
 # The full algorithm
 # ======================================================================
-def verify_2atomic_fzf(history: History, *, preprocess: bool = False) -> VerificationResult:
+def verify_2atomic_fzf(
+    history: History,
+    *,
+    preprocess: bool = False,
+    columnar_path: Optional[bool] = None,
+) -> VerificationResult:
     """Decide whether ``history`` is 2-atomic using FZF.
 
     Parameters
@@ -215,6 +221,12 @@ def verify_2atomic_fzf(history: History, *, preprocess: bool = False) -> Verific
     preprocess:
         When true, normalise the history first (timestamp tie-breaking and
         write shortening); anomalous histories yield a NO verdict.
+    columnar_path:
+        ``True``/``False`` force the columnar or object kernels; ``None``
+        (default) follows :func:`repro.core.columnar.default_enabled`.  The
+        columnar run (:func:`repro.core.columnar.fzf_verdict`) is an
+        index-based twin of the object path — identical verdicts, reasons and
+        stats — that decodes indices back to operations only for the witness.
 
     Returns
     -------
@@ -223,6 +235,35 @@ def verify_2atomic_fzf(history: History, *, preprocess: bool = False) -> Verific
     """
     if history.is_empty:
         return VerificationResult.yes(2, _ALGORITHM, witness=())
+    use_columnar = columnar.resolve(columnar_path)
+    if use_columnar:
+        if preprocess:
+            # Check anomalies on the raw history (cheap object scan, cached)
+            # so only the normalised history gets encoded.
+            if has_anomalies(history):
+                return VerificationResult.no(
+                    2, _ALGORITHM, reason="history contains Section II-C anomalies"
+                )
+            history = normalize(history)
+            col = columnar.columnar_of(history)
+        else:
+            col = columnar.columnar_of(history)
+            if col.has_anomalies():
+                return VerificationResult.no(
+                    2, _ALGORITHM, reason="history contains Section II-C anomalies"
+                )
+        outcome = columnar.fzf_verdict(col)
+        if not outcome.ok:
+            return VerificationResult.no(
+                2, _ALGORITHM, reason=outcome.reason, stats=outcome.stats
+            )
+        ops = history.operations
+        return VerificationResult.yes(
+            2,
+            _ALGORITHM,
+            witness=[ops[i] for i in outcome.witness],
+            stats=outcome.stats,
+        )
     if has_anomalies(history):
         return VerificationResult.no(
             2, _ALGORITHM, reason="history contains Section II-C anomalies"

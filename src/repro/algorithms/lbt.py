@@ -231,29 +231,40 @@ class LBTChecker:
 
     def __init__(self, history: History):
         self.history = history
-        # Operations sorted by start time define the H linked list.
+        # Operations sorted by start time define the H linked list.  The hot
+        # loops below never touch the Operation objects themselves: all
+        # per-operation state is pre-extracted into parallel index columns so
+        # the suffix walks are array lookups, not attribute chases.
         self.ops: List[Operation] = list(history.operations)
         self.h_index: Dict[Operation, int] = {op: i for i, op in enumerate(self.ops)}
         self.H = _LinkedList(len(self.ops))
+        self.h_starts: List[float] = [op.start for op in self.ops]
+        self.h_is_write: List[bool] = [op.is_write for op in self.ops]
         # Writes sorted by finish time define the W linked list.
         self.writes: List[Operation] = sorted(
             history.writes, key=lambda w: (w.finish, w.op_id)
         )
         self.w_index: Dict[Operation, int] = {w: i for i, w in enumerate(self.writes)}
         self.W = _LinkedList(len(self.writes))
-        # Dictated reads of each write, as H indices.
-        self.dictated: Dict[Operation, List[int]] = {
-            w: [self.h_index[r] for r in history.dictated_reads(w)]
-            for w in history.writes
-        }
-        self.dictating: Dict[Operation, Operation] = {}
-        for r in history.reads:
-            self.dictating[r] = history.dictating_write(r)
+        self.w_starts: List[float] = [w.start for w in self.writes]
+        self.w_finishes: List[float] = [w.finish for w in self.writes]
+        # Cross map between the two index spaces.
+        self.h_of_w: List[int] = [self.h_index[w] for w in self.writes]
+        # Dictated reads of each write (by W index), as H indices; and for
+        # each read, the W index of its dictating write.
+        self.dictated_of_w: List[List[int]] = [
+            [self.h_index[r] for r in history.dictated_reads(w)] for w in self.writes
+        ]
+        dictating_w = [-1] * len(self.ops)
+        for wi, read_indices in enumerate(self.dictated_of_w):
+            for hi in read_indices:
+                dictating_w[hi] = wi
+        self.dictating_w_of_h: List[int] = dictating_w
         self.stats = {"epochs": 0, "candidates_tried": 0, "deepening_rounds": 0}
 
     # ------------------------------------------------------------------
-    def _candidates(self) -> List[Operation]:
-        """Writes in W that do not precede any other remaining write (line 3).
+    def _candidate_indices(self) -> List[int]:
+        """W indices of the epoch candidates (line 3), latest-finishing first.
 
         As argued in the Theorem 3.2 proof, the candidates form a suffix of W
         when W is sorted by finish time: a write can only precede writes with
@@ -261,79 +272,94 @@ class LBTChecker:
         tracking the maximum start time seen so far identifies the whole
         candidate set in O(c) steps, and the scan can stop at the first
         non-candidate (every earlier write then precedes the same later
-        write).  Candidates are returned latest-finishing first.
+        write).
         """
-        candidates: List[Operation] = []
+        candidates: List[int] = []
         max_start_seen = float("-inf")
+        w_starts = self.w_starts
+        w_finishes = self.w_finishes
+        w_prev = self.W.prev
         i = self.W.tail
         while i != -1:
-            w = self.writes[i]
-            if w.finish < max_start_seen:
+            if w_finishes[i] < max_start_seen:
                 break
-            candidates.append(w)
-            if w.start > max_start_seen:
-                max_start_seen = w.start
-            i = self.W.prev[i]
+            candidates.append(i)
+            s = w_starts[i]
+            if s > max_start_seen:
+                max_start_seen = s
+            i = w_prev[i]
         return candidates
+
+    def _candidates(self) -> List[Operation]:
+        """The epoch-candidate writes (object view of :meth:`_candidate_indices`)."""
+        return [self.writes[i] for i in self._candidate_indices()]
 
     # ------------------------------------------------------------------
     def _run_epoch(
-        self, first: Operation, budget: Optional[int]
-    ) -> Tuple[str, List[List[Operation]], Tuple[int, int]]:
-        """Attempt an epoch starting at ``first`` with an optional step budget.
+        self, first_w: int, budget: Optional[int]
+    ) -> Tuple[str, List[List[int]], Tuple[int, int]]:
+        """Attempt an epoch starting at W index ``first_w`` with a step budget.
 
         Returns ``(outcome, segments, marks)`` where outcome is ``"success"``,
         ``"fail"`` (the epoch is definitively impossible) or ``"budget"`` (the
-        step budget ran out before a verdict).  ``marks`` are the undo-log
-        positions of H and W before the attempt, so the caller can revert.
+        step budget ran out before a verdict).  ``segments`` hold H indices —
+        decoded to operations only when a witness is assembled.  ``marks`` are
+        the undo-log positions of H and W before the attempt, so the caller
+        can revert.
         """
         h_mark = self.H.mark()
         w_mark = self.W.mark()
-        segments: List[List[Operation]] = []
+        segments: List[List[int]] = []
         steps = 0
-        w = first
+        wi = first_w
+        h_starts = self.h_starts
+        h_is_write = self.h_is_write
+        h_prev = self.H.prev
+        h_of_w = self.h_of_w
+        dictating_w = self.dictating_w_of_h
         while True:
-            w_next: Optional[Operation] = None
-            container: List[Operation] = []
+            w_next = -1
+            w_h = h_of_w[wi]
+            w_finish = self.w_finishes[wi]
+            container: List[int] = []
             # Operations starting after w.finish form a suffix of H (sorted
             # by start time): walk backwards from the tail.
             i = self.H.tail
             to_remove: List[int] = []
-            while i != -1 and self.ops[i].start > w.finish:
-                op = self.ops[i]
-                if op.is_write and op is not w:
-                    return "fail", segments, (h_mark, w_mark)
-                if op.is_read:
-                    dictating = self.dictating[op]
-                    if dictating is not w and dictating is not w_next:
-                        if w_next is not None:
+            while i != -1 and h_starts[i] > w_finish:
+                if h_is_write[i]:
+                    if i != w_h:
+                        return "fail", segments, (h_mark, w_mark)
+                else:
+                    dw = dictating_w[i]
+                    if dw != wi and dw != w_next:
+                        if w_next != -1:
                             return "fail", segments, (h_mark, w_mark)
-                        w_next = dictating
-                    container.append(op)
+                        w_next = dw
+                    container.append(i)
                     to_remove.append(i)
-                i = self.H.prev[i]
+                i = h_prev[i]
                 steps += 1
                 if budget is not None and steps > budget:
                     return "budget", segments, (h_mark, w_mark)
             for idx in to_remove:
                 self.H.remove(idx)
             # Remaining dictated reads of w, then w itself.
-            for idx in self.dictated[w]:
+            for idx in self.dictated_of_w[wi]:
                 if not self.H.removed[idx]:
-                    container.append(self.ops[idx])
+                    container.append(idx)
                     self.H.remove(idx)
                 steps += 1
-            self.H.remove(self.h_index[w])
-            self.W.remove(self.w_index[w])
+            self.H.remove(w_h)
+            self.W.remove(wi)
             steps += 1
+            container.sort()
+            segments.append([w_h] + container)
             if budget is not None and steps > budget:
-                segments.append([w] + sorted(container, key=lambda o: (o.start, o.finish, o.op_id)))
                 return "budget", segments, (h_mark, w_mark)
-            container.sort(key=lambda o: (o.start, o.finish, o.op_id))
-            segments.append([w] + container)
-            if w_next is None:
+            if w_next == -1:
                 return "success", segments, (h_mark, w_mark)
-            w = w_next
+            wi = w_next
 
     # ------------------------------------------------------------------
     def verify(self) -> VerificationResult:
@@ -345,10 +371,10 @@ class LBTChecker:
             return VerificationResult.no(
                 2, _ALGORITHM, reason="history contains Section II-C anomalies"
             )
-        witness_suffix: List[Operation] = []
+        witness_suffix: List[int] = []
         while not self.H.is_empty():
             self.stats["epochs"] += 1
-            candidates = self._candidates()
+            candidates = self._candidate_indices()
             outcome_segments = self._explore_candidates(candidates)
             if outcome_segments is None:
                 return VerificationResult.no(
@@ -357,18 +383,22 @@ class LBTChecker:
                     reason=f"all {len(candidates)} epoch candidates failed",
                     stats=dict(self.stats),
                 )
-            epoch_ops: List[Operation] = []
+            epoch_ops: List[int] = []
             for segment in reversed(outcome_segments):
                 epoch_ops.extend(segment)
             witness_suffix = epoch_ops + witness_suffix
+        ops = self.ops
         return VerificationResult.yes(
-            2, _ALGORITHM, witness=witness_suffix, stats=dict(self.stats)
+            2,
+            _ALGORITHM,
+            witness=[ops[i] for i in witness_suffix],
+            stats=dict(self.stats),
         )
 
     def _explore_candidates(
-        self, candidates: Sequence[Operation]
-    ) -> Optional[List[List[Operation]]]:
-        """Find a successful candidate via iterative deepening.
+        self, candidates: Sequence[int]
+    ) -> Optional[List[List[int]]]:
+        """Find a successful candidate (by W index) via iterative deepening.
 
         Returns the segments of the successful epoch (with H/W permanently
         updated), or ``None`` if every candidate definitively fails.
@@ -377,7 +407,7 @@ class LBTChecker:
         budget = 4
         while alive:
             self.stats["deepening_rounds"] += 1
-            survivors: List[Operation] = []
+            survivors: List[int] = []
             for candidate in alive:
                 self.stats["candidates_tried"] += 1
                 outcome, segments, (h_mark, w_mark) = self._run_epoch(candidate, budget)

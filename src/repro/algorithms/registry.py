@@ -10,6 +10,7 @@ streaming engine.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence
 
@@ -38,9 +39,17 @@ class AlgorithmSpec:
     name: str
     #: The staleness bounds the algorithm can decide (``None`` = any k).
     supported_k: Optional[Sequence[int]]
-    #: ``fn(history, k) -> VerificationResult``
-    fn: Callable[[History, int], VerificationResult]
+    #: ``fn(history, k, **options) -> VerificationResult``.  Registered
+    #: adapters accept (and may ignore) keyword options such as ``columnar``;
+    #: ad-hoc two-argument callables keep working through :meth:`run`.
+    fn: Callable[..., VerificationResult]
     description: str
+
+    def run(self, history: History, k: int, **options) -> VerificationResult:
+        """Invoke the verifier, dropping options the callable does not take."""
+        if options and not _accepts_options(self.fn):
+            options = {}
+        return self.fn(history, k, **options)
 
     def supports(self, k: int) -> bool:
         """True iff the algorithm can decide k-atomicity for this ``k``."""
@@ -57,31 +66,52 @@ class AlgorithmSpec:
         return super().__reduce__()
 
 
-def _gk_adapter(history: History, k: int) -> VerificationResult:
+def _accepts_options(fn) -> bool:
+    """Whether ``fn`` takes keyword options beyond ``(history, k)`` (cached)."""
+    cached = _OPTION_SUPPORT.get(fn)
+    if cached is None:
+        try:
+            params = inspect.signature(fn).parameters.values()
+        except (TypeError, ValueError):  # pragma: no cover - C callables etc.
+            cached = False
+        else:
+            cached = any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                or (p.kind is inspect.Parameter.KEYWORD_ONLY and p.name == "columnar")
+                for p in params
+            )
+        _OPTION_SUPPORT[fn] = cached
+    return cached
+
+
+_OPTION_SUPPORT: Dict[Callable, bool] = {}
+
+
+def _gk_adapter(history: History, k: int, *, columnar: Optional[bool] = None) -> VerificationResult:
     if k != 1:
         raise VerificationError("GK decides only 1-atomicity")
-    return gk.verify_1atomic(history)
+    return gk.verify_1atomic(history, columnar_path=columnar)
 
 
-def _lbt_adapter(history: History, k: int) -> VerificationResult:
+def _lbt_adapter(history: History, k: int, **_options) -> VerificationResult:
     if k != 2:
         raise VerificationError("LBT decides only 2-atomicity")
     return lbt.verify_2atomic(history)
 
 
-def _lbt_reference_adapter(history: History, k: int) -> VerificationResult:
+def _lbt_reference_adapter(history: History, k: int, **_options) -> VerificationResult:
     if k != 2:
         raise VerificationError("LBT (reference) decides only 2-atomicity")
     return lbt.verify_2atomic_reference(history)
 
 
-def _fzf_adapter(history: History, k: int) -> VerificationResult:
+def _fzf_adapter(history: History, k: int, *, columnar: Optional[bool] = None) -> VerificationResult:
     if k != 2:
         raise VerificationError("FZF decides only 2-atomicity")
-    return fzf.verify_2atomic_fzf(history)
+    return fzf.verify_2atomic_fzf(history, columnar_path=columnar)
 
 
-def _exact_adapter(history: History, k: int) -> VerificationResult:
+def _exact_adapter(history: History, k: int, **_options) -> VerificationResult:
     return exact.verify_k_atomic_exact(history, k)
 
 

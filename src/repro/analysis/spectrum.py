@@ -49,6 +49,7 @@ def staleness_bucket(
     *,
     resolve_exact: bool = False,
     max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+    columnar: Optional[bool] = None,
 ) -> Tuple[StalenessBucket, Optional[int]]:
     """Classify one register history.
 
@@ -56,15 +57,19 @@ def staleness_bucket(
     buckets ``ATOMIC`` and ``TWO_ATOMIC``; for ``THREE_PLUS`` it is only
     resolved when ``resolve_exact=True`` and the history is small enough for
     the exponential oracle, otherwise ``None``.
+
+    The per-k sweep shares every derived structure: normalisation, the
+    anomaly scan, the cluster table and the columnar encoding are computed
+    once on the history and reused by the k=1 and k=2 verifiers.
     """
     if history.is_empty:
         return (StalenessBucket.EMPTY, None)
     if find_anomalies(history):
         return (StalenessBucket.ANOMALOUS, None)
     normalized = normalize(history)
-    if verify(normalized, 1, preprocess=False):
+    if verify(normalized, 1, preprocess=False, columnar=columnar):
         return (StalenessBucket.ATOMIC, 1)
-    if verify(normalized, 2, preprocess=False):
+    if verify(normalized, 2, preprocess=False, columnar=columnar):
         return (StalenessBucket.TWO_ATOMIC, 2)
     if resolve_exact and len(normalized) <= max_exact_ops:
         k = 3
@@ -259,13 +264,17 @@ def atomicity_spectrum(
     *,
     resolve_exact: bool = False,
     max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+    columnar: Optional[bool] = None,
 ) -> StalenessSpectrum:
     """Compute the staleness spectrum of a multi-register trace."""
     verdicts: List[KeyVerdict] = []
     for key in sorted(trace.keys(), key=repr):
         history = trace[key]
         bucket, minimal = staleness_bucket(
-            history, resolve_exact=resolve_exact, max_exact_ops=max_exact_ops
+            history,
+            resolve_exact=resolve_exact,
+            max_exact_ops=max_exact_ops,
+            columnar=columnar,
         )
         verdicts.append(
             KeyVerdict(

@@ -100,6 +100,7 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         partitioner=args.partitioner,
         algorithm=args.algorithm,
         max_exact_ops=args.max_exact_ops,
+        columnar=False if args.no_columnar else None,
     )
     report = engine.verify_trace(builder, args.k)
     results = report.results
@@ -286,6 +287,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["hash", "round-robin", "size-balanced"],
         default="size-balanced",
         help="register-to-shard assignment strategy (default size-balanced)",
+    )
+    p_verify.add_argument(
+        "--no-columnar",
+        action="store_true",
+        dest="no_columnar",
+        help="disable the columnar (struct-of-arrays) fast path and verify "
+        "through the object-model reference kernels",
     )
     p_verify.add_argument(
         "--online",

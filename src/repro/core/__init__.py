@@ -8,6 +8,7 @@ result type, and the top-level :func:`repro.core.api.verify` entry point.
 
 from .api import MinimalKBound, minimal_k, minimal_k_bound, verify, verify_trace
 from .builder import HistoryBuilder, TraceBuilder
+from .columnar import ColumnarHistory, columnar_of
 from .chunks import Chunk, ChunkSet, compute_chunk_set
 from .errors import (
     AnomalyError,
@@ -31,6 +32,7 @@ __all__ = [
     "Anomaly",
     "AnomalyError",
     "AnomalyKind",
+    "ColumnarHistory",
     "Chunk",
     "ChunkSet",
     "Cluster",
@@ -56,6 +58,7 @@ __all__ = [
     "WindowPolicy",
     "Zone",
     "build_clusters",
+    "columnar_of",
     "compute_chunk_set",
     "find_anomalies",
     "has_anomalies",

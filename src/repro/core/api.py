@@ -62,6 +62,7 @@ def verify(
     algorithm: str = "auto",
     preprocess: bool = True,
     max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+    columnar: Optional[bool] = None,
 ) -> VerificationResult:
     """Decide whether ``history`` is k-atomic.
 
@@ -81,6 +82,12 @@ def verify(
     max_exact_ops:
         Size guard for the automatic ``k >= 3`` fallback to the exponential
         oracle.
+    columnar:
+        ``True``/``False`` force or forbid the columnar (struct-of-arrays)
+        kernels for algorithms that have them (GK and FZF); ``None`` (the
+        default) follows :func:`repro.core.columnar.default_enabled`.  Both
+        paths produce identical results; the flag exists for benchmarks and
+        cross-validation.
 
     Returns
     -------
@@ -106,7 +113,7 @@ def verify(
             f"algorithm {spec.name!r} cannot decide {k}-atomicity; "
             f"it supports k in {tuple(spec.supported_k)}"
         )
-    return spec.fn(history, k)
+    return spec.run(history, k, columnar=columnar)
 
 
 def verify_trace(
@@ -118,6 +125,7 @@ def verify_trace(
     max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
     executor: str = "serial",
     jobs: Optional[int] = None,
+    columnar: Optional[bool] = None,
 ) -> Dict[Hashable, VerificationResult]:
     """Verify every per-register history of a multi-register trace.
 
@@ -140,6 +148,7 @@ def verify_trace(
         algorithm=algorithm,
         preprocess=preprocess,
         max_exact_ops=max_exact_ops,
+        columnar=columnar,
     ).verify_trace(trace, k)
     return dict(report.results)
 

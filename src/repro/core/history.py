@@ -52,12 +52,14 @@ class History:
         "_reads",
         "_write_of_value",
         "_reads_of_value",
+        "_derived",
     )
 
     def __init__(self, operations: Iterable[Operation], key: Optional[Hashable] = None):
         ops = sorted(operations, key=lambda op: (op.start, op.finish, op.op_id))
         self._ops: Tuple[Operation, ...] = tuple(ops)
         self._key = key
+        self._derived: Dict[str, object] = {}
 
         keys = {op.key for op in self._ops if op.key is not None}
         if key is not None:
@@ -90,6 +92,58 @@ class History:
         self._reads_of_value: Dict[Hashable, Tuple[Operation, ...]] = {
             v: tuple(rs) for v, rs in reads_of_value.items()
         }
+
+    @classmethod
+    def _from_trusted_sorted(
+        cls, ops: Sequence[Operation], key: Optional[Hashable]
+    ) -> "History":
+        """Rebuild a history from operations known to be sorted and valid.
+
+        Internal fast path for the shard codec and the columnar decoder: the
+        operations originate from an existing :class:`History`, so the sort
+        order, single-key and unique-write-value invariants already hold and
+        are not re-checked.
+        """
+        self = object.__new__(cls)
+        self._ops = tuple(ops)
+        self._key = key
+        self._derived = {}
+        self._writes = tuple(op for op in self._ops if op.op_type is OpType.WRITE)
+        self._reads = tuple(op for op in self._ops if op.op_type is OpType.READ)
+        self._write_of_value = {w.value: w for w in self._writes}
+        reads_of_value: Dict[Hashable, List[Operation]] = defaultdict(list)
+        for r in self._reads:
+            reads_of_value[r.value].append(r)
+        self._reads_of_value = {v: tuple(rs) for v, rs in reads_of_value.items()}
+        return self
+
+    # ------------------------------------------------------------------
+    # Derived-structure cache
+    # ------------------------------------------------------------------
+    def cached(self, name: str, factory):
+        """Return the memoized derived structure ``name``, computing it once.
+
+        Histories are immutable, so structures derived purely from the
+        operations — the cluster list, the anomaly scan, the normalisation
+        output, the columnar encoding — can be computed once and shared by
+        every verifier that needs them (GK → chunk decomposition → FZF, and
+        the per-k staleness-spectrum sweep).  Callers must treat the returned
+        value as read-only.
+        """
+        try:
+            return self._derived[name]
+        except KeyError:
+            value = self._derived[name] = factory()
+            return value
+
+    def __getstate__(self):
+        # The derived-structure cache is a pure function of the operations:
+        # never ship it across process boundaries, each side recomputes.
+        return (self._ops, self._key)
+
+    def __setstate__(self, state):
+        ops, key = state
+        self.__init__(ops, key=key)
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -174,9 +228,12 @@ class History:
         """Return the cluster map: dictating write -> its dictated reads.
 
         Every write appears as a key, including writes with zero dictated
-        reads (Section II-A explicitly allows those).
+        reads (Section II-A explicitly allows those).  The map is memoized on
+        the instance; treat it as read-only.
         """
-        return {w: self.dictated_reads(w) for w in self._writes}
+        return self.cached(
+            "cluster_map", lambda: {w: self.dictated_reads(w) for w in self._writes}
+        )
 
     # ------------------------------------------------------------------
     # Concurrency structure

@@ -64,14 +64,7 @@ class Anomaly:
         )
 
 
-def find_anomalies(history: History) -> List[Anomaly]:
-    """Return all Section II-C anomalies present in ``history``.
-
-    An anomaly is either a read whose value was never written, or a read that
-    *precedes* its dictating write (finishes before the write starts).  Either
-    one makes the history non-k-atomic for every ``k``, so the verification
-    algorithms require the history to be anomaly-free.
-    """
+def _scan_anomalies(history: History) -> List[Anomaly]:
     anomalies: List[Anomaly] = []
     for r in history.reads:
         w = history.dictating_write(r)
@@ -82,12 +75,28 @@ def find_anomalies(history: History) -> List[Anomaly]:
     return anomalies
 
 
+def find_anomalies(history: History) -> List[Anomaly]:
+    """Return all Section II-C anomalies present in ``history``.
+
+    An anomaly is either a read whose value was never written, or a read that
+    *precedes* its dictating write (finishes before the write starts).  Either
+    one makes the history non-k-atomic for every ``k``, so the verification
+    algorithms require the history to be anomaly-free.  The scan is memoized
+    on the history; treat the returned list as read-only.
+    """
+    return history.cached("anomalies", lambda: _scan_anomalies(history))
+
+
 def has_anomalies(history: History) -> bool:
     """True iff :func:`find_anomalies` would return a non-empty list."""
+    cached = history._derived.get("anomalies")
+    if cached is not None:
+        return bool(cached)
     for r in history.reads:
         w = history.dictating_write(r)
         if w is None or r.precedes(w):
             return True
+    history._derived["anomalies"] = []
     return False
 
 
@@ -191,7 +200,17 @@ def normalize(
 
     The result is suitable input for every verifier in
     :mod:`repro.algorithms`.
+
+    With the default options the result is memoized on the input history (and
+    the output normalises to itself), so GK, FZF and the per-k staleness
+    sweep pay the normalisation cost once per history rather than once per
+    verifier call.
     """
+    default_args = not drop_anomalous_reads and epsilon == 1e-9
+    if default_args:
+        cached = history._derived.get("normalized")
+        if cached is not None:
+            return cached
     anomalies = find_anomalies(history)
     if anomalies:
         if not drop_anomalous_reads:
@@ -203,7 +222,13 @@ def normalize(
             )
         bad_reads = {a.read for a in anomalies}
         history = history.without(bad_reads)
-    history = perturb_equal_timestamps(history, epsilon=epsilon)
-    history = shorten_writes(history, epsilon=epsilon)
-    history = perturb_equal_timestamps(history, epsilon=epsilon)
-    return history
+    result = perturb_equal_timestamps(history, epsilon=epsilon)
+    result = shorten_writes(result, epsilon=epsilon)
+    result = perturb_equal_timestamps(result, epsilon=epsilon)
+    if default_args:
+        # Normalisation is idempotent: distinct timestamps stay distinct and
+        # already-shortened writes are untouched, so the output may safely
+        # normalise to itself.
+        history._derived["normalized"] = result
+        result._derived.setdefault("normalized", result)
+    return result

@@ -131,7 +131,14 @@ def build_clusters(history: History) -> List[Cluster]:
     reads of a cluster are the dictated reads of the write.  The history must
     be anomaly-free; reads without a dictating write raise
     :class:`~repro.core.errors.HistoryError`.
+
+    The list is memoized on the history instance, so GK, the chunk
+    decomposition and FZF share one computation; treat it as read-only.
     """
+    return history.cached("cluster_list", lambda: _build_clusters_uncached(history))
+
+
+def _build_clusters_uncached(history: History) -> List[Cluster]:
     for r in history.reads:
         if history.dictating_write(r) is None:
             raise HistoryError(

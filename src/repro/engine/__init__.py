@@ -6,7 +6,8 @@ final aggregation.  This package turns that theorem into an execution
 pipeline; see :class:`Engine` for the entry point.
 """
 
-from .engine import Engine, ShardOutcome, ShardTask, run_shard
+from .codec import decode_shard_items, encode_shard_items
+from .engine import EncodedShardTask, Engine, ShardOutcome, ShardTask, run_shard
 from .streaming import DEFAULT_WINDOW, StreamingEngine
 from .executors import (
     EXECUTORS,
@@ -29,6 +30,7 @@ from .partition import (
 __all__ = [
     "DEFAULT_WINDOW",
     "EXECUTORS",
+    "EncodedShardTask",
     "Engine",
     "HashPartitioner",
     "PARTITIONERS",
@@ -42,7 +44,9 @@ __all__ = [
     "SizeBalancedPartitioner",
     "StreamingEngine",
     "ThreadExecutor",
+    "decode_shard_items",
     "default_jobs",
+    "encode_shard_items",
     "get_executor",
     "get_partitioner",
     "run_shard",

@@ -36,10 +36,17 @@ from ..analysis.report import ShardStats, TraceVerificationReport
 from .executors import ShardExecutor, default_jobs, get_executor
 from .partition import Partitioner, get_partitioner
 
-__all__ = ["ShardTask", "ShardOutcome", "Engine", "DEFAULT_MAX_EXACT_OPS"]
+__all__ = [
+    "ShardTask",
+    "EncodedShardTask",
+    "ShardOutcome",
+    "Engine",
+    "DEFAULT_MAX_EXACT_OPS",
+]
 
 # Re-exported so the engine can be configured without importing core.api.
 from ..core.api import DEFAULT_MAX_EXACT_OPS
+from .codec import decode_shard_items, encode_shard_items
 
 TraceLike = Union[MultiHistory, TraceBuilder, Iterable[Operation]]
 
@@ -59,11 +66,51 @@ class ShardTask:
     algorithm: str
     preprocess: bool
     max_exact_ops: int
+    columnar: Optional[bool] = None
 
     @property
     def num_ops(self) -> int:
         """Total operations across the shard's registers."""
         return sum(len(h) for _, h in self.items)
+
+    def encode(self) -> "EncodedShardTask":
+        """Re-pack the shard with its histories as compact column buffers."""
+        return EncodedShardTask(
+            shard_id=self.shard_id,
+            payload=encode_shard_items(self.items),
+            num_ops=self.num_ops,
+            k=self.k,
+            algorithm=self.algorithm,
+            preprocess=self.preprocess,
+            max_exact_ops=self.max_exact_ops,
+            columnar=self.columnar,
+        )
+
+
+@dataclass(frozen=True)
+class EncodedShardTask:
+    """A shard task whose histories travel as compact column buffers.
+
+    Created by :meth:`ShardTask.encode` for executors that cross the process
+    boundary: the payload pickles to a fraction of the object graph's size
+    (raw timestamp/flag/id columns plus small interning tables instead of one
+    pickled dataclass per operation) and decodes through the trusted
+    constructors, skipping re-validation of invariants that held on the
+    submitting side.
+    """
+
+    shard_id: int
+    payload: bytes
+    num_ops: int
+    k: int
+    algorithm: str
+    preprocess: bool
+    max_exact_ops: int
+    columnar: Optional[bool] = None
+
+    def decode_items(self) -> Tuple[Tuple[Hashable, History], ...]:
+        """Rebuild the ``(key, History)`` pairs inside the worker."""
+        return tuple(decode_shard_items(self.payload))
 
 
 @dataclass(frozen=True)
@@ -81,16 +128,18 @@ class ShardOutcome:
         return any(not r for _, r in self.results)
 
 
-def run_shard(task: ShardTask) -> ShardOutcome:
+def run_shard(task: Union[ShardTask, EncodedShardTask]) -> ShardOutcome:
     """Verify every register of one shard (module-level: picklable).
 
     Worker processes receive this function by qualified name and the task by
     value; the algorithm is resolved from the registry *here*, inside the
-    worker, never shipped as a function object.
+    worker, never shipped as a function object.  Column-encoded tasks are
+    decoded here too, on the worker side of the process boundary.
     """
     from ..core.api import verify  # local import keeps worker start-up lean
 
     t0 = time.perf_counter()
+    items = task.decode_items() if isinstance(task, EncodedShardTask) else task.items
     results = tuple(
         (
             key,
@@ -100,9 +149,10 @@ def run_shard(task: ShardTask) -> ShardOutcome:
                 algorithm=task.algorithm,
                 preprocess=task.preprocess,
                 max_exact_ops=task.max_exact_ops,
+                columnar=task.columnar,
             ),
         )
-        for key, history in task.items
+        for key, history in items
     )
     return ShardOutcome(
         shard_id=task.shard_id,
@@ -131,6 +181,16 @@ class Engine:
         order smooth out imbalance that the partitioner could not predict.
     algorithm, preprocess, max_exact_ops:
         Forwarded to :func:`repro.core.api.verify` for every register.
+    columnar:
+        Forwarded to :func:`repro.core.api.verify`: force (``True``), forbid
+        (``False``) or defer to the process default (``None``) on the
+        columnar kernels.  Carried inside the shard task so worker processes
+        honour it too.
+    compact_ipc:
+        When true (default), executors that cross the process boundary ship
+        shards as compact column buffers (:mod:`repro.engine.codec`) instead
+        of pickled operation object graphs.  In-process executors always use
+        the histories directly.
     fail_fast:
         When true, stop dispatching after the first shard containing a
         failing register; unverified registers are reported as skipped.
@@ -146,6 +206,8 @@ class Engine:
         algorithm: str = "auto",
         preprocess: bool = True,
         max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+        columnar: Optional[bool] = None,
+        compact_ipc: bool = True,
         fail_fast: bool = False,
     ):
         self.executor = get_executor(executor) if isinstance(executor, str) else executor
@@ -163,6 +225,8 @@ class Engine:
         self.algorithm = algorithm
         self.preprocess = preprocess
         self.max_exact_ops = max_exact_ops
+        self.columnar = columnar
+        self.compact_ipc = compact_ipc
         self.fail_fast = fail_fast
 
     # ------------------------------------------------------------------
@@ -200,6 +264,7 @@ class Engine:
                     algorithm=self.algorithm,
                     preprocess=self.preprocess,
                     max_exact_ops=self.max_exact_ops,
+                    columnar=self.columnar,
                 )
             )
         return tasks
@@ -211,7 +276,9 @@ class Engine:
         """Verify every register of ``trace`` and aggregate the results."""
         registers = self._as_register_histories(trace)
         key_order = [key for key, _ in registers]
-        tasks = self.plan(registers, k)
+        tasks: List[Union[ShardTask, EncodedShardTask]] = list(self.plan(registers, k))
+        if self.compact_ipc and self.executor.crosses_process_boundary:
+            tasks = [task.encode() for task in tasks]
 
         merged: Dict[Hashable, VerificationResult] = {}
         stats: List[ShardStats] = []

@@ -28,13 +28,15 @@ from __future__ import annotations
 import csv
 import json
 import time
+from collections import defaultdict
 from pathlib import Path
 from typing import Dict, IO, Iterable, Iterator, List, Optional, Union
 
 from ..core.builder import TraceBuilder
+from ..core.columnar import ColumnarHistory
 from ..core.errors import TraceFormatError
 from ..core.history import History, MultiHistory
-from ..core.operation import Operation, OpType
+from ..core.operation import Operation, OpType, trusted_operation
 
 __all__ = [
     "operation_to_dict",
@@ -49,9 +51,72 @@ __all__ = [
     "iter_csv",
     "stream_trace",
     "load_trace",
+    "load_columnar",
 ]
 
 _CSV_FIELDS = ["op_type", "key", "value", "start", "finish", "client", "weight"]
+
+_READ = OpType.READ
+_WRITE = OpType.WRITE
+
+
+def _fast_operation_from_record(record: Dict) -> Operation:
+    """Decode one trace record without the generic dict round-trip.
+
+    The streaming readers decode millions of records; this inlines the happy
+    path of :func:`operation_from_dict` — direct field pulls, the trusted
+    constructor instead of the revalidating dataclass ``__init__`` — and
+    delegates every unusual record (unknown type tag, non-positive duration,
+    bad weight) back to the slow path so error behaviour stays identical.
+    """
+    try:
+        tag = record["op_type"]
+        if tag == "read":
+            op_type = _READ
+        elif tag == "write":
+            op_type = _WRITE
+        else:
+            return operation_from_dict(record)
+        start = float(record["start"])
+        finish = float(record["finish"])
+        value = record["value"]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceFormatError(f"malformed operation record: {record!r}") from exc
+    # Weight conversion sits outside the try and runs for reads too, exactly
+    # like the slow path (a malformed weight raises ValueError, not
+    # TraceFormatError, regardless of operation type).
+    weight = int(record.get("weight", 1) or 1)
+    if finish <= start or weight < 1:
+        return operation_from_dict(record)  # raises with the canonical message
+    return trusted_operation(
+        op_type,
+        value,
+        start,
+        finish,
+        key=record.get("key"),
+        client=record.get("client"),
+        weight=weight if op_type is _WRITE else 1,
+    )
+
+
+def _record_to_row(record: Dict):
+    """Decode one record to a columnar row ``(is_write, value, start, finish,
+    client, weight)`` with the same error contract as the operation readers:
+    malformed basics raise :class:`TraceFormatError`, a malformed weight
+    raises ``ValueError`` from outside the guarded block."""
+    try:
+        tag = record["op_type"]
+        if tag == "write":
+            is_write = True
+        elif tag == "read":
+            is_write = False
+        else:
+            raise ValueError(f"unknown op_type {tag!r}")
+        row_head = (record["value"], float(record["start"]), float(record["finish"]))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceFormatError(f"malformed operation record: {record!r}") from exc
+    weight = int(record.get("weight", 1) or 1)
+    return (is_write, *row_head, record.get("client"), weight if is_write else 1)
 
 
 def operation_to_dict(op: Operation) -> Dict:
@@ -121,17 +186,19 @@ def iter_jsonl_handle(
     file object, a generator of lines — without the caller materialising
     anything.  ``source`` is used in error messages in place of a file name.
     """
+    loads = json.loads
+    decode = _fast_operation_from_record
     for line_number, line in enumerate(fh, start=1):
         line = line.strip()
         if not line:
             continue
         try:
-            record = json.loads(line)
+            record = loads(line)
         except json.JSONDecodeError as exc:
             raise TraceFormatError(
                 f"{source}:{line_number}: invalid JSON: {exc}"
             ) from exc
-        yield operation_from_dict(record)
+        yield decode(record)
 
 
 def follow_jsonl(
@@ -211,6 +278,7 @@ def dump_csv(trace: Union[History, MultiHistory, Iterable[Operation]], path: Uni
 
 def iter_csv(path: Union[str, Path]) -> Iterator[Operation]:
     """Stream the operations of a CSV trace one at a time."""
+    decode = _fast_operation_from_record
     with open(path, "r", encoding="utf-8", newline="") as fh:
         reader = csv.DictReader(fh)
         for row_number, row in enumerate(reader, start=2):
@@ -222,7 +290,7 @@ def iter_csv(path: Union[str, Path]) -> Iterator[Operation]:
             if record.get("key") in ("", None):
                 record["key"] = None
             try:
-                yield operation_from_dict(record)
+                yield decode(record)
             except TraceFormatError as exc:
                 raise TraceFormatError(f"{path}:{row_number}: {exc}") from exc
 
@@ -246,6 +314,48 @@ def stream_trace(path: Union[str, Path]) -> Iterator[Operation]:
 def load_trace(path: Union[str, Path]) -> MultiHistory:
     """Load any supported trace file into a :class:`MultiHistory`."""
     return TraceBuilder(stream_trace(path)).build()
+
+
+def load_columnar(path: Union[str, Path]) -> Dict:
+    """Load a trace straight into per-register columnar encodings.
+
+    Operations are *not* materialised: each record's fields go directly into
+    the per-register row buckets and then into a
+    :class:`~repro.core.columnar.ColumnarHistory` per register.  Returns a
+    mapping from register key to encoding; call ``.to_history()`` on an entry
+    (or verify through the columnar kernels) as needed — the materialised
+    history arrives with its encoding pre-cached.
+
+    JSONL only takes the fully column-oriented route; the CSV reader reuses
+    the operation stream (its per-row dict handling dominates either way).
+    """
+    p = Path(path)
+    if p.suffix.lower() == ".csv":
+        rows_by_key: Dict = defaultdict(list)
+        for op in iter_csv(p):
+            rows_by_key[op.key].append(
+                (op.is_write, op.value, op.start, op.finish, op.client, op.weight)
+            )
+    else:
+        rows_by_key = defaultdict(list)
+        loads = json.loads
+        to_row = _record_to_row
+        with open(p, "r", encoding="utf-8") as fh:
+            for line_number, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceFormatError(
+                        f"{p}:{line_number}: invalid JSON: {exc}"
+                    ) from exc
+                rows_by_key[record.get("key")].append(to_row(record))
+    return {
+        key: ColumnarHistory.from_rows(rows, key=key)
+        for key, rows in rows_by_key.items()
+    }
 
 
 # ----------------------------------------------------------------------
