@@ -18,10 +18,18 @@ numbers; the committed baseline lives in
 ``benchmarks/results/bench_online_latency.json`` so future PRs can track the
 trajectory.
 
+``--check`` turns the run into a regression gate (the online counterpart of
+``bench_columnar.py --check``): verdict parity must hold (always asserted),
+and the price of online verdicts must stay bounded — the per-op incremental
+feed and the peek-mode streaming run may not exceed ``--check-max-slowdown``
+times the batch engine's total (a machine-independent *ratio*, so it is safe
+on noisy CI runners; the recorded baseline sits near 3-4x).
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_online_latency.py [--registers N]
         [--ops N] [--k K] [--window W] [--repeat R] [--json PATH]
+        [--check [--check-max-slowdown X]]
 """
 
 from __future__ import annotations
@@ -101,7 +109,8 @@ def bench_streaming(ops, k, *, mode, window, check_per_window=True):
 
 
 def run(num_registers=64, ops_per_register=300, k=2, window_size=256, repeat=3,
-        seed=0, json_path=None, out=sys.stdout):
+        seed=0, json_path=None, check=False, check_max_slowdown=15.0,
+        out=sys.stdout):
     rng = random.Random(seed)
     trace = synthetic_trace(
         rng,
@@ -252,7 +261,34 @@ def run(num_registers=64, ops_per_register=300, k=2, window_size=256, repeat=3,
         Path(json_path).parent.mkdir(parents=True, exist_ok=True)
         Path(json_path).write_text(json.dumps(record, indent=2) + "\n")
         print(f"recorded results in {json_path}", file=out)
-    return record
+
+    status = 0
+    if check:
+        failures = []
+        peek_slowdown = peek_s / batch_s if batch_s > 0 else float("inf")
+        if slowdown > check_max_slowdown:
+            failures.append(
+                f"per-op incremental feed is {slowdown:.2f}x batch, above the "
+                f"allowed {check_max_slowdown:.2f}x"
+            )
+        if peek_slowdown > check_max_slowdown:
+            failures.append(
+                f"peek-mode streaming is {peek_slowdown:.2f}x batch, above the "
+                f"allowed {check_max_slowdown:.2f}x"
+            )
+        print("", file=out)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=out)
+            status = 1
+        else:
+            print(
+                f"CHECK OK: online/batch parity held; per-op feed {slowdown:.2f}x "
+                f"and peek streaming {peek_slowdown:.2f}x batch "
+                f"(allowed {check_max_slowdown:.2f}x)",
+                file=out,
+            )
+    return record, status
 
 
 def main(argv=None):
@@ -264,8 +300,22 @@ def main(argv=None):
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", default=None, help="record results to this JSON path")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when online/batch parity breaks or the online "
+        "overhead ratios exceed --check-max-slowdown",
+    )
+    parser.add_argument(
+        "--check-max-slowdown",
+        type=float,
+        default=15.0,
+        dest="check_max_slowdown",
+        help="largest allowed online-total / batch-total ratio in --check "
+        "mode (default 15.0; the recorded baseline is ~3-4x)",
+    )
     args = parser.parse_args(argv)
-    run(
+    _, status = run(
         num_registers=args.registers,
         ops_per_register=args.ops,
         k=args.k,
@@ -273,8 +323,10 @@ def main(argv=None):
         repeat=args.repeat,
         seed=args.seed,
         json_path=args.json,
+        check=args.check,
+        check_max_slowdown=args.check_max_slowdown,
     )
-    return 0
+    return status
 
 
 if __name__ == "__main__":

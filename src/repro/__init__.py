@@ -21,7 +21,12 @@ The library provides:
   (:mod:`repro.core.windows`), a streaming engine
   (:mod:`repro.engine.streaming`) and live simulation auditing
   (:class:`repro.simulation.LiveAuditor`), so verdicts exist while
-  operations are still arriving.
+  operations are still arriving,
+* an **audit service** (:mod:`repro.service`): an asyncio server
+  multiplexing many concurrent trace sessions with bounded-queue
+  backpressure, checkpoint/resume via the checkers'
+  ``snapshot()``/``restore()`` state API, and a remote-verification client
+  (``repro serve`` / ``repro verify --remote``).
 
 Quickstart
 ----------
@@ -65,7 +70,7 @@ from .engine import Engine, StreamingEngine
 #: Single source of truth for the package version: ``pyproject.toml`` reads
 #: it via ``[tool.setuptools.dynamic]`` and the CLI exposes it as
 #: ``repro --version``.  Bump it here and nowhere else.
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Engine",

@@ -44,6 +44,14 @@ Two cost controls keep the per-operation work low:
 Memory is O(n) — the buffer must be retained for exact batch parity.  The
 bounded-memory alternative is the *windowed* mode of
 :mod:`repro.engine.streaming`, which trades exactness for a fixed footprint.
+
+Checkers are also **checkpointable**: :meth:`Checker.snapshot` captures the
+complete internal state (buffers, cadence position, latched verdicts, monitor
+indexes) as one picklable object and :meth:`Checker.restore` rehydrates it, so
+a long-running audit service can persist sessions to disk and resume them
+after a crash with a verdict stream *identical* to an uninterrupted run — the
+monitor state is saved verbatim rather than rebuilt by replay, so even the
+eager-check timing of :class:`IncrementalGKChecker` survives the round trip.
 """
 
 from __future__ import annotations
@@ -65,6 +73,7 @@ __all__ = [
     "IncrementalGKChecker",
     "IncrementalLBTChecker",
     "checker_for",
+    "restore_checker",
 ]
 
 #: Default number of resolved operations before the first authoritative check.
@@ -121,6 +130,25 @@ class Checker(ABC):
     @abstractmethod
     def reset(self) -> None:
         """Forget all ingested operations and start over."""
+
+    @abstractmethod
+    def snapshot(self) -> dict:
+        """Capture the complete checker state as one picklable mapping.
+
+        The snapshot is self-describing (it records the checker class and
+        configuration) and deep enough that ``restore`` reproduces not just
+        the final verdict but the *entire future verdict sequence* of an
+        uninterrupted checker fed the same remaining operations.
+        """
+
+    @abstractmethod
+    def restore(self, state: dict) -> None:
+        """Rehydrate the state captured by :meth:`snapshot`.
+
+        Raises :class:`~repro.core.errors.VerificationError` when the
+        snapshot was taken from an incompatible checker (different class,
+        ``k``, or delegate algorithm).
+        """
 
 
 class RecheckChecker(Checker):
@@ -300,6 +328,75 @@ class RecheckChecker(Checker):
         return result
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the complete checker state as one picklable mapping."""
+        return {
+            "class": type(self).__name__,
+            "k": self.k,
+            "algorithm": self.algorithm,
+            "check_interval": self.check_interval,
+            "cadence_growth": self.cadence_growth,
+            "max_exact_ops": self.max_exact_ops,
+            "resolved": list(self._resolved),
+            "pending": {value: list(reads) for value, reads in self._pending.items()},
+            "written": dict(self._written),
+            "key": self._key,
+            "ops_seen": self._ops_seen,
+            "latched": self._latched,
+            "last_verdict": self._last_verdict,
+            "dirty": self._dirty,
+            "next_check": self._next_check,
+            "checks_run": self._checks_run,
+            "finished": self._finished,
+            "monitor": self._monitor_snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rehydrate the state captured by :meth:`snapshot`."""
+        if state.get("class") != type(self).__name__:
+            raise VerificationError(
+                f"snapshot was taken from a {state.get('class')!r} checker; "
+                f"cannot restore into {type(self).__name__!r}"
+            )
+        if state.get("k") != self.k or state.get("algorithm") != self.algorithm:
+            raise VerificationError(
+                f"snapshot verifies k={state.get('k')} via "
+                f"{state.get('algorithm')!r}; this checker is configured for "
+                f"k={self.k} via {self.algorithm!r}"
+            )
+        self._resolved = list(state["resolved"])
+        self._pending = {value: list(reads) for value, reads in state["pending"].items()}
+        self._written = dict(state["written"])
+        self._key = state["key"]
+        self._ops_seen = state["ops_seen"]
+        self._latched = state["latched"]
+        self._last_verdict = state["last_verdict"]
+        self._dirty = state["dirty"]
+        self._next_check = state["next_check"]
+        self._checks_run = state["checks_run"]
+        self._finished = state["finished"]
+        self._restore_monitor(state["monitor"])
+        # Restored operations carry op_ids minted by another process; keep
+        # this process's auto-ids clear of them (ids are the identity of an
+        # Operation, so a collision would corrupt op-keyed indexes).
+        ids = [op.op_id for op in self._resolved]
+        for reads in self._pending.values():
+            ids.extend(op.op_id for op in reads)
+        from ..core.operation import ensure_op_ids_above
+
+        ensure_op_ids_above(max(ids, default=-1))
+
+    def _monitor_snapshot(self) -> dict:
+        """Subclass hook: picklable copy of the incremental monitor state."""
+        return {}
+
+    def _restore_monitor(self, state: dict) -> None:
+        """Subclass hook: rehydrate :meth:`_monitor_snapshot` output."""
+        self._reset_monitor()
+
+    # ------------------------------------------------------------------
     # Internals (and subclass hooks)
     # ------------------------------------------------------------------
     def _admit(self, op: Operation) -> None:
@@ -397,6 +494,22 @@ class _ForwardZoneIndex:
         idx = bisect.bisect_right(self._lows, low) - 1
         return idx >= 0 and self._entries[idx][1] >= high
 
+    def snapshot(self) -> dict:
+        """Picklable copy of the index state."""
+        return {
+            "lows": list(self._lows),
+            "entries": list(self._entries),
+            "current": dict(self._current),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rehydrate :meth:`snapshot` output."""
+        self._lows = list(state["lows"])
+        self._entries = [tuple(entry) for entry in state["entries"]]
+        self._current = {
+            write_id: tuple(zone) for write_id, zone in state["current"].items()
+        }
+
 
 class IncrementalGKChecker(RecheckChecker):
     """Incremental Gibbons–Korach 1-atomicity (linearizability) checking.
@@ -440,6 +553,23 @@ class IncrementalGKChecker(RecheckChecker):
         self._write_ids: Dict[Hashable, int] = {}  # value -> write op_id
         self._fwd = _ForwardZoneIndex()
         self._suppress_until = 0
+
+    def _monitor_snapshot(self) -> dict:
+        return {
+            "clusters": dict(self._clusters),
+            "write_ids": dict(self._write_ids),
+            "fwd": self._fwd.snapshot(),
+            "suppress_until": self._suppress_until,
+        }
+
+    def _restore_monitor(self, state: dict) -> None:
+        self._reset_monitor()
+        self._clusters = {
+            write_id: tuple(zone) for write_id, zone in state["clusters"].items()
+        }
+        self._write_ids = dict(state["write_ids"])
+        self._fwd.restore(state["fwd"])
+        self._suppress_until = state["suppress_until"]
 
     def _monitor(self, op: Operation) -> bool:
         if op.is_write:
@@ -496,6 +626,22 @@ class IncrementalLBTChecker(RecheckChecker):
         self._clusters: Dict[int, Tuple[float, float]] = {}
         self._max_write_finish = float("-inf")
         self._concurrent_write_hint = 0
+
+    def _monitor_snapshot(self) -> dict:
+        return {
+            "write_ids": dict(self._write_ids),
+            "clusters": dict(self._clusters),
+            "max_write_finish": self._max_write_finish,
+            "concurrent_write_hint": self._concurrent_write_hint,
+        }
+
+    def _restore_monitor(self, state: dict) -> None:
+        self._write_ids = dict(state["write_ids"])
+        self._clusters = {
+            write_id: tuple(zone) for write_id, zone in state["clusters"].items()
+        }
+        self._max_write_finish = state["max_write_finish"]
+        self._concurrent_write_hint = state["concurrent_write_hint"]
 
     def _monitor(self, op: Operation) -> bool:
         if op.is_write:
@@ -582,3 +728,33 @@ def checker_for(
         cadence_growth=cadence_growth,
         max_exact_ops=max_exact_ops,
     )
+
+
+def restore_checker(state: dict) -> Checker:
+    """Reconstruct a checker from a :meth:`Checker.snapshot` mapping.
+
+    The snapshot records the checker class and configuration, so the caller
+    needs nothing beyond the stored state — this is what checkpoint files
+    deserialise through.
+    """
+    classes = {
+        cls.__name__: cls
+        for cls in (RecheckChecker, IncrementalGKChecker, IncrementalLBTChecker)
+    }
+    try:
+        cls = classes[state["class"]]
+    except KeyError:
+        raise VerificationError(
+            f"snapshot names unknown checker class {state.get('class')!r}"
+        ) from None
+    kwargs = {
+        "algorithm": state["algorithm"],
+        "check_interval": state["check_interval"],
+        "cadence_growth": state["cadence_growth"],
+    }
+    if cls is RecheckChecker:
+        checker = cls(state["k"], max_exact_ops=state["max_exact_ops"], **kwargs)
+    else:
+        checker = cls(**kwargs)
+    checker.restore(state)
+    return checker

@@ -26,6 +26,8 @@ __all__ = [
     "WindowStats",
     "WindowReport",
     "StreamVerificationReport",
+    "SessionStats",
+    "ServiceReport",
 ]
 
 
@@ -419,6 +421,122 @@ class StreamVerificationReport:
                 format_table(
                     ["key", "algorithm", "reason"],
                     [[key, r.algorithm, r.reason] for key, r in failures.items()],
+                )
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Per-session accounting of one audit-service stream.
+
+    One row of the service-level report: how much one client session fed,
+    how many windows closed, whether any register raised a final NO, and the
+    checkpoint/resume history of the session.
+    """
+
+    session_id: str
+    k: int
+    window: str
+    num_ops: int
+    num_windows: int
+    num_registers: int
+    num_alarms: int
+    checkpoints: int
+    resumed: bool
+    finished: bool
+    elapsed_s: float
+    #: False once the session's connection has gone away without an ``end``
+    #: frame — it is resumable (detached), but nothing is streaming.
+    connected: bool = True
+
+    @property
+    def ops_per_second(self) -> float:
+        """Feed throughput of the session (ops / wall-clock second)."""
+        return self.num_ops / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def state(self) -> str:
+        """``done`` / ``active`` / ``detached`` (resumable but disconnected)."""
+        if self.finished:
+            return "done"
+        return "active" if self.connected else "detached"
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Service-level view of an audit-server run.
+
+    ``sessions`` holds one :class:`SessionStats` per session the server has
+    seen — completed and still-active alike — in arrival order.
+    """
+
+    sessions: Tuple[SessionStats, ...]
+    uptime_s: float
+
+    @property
+    def num_sessions(self) -> int:
+        """Sessions the server accepted over its lifetime."""
+        return len(self.sessions)
+
+    @property
+    def active_sessions(self) -> int:
+        """Sessions still streaming (connected, no final report yet)."""
+        return sum(1 for s in self.sessions if s.state == "active")
+
+    @property
+    def detached_sessions(self) -> int:
+        """Disconnected-without-``end`` sessions (resumable, not streaming)."""
+        return sum(1 for s in self.sessions if s.state == "detached")
+
+    @property
+    def total_ops(self) -> int:
+        """Operations fed across all sessions."""
+        return sum(s.num_ops for s in self.sessions)
+
+    @property
+    def total_alarms(self) -> int:
+        """Final NO verdicts raised across all sessions."""
+        return sum(s.num_alarms for s in self.sessions)
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the service run."""
+        detached = (
+            f", {self.detached_sessions} detached" if self.detached_sessions else ""
+        )
+        return (
+            f"audit service — {self.num_sessions} sessions "
+            f"({self.active_sessions} active{detached}) / {self.total_ops} ops / "
+            f"{self.total_alarms} alarms — up {self.uptime_s:.1f}s"
+        )
+
+    def render(self) -> str:
+        """Render the summary plus a one-row-per-session table."""
+        lines = [self.summary()]
+        if self.sessions:
+            lines.append("")
+            lines.append(
+                format_table(
+                    [
+                        "session", "k", "window", "ops", "windows", "registers",
+                        "alarms", "ckpts", "resumed", "state", "ops/s",
+                    ],
+                    [
+                        [
+                            s.session_id,
+                            s.k,
+                            s.window,
+                            s.num_ops,
+                            s.num_windows,
+                            s.num_registers,
+                            s.num_alarms,
+                            s.checkpoints,
+                            "yes" if s.resumed else "no",
+                            s.state,
+                            f"{s.ops_per_second:,.0f}",
+                        ]
+                        for s in self.sessions
+                    ],
                 )
             )
         return "\n".join(lines)

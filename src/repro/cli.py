@@ -1,16 +1,22 @@
 """Command-line interface for trace verification and store auditing.
 
-Four subcommands cover the audit workflow — offline and online — end to end::
+Five subcommands cover the audit workflow — offline, online, and served —
+end to end::
 
     python -m repro verify TRACE --k 2        # per-register k-AV verdicts
     python -m repro verify TRACE --online     # windowed streaming verification
+    python -m repro verify TRACE --remote A   # stream the trace to a server
     python -m repro watch TRACE --follow      # rolling verdicts while a log grows
     python -m repro audit TRACE               # staleness spectrum + report
+    python -m repro serve --port 7400         # run the concurrent audit service
     python -m repro simulate --out TRACE ...  # record a sloppy-quorum trace
 
 ``watch`` reads JSON Lines from a file, a growing log (``--follow``) or
 stdin (``-``) and prints a verdict block every time a window closes, so a
-piped stream yields intermediate verdicts long before end-of-input.  Traces
+piped stream yields intermediate verdicts long before end-of-input.
+``serve`` runs the audit service of :mod:`repro.service` — many concurrent
+sessions, rolling verdicts, checkpoint/resume — and ``verify --remote``
+streams a trace to such a server instead of verifying in-process.  Traces
 are JSON Lines (``.jsonl``, the format of :mod:`repro.io`) or CSV (by
 extension).  The CLI is a thin layer over the library API so that everything
 it does can also be scripted.
@@ -88,7 +94,36 @@ def _add_window_flags(parser: argparse.ArgumentParser, *, default_window: float)
 # ----------------------------------------------------------------------
 # Subcommand implementations
 # ----------------------------------------------------------------------
+def _print_results_table(results, k, out, *, op_counts=None, epilogue="") -> int:
+    """Render the per-register verdict table shared by the local and remote
+    ``verify`` paths; returns the number of failing registers."""
+    headers = ["key"] + (["ops"] if op_counts is not None else [])
+    headers += [f"{k}-atomic", "algorithm", "reason"]
+    rows = []
+    failures = 0
+    for key in sorted(results, key=repr):
+        result = results[key]
+        if not result:
+            failures += 1
+        row = [key] + ([op_counts[key]] if op_counts is not None else [])
+        row += [
+            "YES" if result else "NO",
+            result.algorithm,
+            result.reason if not result else "",
+        ]
+        rows.append(row)
+    print(format_table(headers, rows), file=out)
+    print(
+        f"\n{len(results) - failures}/{len(results)} registers are "
+        f"{k}-atomic{epilogue}",
+        file=out,
+    )
+    return failures
+
+
 def _cmd_verify(args: argparse.Namespace, out) -> int:
+    if args.remote:
+        return _cmd_verify_remote(args, out)
     if args.online:
         return _cmd_verify_online(args, out)
     # Stream the trace straight into per-register buckets; the engine shards
@@ -103,30 +138,61 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         columnar=False if args.no_columnar else None,
     )
     report = engine.verify_trace(builder, args.k)
-    results = report.results
-    op_counts = builder.operation_counts()
-    rows = []
-    failures = 0
-    for key in sorted(results, key=repr):
-        result = results[key]
-        if not result:
-            failures += 1
-        rows.append(
-            [
-                key,
-                op_counts[key],
-                "YES" if result else "NO",
-                result.algorithm,
-                result.reason if not result else "",
-            ]
-        )
-    print(format_table(["key", "ops", f"{args.k}-atomic", "algorithm", "reason"], rows), file=out)
-    print(
-        f"\n{len(results) - failures}/{len(results)} registers are {args.k}-atomic",
-        file=out,
+    failures = _print_results_table(
+        report.results, args.k, out, op_counts=builder.operation_counts()
     )
     if args.engine != "serial" or args.jobs:
         print(report.summary(), file=out)
+    return 1 if failures and args.strict else 0
+
+
+def _cmd_verify_remote(args: argparse.Namespace, out) -> int:
+    """The --remote path of ``verify``: stream the trace to an audit server."""
+    from .core.errors import ServiceError
+    from .service import verify_remote
+
+    # Local-execution flags have no effect on a remote session; refuse the
+    # combination loudly rather than silently dropping what the user asked for.
+    conflicts = [
+        flag
+        for flag, used in (
+            ("--online", args.online),
+            ("--engine", args.engine != "serial"),
+            ("--jobs", args.jobs is not None),
+            ("--partitioner", args.partitioner != "size-balanced"),
+            ("--no-columnar", args.no_columnar),
+            ("--stream-mode", args.stream_mode != "rolling"),
+        )
+        if used
+    ]
+    if conflicts:
+        print(
+            f"error: {', '.join(conflicts)} select local execution and cannot "
+            "be combined with --remote (the server controls its own execution)",
+            file=out,
+        )
+        return 2
+    try:
+        report = verify_remote(
+            args.trace,
+            args.k,
+            address=args.remote,
+            algorithm=args.algorithm,
+            window=_window_policy(args),
+            session=args.session,
+        )
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"error: cannot audit via {args.remote}: {exc}", file=out)
+        return 2
+    failures = _print_results_table(
+        report.results,
+        args.k,
+        out,
+        epilogue=(
+            f" (session {report.session_id!r} on {args.remote}: "
+            f"{report.ops} ops, {report.num_windows} windows)"
+        ),
+    )
     return 1 if failures and args.strict else 0
 
 
@@ -196,6 +262,53 @@ def _cmd_watch(args: argparse.Namespace, out) -> int:
             file=out,
         )
     return 1 if failures and args.strict else 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    """Run the concurrent audit service until interrupted (or quota reached)."""
+    import asyncio
+
+    from .service import AuditServer
+    from .service.session import SessionConfig
+
+    from .core.errors import ServiceError
+
+    port = args.port
+    if port is None and args.unix is None:
+        port = 7400
+    try:
+        server = AuditServer(
+            host=args.host,
+            port=port,
+            unix_path=args.unix,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            queue_size=args.queue_size,
+            max_sessions=args.max_sessions,
+            default_config=SessionConfig(k=args.k, algorithm=args.algorithm),
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+    async def run() -> None:
+        await server.start()
+        for address in server.addresses:
+            print(f"audit service listening on {address}", file=out)
+        if hasattr(out, "flush"):
+            out.flush()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    print("", file=out)
+    print(server.service_report().render(), file=out)
+    return 0
 
 
 def _cmd_audit(args: argparse.Namespace, out) -> int:
@@ -301,6 +414,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the trace through windows and report a verdict timeline "
         "instead of one batch pass",
     )
+    p_verify.add_argument(
+        "--remote",
+        default=None,
+        metavar="ADDRESS",
+        help="stream the trace to a running audit service (HOST:PORT or "
+        "unix:PATH) instead of verifying in-process",
+    )
+    p_verify.add_argument(
+        "--session",
+        default=None,
+        help="session identifier for --remote (default: server-assigned)",
+    )
     _add_window_flags(p_verify, default_window=256)
     p_verify.set_defaults(func=_cmd_verify)
 
@@ -346,6 +471,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit with status 1 if any register fails verification",
     )
     p_watch.set_defaults(func=_cmd_watch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the concurrent audit service (many sessions, rolling verdicts)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default 7400; 0 picks a free port; TCP is disabled "
+        "when only --unix is given)",
+    )
+    p_serve.add_argument(
+        "--unix",
+        default=None,
+        metavar="PATH",
+        help="additionally (or exclusively) listen on this unix socket path",
+    )
+    p_serve.add_argument(
+        "--checkpoint-dir",
+        dest="checkpoint_dir",
+        default=None,
+        help="directory for session checkpoints (enables checkpoint/resume)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every",
+        dest="checkpoint_every",
+        type=_positive_int,
+        default=None,
+        help="checkpoint each session every N operations (needs --checkpoint-dir)",
+    )
+    p_serve.add_argument(
+        "--queue-size",
+        dest="queue_size",
+        type=_positive_int,
+        default=1024,
+        help="per-session backpressure queue bound in stream items (default 1024)",
+    )
+    p_serve.add_argument(
+        "--max-sessions",
+        dest="max_sessions",
+        type=_positive_int,
+        default=None,
+        help="exit after N sessions complete (default: serve until interrupted)",
+    )
+    p_serve.add_argument(
+        "--k", type=int, default=2, help="default staleness bound for sessions"
+    )
+    p_serve.add_argument(
+        "--algorithm", default="auto", help="default algorithm for sessions"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_audit = sub.add_parser("audit", help="full staleness-spectrum audit of a trace")
     p_audit.add_argument("trace", help="trace file (.jsonl or .csv)")

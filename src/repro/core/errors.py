@@ -59,3 +59,7 @@ class ReductionError(ReproError):
 
 class TraceFormatError(ReproError):
     """A trace file could not be parsed into a history."""
+
+
+class ServiceError(ReproError):
+    """The audit service (or its wire protocol) was used incorrectly."""

@@ -27,9 +27,24 @@ __all__ = [
     "precedes",
     "concurrent",
     "trusted_operation",
+    "ensure_op_ids_above",
 ]
 
 _OP_COUNTER = itertools.count()
+
+
+def ensure_op_ids_above(minimum: int) -> None:
+    """Advance the auto-id counter past ``minimum``.
+
+    Checkpoint restoration rehydrates operations that carry op_ids assigned by
+    a *previous* process, while this process's counter restarts at zero; a
+    freshly decoded operation could then collide with a restored one (equality
+    and hashing are id-based).  Restorers call this with the largest restored
+    id so every id minted afterwards is unique.  Consumes at most one id.
+    """
+    global _OP_COUNTER
+    if next(_OP_COUNTER) <= minimum:
+        _OP_COUNTER = itertools.count(minimum + 1)
 
 
 class OpType(enum.Enum):

@@ -215,6 +215,41 @@ class WindowAssembler:
             return None
         return self._close(last=True)
 
+    def snapshot(self) -> dict:
+        """Picklable copy of the assembler state (open window included).
+
+        Together with :meth:`restore` this lets a checkpointed audit session
+        resume mid-window: the buffered-but-unclosed operations travel with
+        the checkpoint, so the resumed stream closes windows at exactly the
+        boundaries an uninterrupted run would have used.
+        """
+        return {
+            "policy": (self.policy.mode, self.policy.size, self.policy.overlap),
+            "buffer": list(self._buffer),
+            "carried": self._carried,
+            "index": self._index,
+            "boundary": self._boundary,
+            "closed": self._closed,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rehydrate the state captured by :meth:`snapshot`."""
+        mode, size, overlap = state["policy"]
+        if (mode, size, overlap) != (
+            self.policy.mode,
+            self.policy.size,
+            self.policy.overlap,
+        ):
+            raise VerificationError(
+                f"snapshot was cut by {WindowPolicy(mode=mode, size=size, overlap=overlap).describe()}; "
+                f"this assembler uses {self.policy.describe()}"
+            )
+        self._buffer = list(state["buffer"])
+        self._carried = state["carried"]
+        self._index = state["index"]
+        self._boundary = state["boundary"]
+        self._closed = state["closed"]
+
     # ------------------------------------------------------------------
     def _close(self, *, last: bool = False) -> Window:
         ops = tuple(self._buffer)

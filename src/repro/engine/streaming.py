@@ -43,6 +43,7 @@ from ..algorithms.online import (
     DEFAULT_CHECK_INTERVAL,
     Checker,
     checker_for,
+    restore_checker,
 )
 from ..core.api import DEFAULT_MAX_EXACT_OPS
 from ..core.builder import TraceBuilder
@@ -54,7 +55,7 @@ from ..analysis.report import StreamVerificationReport, WindowReport, WindowStat
 from .engine import Engine
 from .executors import ShardExecutor, default_jobs, get_executor
 
-__all__ = ["StreamingEngine", "DEFAULT_WINDOW"]
+__all__ = ["StreamingEngine", "StreamSession", "DEFAULT_WINDOW"]
 
 #: Default window policy: tumbling, 256 fresh operations per window.
 DEFAULT_WINDOW = WindowPolicy.count(256)
@@ -232,6 +233,34 @@ class StreamingEngine:
         )
 
     # ------------------------------------------------------------------
+    # Sessions: push-driven, checkpointable streams
+    # ------------------------------------------------------------------
+    def open_session(self, k: int) -> "StreamSession":
+        """Open a push-driven audit session over this engine's configuration.
+
+        Where :meth:`verify_stream` *pulls* a complete iterable, a session is
+        *pushed* one operation at a time by a long-lived caller (the audit
+        service multiplexes many of them in one process) and can be
+        checkpointed to disk mid-stream via :meth:`StreamSession.snapshot`.
+        Rolling mode only: sessions exist for exactness and resumability,
+        both properties of the persistent incremental checkers.
+        """
+        if self.mode != "rolling":
+            raise VerificationError(
+                "sessions require mode='rolling' (windowed mode keeps no "
+                "resumable checker state)"
+            )
+        if k < 1:
+            raise VerificationError(f"k must be a positive integer, got {k!r}")
+        return StreamSession(self, k)
+
+    def resume_session(self, state: dict) -> "StreamSession":
+        """Rebuild a session from a :meth:`StreamSession.snapshot` mapping."""
+        session = self.open_session(state["k"])
+        session.restore(state)
+        return session
+
+    # ------------------------------------------------------------------
     # Rolling mode: persistent incremental checkers
     # ------------------------------------------------------------------
     def _make_checker(self, k: int) -> Checker:
@@ -385,3 +414,160 @@ class StreamingEngine:
                     "not checked; rolling mode gives exact verdicts)",
                 )
         return results
+
+
+class StreamSession:
+    """One push-driven, checkpointable rolling-mode audit stream.
+
+    Obtained from :meth:`StreamingEngine.open_session`.  The caller feeds
+    operations one at a time; every window the feed closes comes back as a
+    :class:`~repro.analysis.report.WindowReport`, and :meth:`finish` returns
+    the same :class:`~repro.analysis.report.StreamVerificationReport` a
+    :meth:`StreamingEngine.verify_stream` call over the identical stream
+    would have produced.
+
+    :meth:`snapshot` captures everything the stream position depends on —
+    the open window's buffer, each register's checker state (cadence
+    position, monitor indexes, latched verdicts), the closed-window timeline
+    — as one picklable mapping, and :meth:`restore` rehydrates it, so a
+    session checkpointed at operation *i* and resumed in a fresh process
+    emits, for the remaining operations, the *identical* verdict sequence an
+    uninterrupted session would have: the state is saved verbatim, never
+    approximated by replay.
+    """
+
+    def __init__(self, engine: StreamingEngine, k: int):
+        self.engine = engine
+        self.k = k
+        self._assembler = WindowAssembler(engine.window)
+        self._checkers: Dict[Hashable, Checker] = {}
+        self._key_order: List[Hashable] = []
+        self._timeline: List[WindowReport] = []
+        self._ops_fed = 0
+        self._elapsed_prior = 0.0
+        self._t0 = time.perf_counter()
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @property
+    def ops_fed(self) -> int:
+        """Operations fed into the session (open window included)."""
+        return self._ops_fed
+
+    @property
+    def num_windows(self) -> int:
+        """Windows closed so far."""
+        return len(self._timeline)
+
+    @property
+    def num_registers(self) -> int:
+        """Registers that have reached a closed window."""
+        return len(self._checkers)
+
+    @property
+    def timeline(self) -> Tuple[WindowReport, ...]:
+        """The closed-window reports, in stream order."""
+        return tuple(self._timeline)
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has sealed the session."""
+        return self._finished
+
+    # ------------------------------------------------------------------
+    def feed(self, op: Operation) -> Optional[WindowReport]:
+        """Ingest one operation; returns the report of the window it closed."""
+        if self._finished:
+            raise VerificationError(
+                "session already finished; open a new session for a new stream"
+            )
+        self._ops_fed += 1
+        window = self._assembler.feed(op)
+        if window is None:
+            return None
+        return self._handle(window)
+
+    def finish(self) -> StreamVerificationReport:
+        """Seal the stream and return the full report (batch-equal verdicts)."""
+        if self._finished:
+            raise VerificationError("session already finished")
+        tail = self._assembler.flush()
+        if tail is not None:
+            self._handle(tail)
+        self._finished = True
+        results = {key: self._checkers[key].finish() for key in self._key_order}
+        return StreamVerificationReport(
+            k=self.k,
+            mode=self.engine.mode,
+            window=self.engine.window.describe(),
+            results=results,
+            timeline=tuple(self._timeline),
+            executor=self.engine.executor.name,
+            jobs=self.engine.jobs,
+            elapsed_s=self._elapsed(),
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the complete session state as one picklable mapping."""
+        return {
+            "k": self.k,
+            "algorithm": self.engine.algorithm,
+            "window": (
+                self.engine.window.mode,
+                self.engine.window.size,
+                self.engine.window.overlap,
+            ),
+            "assembler": self._assembler.snapshot(),
+            "checkers": [
+                (key, self._checkers[key].snapshot()) for key in self._key_order
+            ],
+            "timeline": list(self._timeline),
+            "ops_fed": self._ops_fed,
+            "elapsed_s": self._elapsed(),
+            "finished": self._finished,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rehydrate the state captured by :meth:`snapshot`."""
+        if state["k"] != self.k:
+            raise VerificationError(
+                f"snapshot verifies k={state['k']}; this session is for k={self.k}"
+            )
+        if state["algorithm"] != self.engine.algorithm:
+            raise VerificationError(
+                f"snapshot used algorithm={state['algorithm']!r}; this engine "
+                f"is configured with {self.engine.algorithm!r}"
+            )
+        self._assembler.restore(state["assembler"])
+        self._checkers = {}
+        self._key_order = []
+        for key, checker_state in state["checkers"]:
+            self._checkers[key] = restore_checker(checker_state)
+            self._key_order.append(key)
+        self._timeline = list(state["timeline"])
+        self._ops_fed = state["ops_fed"]
+        self._elapsed_prior = state["elapsed_s"]
+        self._t0 = time.perf_counter()
+        self._finished = state["finished"]
+        # The open window's buffered operations have not reached any checker
+        # yet, so their (foreign) op_ids are guarded here rather than by
+        # Checker.restore.
+        from ..core.operation import ensure_op_ids_above
+
+        ensure_op_ids_above(
+            max((op.op_id for op in state["assembler"]["buffer"]), default=-1)
+        )
+
+    # ------------------------------------------------------------------
+    def _handle(self, window: Window) -> WindowReport:
+        report = self.engine._run_rolling_window(
+            window, self.k, self._checkers, self._key_order
+        )
+        self._timeline.append(report)
+        return report
+
+    def _elapsed(self) -> float:
+        return self._elapsed_prior + (time.perf_counter() - self._t0)

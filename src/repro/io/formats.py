@@ -25,6 +25,7 @@ snapshot.
 
 from __future__ import annotations
 
+import codecs
 import csv
 import json
 import time
@@ -46,6 +47,7 @@ __all__ = [
     "iter_jsonl",
     "iter_jsonl_handle",
     "follow_jsonl",
+    "JsonlDecoder",
     "dump_csv",
     "load_csv",
     "iter_csv",
@@ -256,6 +258,108 @@ def follow_jsonl(
 def load_jsonl(path: Union[str, Path]) -> MultiHistory:
     """Load a JSON Lines trace into a :class:`MultiHistory`."""
     return TraceBuilder(iter_jsonl(path)).build()
+
+
+class JsonlDecoder:
+    """Incremental JSON Lines decoder for asynchronous/chunked ingestion.
+
+    The line-oriented readers above pull from a blocking handle; an asyncio
+    transport instead *pushes* arbitrary byte/str chunks that may split a
+    record anywhere.  The decoder buffers the trailing partial line between
+    :meth:`feed` calls and emits one :class:`~repro.core.operation.Operation`
+    per completed line, so the audit service's network layer decodes exactly
+    the trace format the file readers accept::
+
+        decoder = JsonlDecoder(source="client-7")
+        for chunk in transport_chunks:
+            for op in decoder.feed(chunk):
+                session.feed(op)
+        decoder.flush()  # a final record without a trailing newline
+
+    Error behaviour matches :func:`iter_jsonl_handle`: malformed JSON and
+    malformed records raise :class:`~repro.core.errors.TraceFormatError`
+    tagged with ``source`` and the line number.
+
+    With ``mixed=True`` the stream may interleave *control frames* with
+    operation records: a JSON object carrying a ``"type"`` field (and no
+    ``"op_type"``) is returned as a plain dict, in stream order, instead of
+    being decoded as an operation.  This is the framing of the audit
+    service's session protocol (:mod:`repro.service`), where ``hello`` /
+    ``checkpoint`` / ``end`` frames ride the same newline-delimited channel
+    as the trace itself.
+    """
+
+    __slots__ = ("source", "mixed", "_buffer", "_line_number", "_utf8")
+
+    def __init__(self, *, source: str = "<stream>", mixed: bool = False):
+        self.source = source
+        self.mixed = mixed
+        self._buffer = ""
+        self._line_number = 0
+        # Transports split chunks at arbitrary byte offsets, so a multi-byte
+        # UTF-8 character can straddle two feed() calls; the incremental
+        # decoder holds the partial sequence instead of raising.
+        self._utf8 = codecs.getincrementaldecoder("utf-8")()
+
+    @property
+    def pending(self) -> bool:
+        """True iff a partial line is buffered awaiting its newline."""
+        return bool(self._buffer)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Size of the buffered partial line, in UTF-8 bytes.
+
+        Consumers reading from untrusted transports should bound this — a
+        peer that never sends a newline otherwise grows the buffer without
+        limit (the audit server aborts past its frame-size cap).  Measured
+        in encoded bytes so the cap matches what actually arrived on the
+        wire, not the (up to 4x smaller) character count.
+        """
+        return len(self._buffer.encode("utf-8"))
+
+    def feed(self, data: Union[str, bytes]) -> List[Operation]:
+        """Decode one chunk; returns the operations its complete lines held."""
+        if isinstance(data, bytes):
+            data = self._utf8.decode(data)
+        self._buffer += data
+        if "\n" not in self._buffer:
+            return []
+        lines = self._buffer.split("\n")
+        self._buffer = lines.pop()
+        decoded = []
+        for line in lines:
+            # Physical line numbering (blank lines included), matching what
+            # iter_jsonl_handle reports for the same byte stream.
+            self._line_number += 1
+            if line.strip():
+                decoded.append(self._decode(line))
+        return decoded
+
+    def flush(self) -> List[Operation]:
+        """Decode a trailing record that never received its newline."""
+        line = self._buffer + self._utf8.decode(b"", final=True)
+        self._buffer = ""
+        if not line.strip():
+            return []
+        self._line_number += 1
+        return [self._decode(line)]
+
+    def _decode(self, line: str):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{self.source}:{self._line_number}: invalid JSON: {exc}"
+            ) from exc
+        if (
+            self.mixed
+            and isinstance(record, dict)
+            and "type" in record
+            and "op_type" not in record
+        ):
+            return record
+        return _fast_operation_from_record(record)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,37 @@
+"""The audit service: concurrent trace sessions over sockets, with resume.
+
+This package turns the single-shot verification entry points into a
+long-running server (the "serving" layer of the roadmap): an asyncio
+:class:`AuditServer` multiplexes many concurrent JSONL trace sessions — one
+:class:`~repro.engine.streaming.StreamSession` of incremental checkers per
+client — over TCP and/or a unix socket, applies per-session backpressure
+through bounded queues, streams rolling window verdicts back while each
+trace is still arriving, and (with a :class:`CheckpointStore` attached)
+persists sessions so a crash or restart resumes them with verdicts identical
+to an uninterrupted run.
+
+Entry points:
+
+* ``repro serve`` / :class:`AuditServer` — run the service;
+* ``repro verify --remote ADDR`` / :func:`verify_remote` — stream a trace to
+  a server and get back the same per-register results a local
+  :func:`~repro.core.api.verify_trace` would produce;
+* :class:`AuditClient` — the async client the above is built on.
+"""
+
+from .checkpoint import CheckpointStore
+from .client import AuditClient, RemoteReport, verify_remote
+from .protocol import parse_address
+from .server import AuditServer
+from .session import AuditSession, SessionConfig
+
+__all__ = [
+    "AuditServer",
+    "AuditClient",
+    "AuditSession",
+    "SessionConfig",
+    "CheckpointStore",
+    "RemoteReport",
+    "verify_remote",
+    "parse_address",
+]

@@ -1,0 +1,96 @@
+"""Durable session checkpoints for the audit service.
+
+A checkpoint is one pickle file per session holding the payload produced by
+:meth:`repro.service.session.AuditSession.checkpoint_payload` — the complete
+engine-session snapshot (checker buffers, cadence state, monitor indexes,
+open-window buffer, closed-window timeline) plus the session's own
+accounting.  Restoring it yields verdicts identical to an uninterrupted run;
+the parity tests in ``tests/test_checkpoint.py`` assert exactly that.
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-checkpoint
+leaves the previous checkpoint intact, and session identifiers are quoted
+into safe file names so arbitrary client-chosen ids cannot escape the
+checkpoint directory.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import urllib.parse
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..core.errors import ServiceError
+
+__all__ = ["CheckpointStore"]
+
+_SUFFIX = ".ckpt"
+
+
+class CheckpointStore:
+    """Directory-backed store of per-session checkpoint files."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, session_id: str) -> Path:
+        """The checkpoint file a session persists to (quoted file name)."""
+        name = urllib.parse.quote(str(session_id), safe="")
+        return self.directory / f"{name}{_SUFFIX}"
+
+    def session_ids(self) -> List[str]:
+        """Identifiers of every checkpointed session, sorted."""
+        return sorted(
+            urllib.parse.unquote(path.name[: -len(_SUFFIX)])
+            for path in self.directory.glob(f"*{_SUFFIX}")
+        )
+
+    def __contains__(self, session_id: str) -> bool:
+        return self.path_for(session_id).exists()
+
+    # ------------------------------------------------------------------
+    def save(self, session_id: str, payload: Dict) -> Path:
+        """Persist one checkpoint payload atomically; returns its path."""
+        path = self.path_for(session_id)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except (OSError, pickle.PickleError, TypeError, ValueError, AttributeError) as exc:
+            # pickle failures (unpicklable payload member) and I/O failures
+            # alike must surface as ServiceError: the server's error handling
+            # relies on this contract to answer in-band instead of dying.
+            raise ServiceError(
+                f"cannot write checkpoint for session {session_id!r}: {exc}"
+            ) from exc
+        finally:
+            if tmp.exists():  # a failed dump leaves the temp file behind
+                tmp.unlink(missing_ok=True)
+        return path
+
+    def load(self, session_id: str) -> Dict:
+        """Load one checkpoint payload; raises :class:`ServiceError` if absent."""
+        path = self.path_for(session_id)
+        if not path.exists():
+            raise ServiceError(
+                f"no checkpoint for session {session_id!r} in {self.directory}"
+            )
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise ServiceError(
+                f"cannot read checkpoint for session {session_id!r}: {exc}"
+            ) from exc
+
+    def discard(self, session_id: str) -> bool:
+        """Delete a session's checkpoint; returns whether one existed."""
+        path = self.path_for(session_id)
+        if path.exists():
+            path.unlink()
+            return True
+        return False

@@ -1,0 +1,538 @@
+"""The asyncio audit server: many concurrent trace sessions, one process.
+
+Each accepted connection speaks the session protocol of
+:mod:`repro.service.protocol`: a ``hello`` frame opens (or resumes) an
+:class:`~repro.service.session.AuditSession`, operation records stream in as
+newline-delimited JSONL, and rolling :class:`WindowReport` verdicts stream
+back out the moment each window closes — the paper's live-audit posture
+multiplied across sessions.
+
+Concurrency model
+-----------------
+One reader ("pump") coroutine and one worker coroutine per connection, joined
+by a **bounded queue**: the pump decodes socket chunks through
+:class:`~repro.io.formats.JsonlDecoder` and ``await``-puts each item, so when
+a session's worker falls behind the queue fills, the pump stops reading, the
+kernel receive buffer fills, and TCP flow control pushes back on that client
+alone — explicit per-session backpressure with no unbounded buffering and no
+effect on other sessions.  Verification itself is cooperative: workers yield
+to the event loop after every closed window (and periodically between
+closes), so many sessions make interleaved progress in a single process.
+
+Checkpoints
+-----------
+With a :class:`~repro.service.checkpoint.CheckpointStore` attached, sessions
+are persisted every ``checkpoint_every`` operations and on explicit
+``checkpoint`` frames; after a crash (or an orderly restart) a client
+re-connects with ``resume: true`` and continues exactly where the last
+checkpoint left off — the restored verdict stream is identical to an
+uninterrupted run's.  A session's checkpoint is discarded once its final
+report is delivered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..analysis.report import ServiceReport, SessionStats, WindowReport
+from ..core.errors import ReproError, ServiceError
+from ..io.formats import JsonlDecoder
+from .checkpoint import CheckpointStore
+from .protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    format_address,
+    results_to_pairs,
+    verdict_to_dict,
+)
+from .session import AuditSession, SessionConfig
+
+__all__ = ["AuditServer", "DEFAULT_QUEUE_SIZE"]
+
+#: Default bound of each session's pump-to-worker queue, in stream items.
+DEFAULT_QUEUE_SIZE = 1024
+
+#: Worker yields the event loop at least every this many fed operations.
+_YIELD_EVERY = 256
+
+_EOF = object()
+
+
+class AuditServer:
+    """Serve many concurrent audit sessions over TCP and/or a unix socket.
+
+    Parameters
+    ----------
+    host, port:
+        TCP endpoint.  ``port=0`` binds an ephemeral port (see
+        :attr:`tcp_port` after :meth:`start`); ``port=None`` disables TCP.
+    unix_path:
+        Optional unix-domain socket path to additionally (or exclusively)
+        listen on.
+    checkpoint_dir:
+        Directory for session checkpoints; ``None`` disables checkpointing
+        (``checkpoint`` frames are then refused).
+    checkpoint_every:
+        Automatically checkpoint each session every N fed operations
+        (requires ``checkpoint_dir``).
+    queue_size:
+        Bound of the per-session pump queue — the backpressure knob.
+    default_config:
+        Session settings used for ``hello`` fields the client omits.
+    max_sessions:
+        After this many sessions have *completed*, :meth:`serve_forever`
+        returns (used by tests and one-shot CLI runs); ``None`` serves until
+        :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: Optional[int] = 0,
+        unix_path: Optional[Union[str, Path]] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        default_config: SessionConfig = SessionConfig(),
+        max_sessions: Optional[int] = None,
+    ):
+        if port is None and unix_path is None:
+            raise ServiceError("enable at least one endpoint (TCP port or unix path)")
+        if queue_size < 1:
+            raise ServiceError(f"queue_size must be >= 1, got {queue_size!r}")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ServiceError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every!r}"
+                )
+            if checkpoint_dir is None:
+                raise ServiceError("checkpoint_every requires checkpoint_dir")
+        self.host = host
+        self.port = port
+        self.unix_path = str(unix_path) if unix_path is not None else None
+        self.store = (
+            CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.queue_size = queue_size
+        self.default_config = default_config
+        self.max_sessions = max_sessions
+
+        self._servers: List[asyncio.AbstractServer] = []
+        self._active: Dict[str, AuditSession] = {}
+        #: Ids mid-handshake: reserved before the (awaited) checkpoint load so
+        #: a concurrent hello for the same id cannot slip past the duplicate
+        #: guard while this one is parked on the to_thread unpickle.
+        self._opening: set = set()
+        #: One entry per logical session id, in first-arrival order: the live
+        #: AuditSession while its connection runs, frozen to its (small)
+        #: SessionStats row when the connection ends — retaining the live
+        #: object (checker buffers and all) for the server's lifetime would
+        #: grow memory with every session ever served.  A resume (or a reused
+        #: id) replaces the previous entry in place, O(1) per event.
+        self._session_log: Dict[str, Union[AuditSession, SessionStats]] = {}
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self._completed = 0
+        self._session_counter = 0
+        self._started_at: Optional[float] = None
+        self._stop_event: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the configured endpoints and begin accepting connections."""
+        if self._servers:
+            raise ServiceError("server already started")
+        self._stop_event = asyncio.Event()
+        self._started_at = time.monotonic()
+        if self.port is not None:
+            self._servers.append(
+                await asyncio.start_server(
+                    self._handle_connection,
+                    host=self.host,
+                    port=self.port,
+                    limit=MAX_FRAME_BYTES,
+                )
+            )
+        if self.unix_path is not None:
+            self._servers.append(
+                await asyncio.start_unix_server(
+                    self._handle_connection, path=self.unix_path, limit=MAX_FRAME_BYTES
+                )
+            )
+
+    @property
+    def tcp_port(self) -> Optional[int]:
+        """The bound TCP port (resolves ``port=0``), or ``None`` without TCP."""
+        if self.port is None:
+            return None
+        for server in self._servers:
+            for sock in server.sockets or ():
+                if sock.family.name.startswith("AF_INET"):
+                    return sock.getsockname()[1]
+        return None
+
+    @property
+    def addresses(self) -> List[str]:
+        """Connectable addresses, in ``HOST:PORT`` / ``unix:PATH`` form."""
+        found = []
+        port = self.tcp_port
+        if port is not None:
+            found.append(format_address("tcp", (self.host, port)))
+        if self.unix_path is not None:
+            found.append(format_address("unix", self.unix_path))
+        return found
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`stop` (or the ``max_sessions`` quota is met)."""
+        if self._stop_event is None:
+            raise ServiceError("call start() before serve_forever()")
+        await self._stop_event.wait()
+
+    async def stop(self) -> None:
+        """Close the listeners and cancel in-flight connections."""
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def service_report(self) -> ServiceReport:
+        """Service-level statistics over every session this run has seen."""
+        uptime = (
+            time.monotonic() - self._started_at if self._started_at is not None else 0.0
+        )
+        return ServiceReport(
+            sessions=tuple(
+                entry.stats() if isinstance(entry, AuditSession) else entry
+                for entry in self._session_log.values()
+            ),
+            uptime_s=uptime,
+        )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        session: Optional[AuditSession] = None
+        try:
+            session = await self._run_session(reader, writer)
+        except asyncio.CancelledError:
+            raise
+        except ConnectionError:
+            pass  # client vanished; any checkpoint stays for resume
+        finally:
+            self._conn_tasks.discard(task)
+            if session is not None:
+                self._active.pop(session.session_id, None)
+                if self._session_log.get(session.session_id) is session:
+                    # Frozen rows of unfinished sessions read "detached":
+                    # resumable, but nothing is streaming any more.
+                    self._session_log[session.session_id] = replace(
+                        session.stats(), connected=False
+                    )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _run_session(self, reader, writer) -> Optional[AuditSession]:
+        peer = writer.get_extra_info("peername") or writer.get_extra_info("sockname")
+        decoder = JsonlDecoder(source=f"session@{peer}", mixed=True)
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_size)
+
+        # --- handshake, before any operation is decoded --------------------
+        # The hello line is read directly (not through the pump) so that a
+        # resumed session completes Checker.restore — which advances the
+        # op-id counter past every restored id — before the decoder mints an
+        # id for any pipelined operation record.  Decoding ops first would
+        # let fresh auto-ids collide with restored ones (identity is
+        # id-based), silently corrupting op-keyed state.
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            return None
+        if not line:
+            return None
+        try:
+            first = decode_frame(line)
+        except ServiceError as exc:
+            await self._send_error(writer, str(exc))
+            return None
+        if first.get("type") != "hello":
+            await self._send_error(writer, "the first frame must be 'hello'")
+            return None
+        try:
+            session = await self._open_session(first)
+        except ReproError as exc:
+            await self._send_error(writer, str(exc))
+            return None
+        want_witness = bool(first.get("witness", False))
+        try:
+            await self._send(
+                writer,
+                {
+                    "type": "welcome",
+                    "session": session.session_id,
+                    "resumed": session.resumed,
+                    "ops_restored": session.ops_fed,
+                    "k": session.config.k,
+                },
+            )
+        except ConnectionError:
+            # The session exists from here on: it must reach the caller even
+            # when the client vanishes, or cleanup never runs and the id
+            # stays "already connected" forever.
+            return session
+
+        async def pump() -> None:
+            try:
+                while True:
+                    chunk = await reader.read(1 << 16)
+                    if not chunk:
+                        for tail in decoder.flush():
+                            await queue.put(tail)
+                        await queue.put(_EOF)
+                        return
+                    for item in decoder.feed(chunk):
+                        await queue.put(item)
+                    if decoder.pending_bytes > MAX_FRAME_BYTES:
+                        # A record with no newline in sight: without this cap
+                        # the partial-line buffer (which the bounded queue
+                        # cannot see) would grow with whatever the peer sends.
+                        raise ServiceError(
+                            f"frame exceeds {MAX_FRAME_BYTES} bytes without a "
+                            "newline; closing the session"
+                        )
+            except ReproError as exc:  # malformed op/frame: surface in-band
+                await queue.put(exc)
+            except ConnectionError:
+                await queue.put(_EOF)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # e.g. invalid UTF-8: fail, never hang
+                await queue.put(ServiceError(f"cannot decode stream: {exc}"))
+
+        pump_task = asyncio.create_task(pump())
+        try:
+            # --- stream ----------------------------------------------------
+            since_yield = 0
+            while True:
+                item = await queue.get()
+                if item is _EOF:
+                    # Abrupt disconnect: keep the session's checkpoint (if
+                    # any) so the client can resume; drop the live state.
+                    return session
+                if isinstance(item, Exception):
+                    await self._send_error(writer, str(item), session)
+                    return session
+                if isinstance(item, dict):
+                    if await self._handle_control(item, session, writer, want_witness):
+                        return session
+                    continue
+                try:
+                    report = session.feed(item)
+                except ReproError as exc:
+                    await self._send_error(writer, str(exc), session)
+                    return session
+                since_yield += 1
+                if report is not None:
+                    await self._send_window(writer, session, report)
+                    since_yield = 0
+                elif since_yield >= _YIELD_EVERY:
+                    await asyncio.sleep(0)  # share the loop on quiet stretches
+                    since_yield = 0
+                if (
+                    self.checkpoint_every is not None
+                    and session.ops_fed % self.checkpoint_every == 0
+                ):
+                    try:
+                        await self._save_checkpoint(session)
+                    except ServiceError as exc:  # e.g. checkpoint disk full
+                        await self._send_error(writer, str(exc), session)
+                        return session
+        except ConnectionError:
+            # Writing a verdict frame to a vanished client: same contract as
+            # _EOF — the session handle must reach the cleanup path.
+            return session
+        finally:
+            pump_task.cancel()
+
+    # ------------------------------------------------------------------
+    async def _open_session(self, hello: dict) -> AuditSession:
+        resume = bool(hello.get("resume", False))
+        session_id = hello.get("session")
+        if session_id is None:
+            if resume:
+                raise ServiceError("resume requires an explicit session id")
+            self._session_counter += 1
+            session_id = f"s{self._session_counter}"
+        session_id = str(session_id)
+        if session_id in self._active or session_id in self._opening:
+            raise ServiceError(f"session {session_id!r} is already connected")
+        self._opening.add(session_id)
+        try:
+            if resume:
+                if self.store is None:
+                    raise ServiceError("this server has no checkpoint store")
+                # Unpickling a big checkpoint is the load-side twin of
+                # _save_checkpoint: keep it off the event loop so concurrent
+                # sessions stream uninterrupted through the handshake.
+                payload = await asyncio.to_thread(self.store.load, session_id)
+                session = AuditSession.resume(payload)
+                if session.session_id != session_id:
+                    raise ServiceError(
+                        f"checkpoint belongs to session {session.session_id!r}"
+                    )
+            else:
+                window = hello.get("window")
+                if isinstance(window, (int, float)) and not isinstance(window, bool):
+                    window = {"mode": "count", "size": window}  # bare size shorthand
+                elif window is not None and not isinstance(window, dict):
+                    raise ServiceError(
+                        f"hello 'window' must be an object or a count size, got {window!r}"
+                    )
+                defaults = self.default_config.to_dict()
+                merged = {**defaults, **{k: v for k, v in hello.items() if v is not None}}
+                merged["window"] = {**defaults["window"], **(window or {})}
+                session = AuditSession.start(session_id, SessionConfig.from_dict(merged))
+            self._active[session_id] = session
+        finally:
+            self._opening.discard(session_id)
+        # Keyed assignment: a resume *continues* its logical session, so the
+        # disconnected predecessor's entry is replaced rather than
+        # double-counted (its restored ops are included in the new entry).
+        self._session_log[session_id] = session
+        return session
+
+    async def _handle_control(
+        self, frame: dict, session: AuditSession, writer, want_witness: bool
+    ) -> bool:
+        """Dispatch one mid-stream control frame; True ends the session."""
+        kind = frame.get("type")
+        if kind == "end":
+            try:
+                report = session.finish()
+            except ReproError as exc:
+                await self._send_error(writer, str(exc), session)
+                return True
+            await self._send(
+                writer,
+                {
+                    "type": "report",
+                    "session": session.session_id,
+                    "k": report.k,
+                    "ops": session.ops_fed,
+                    "windows": report.num_windows,
+                    "registers": report.num_registers,
+                    "elapsed_s": round(report.elapsed_s, 6),
+                    "results": results_to_pairs(report.results, witness=want_witness),
+                },
+            )
+            if self.store is not None:
+                self.store.discard(session.session_id)
+            self._completed += 1
+            if self.max_sessions is not None and self._completed >= self.max_sessions:
+                self._stop_event.set()
+            return True
+        if kind == "checkpoint":
+            if self.store is None:
+                await self._send_error(
+                    writer, "this server has no checkpoint store", session
+                )
+                return True
+            try:
+                await self._save_checkpoint(session)
+            except ServiceError as exc:
+                await self._send_error(writer, str(exc), session)
+                return True
+            await self._send(
+                writer,
+                {
+                    "type": "checkpointed",
+                    "session": session.session_id,
+                    "ops": session.ops_fed,
+                    "checkpoints": session.checkpoints,
+                },
+            )
+            return False
+        if kind == "stats":
+            report = self.service_report()
+            await self._send(
+                writer,
+                {
+                    "type": "stats",
+                    "sessions": report.num_sessions,
+                    "active": report.active_sessions,
+                    "ops": report.total_ops,
+                    "alarms": report.total_alarms,
+                    "uptime_s": round(report.uptime_s, 3),
+                },
+            )
+            return False
+        await self._send_error(writer, f"unknown control frame {kind!r}", session)
+        return True
+
+    async def _save_checkpoint(self, session: AuditSession) -> None:
+        if self.store is None:
+            return
+        # Snapshot on the loop (cheap shallow copies of immutable state),
+        # pickle + write in a thread so other sessions keep streaming during
+        # the disk I/O.  The session's worker is parked on this await, so
+        # nothing mutates the snapshotted state meanwhile.
+        payload = session.checkpoint_payload()
+        await asyncio.to_thread(self.store.save, session.session_id, payload)
+        session.checkpoints += 1  # only persisted checkpoints count
+
+    # ------------------------------------------------------------------
+    async def _send(self, writer, frame: dict) -> None:
+        writer.write(encode_frame(frame))
+        await writer.drain()
+
+    async def _send_window(
+        self, writer, session: AuditSession, report: WindowReport
+    ) -> None:
+        stats = report.stats
+        await self._send(
+            writer,
+            {
+                "type": "window",
+                "session": session.session_id,
+                "index": stats.index,
+                "ops": stats.num_ops,
+                "registers": stats.num_registers,
+                "alarms": sorted(report.alarms(), key=repr),
+                "verdicts": [
+                    [key, verdict_to_dict(verdict)]
+                    for key, verdict in report.verdicts.items()
+                ],
+            },
+        )
+        await asyncio.sleep(0)  # window work is the CPU chunk: yield after it
+
+    async def _send_error(
+        self, writer, message: str, session: Optional[AuditSession] = None
+    ) -> None:
+        frame = {"type": "error", "error": message}
+        if session is not None:
+            frame["session"] = session.session_id
+        try:
+            await self._send(writer, frame)
+        except ConnectionError:
+            pass

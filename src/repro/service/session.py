@@ -1,0 +1,217 @@
+"""Audit-session state: one client stream, one checkpointable engine session.
+
+An :class:`AuditSession` binds a session identifier and configuration to a
+:class:`~repro.engine.streaming.StreamSession` — the per-register incremental
+checkers plus the window assembler — and tracks the service-level accounting
+(ops fed, alarms raised, checkpoints taken) that ends up in the
+:class:`~repro.analysis.report.ServiceReport`.  The server keeps one of these
+per connected stream; the session itself is transport-agnostic, so tests and
+embedders can drive it directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..analysis.report import SessionStats, StreamVerificationReport, WindowReport
+from ..core.errors import ServiceError, VerificationError
+from ..core.operation import Operation
+from ..core.windows import WindowPolicy
+from ..engine.streaming import StreamingEngine, StreamSession
+
+__all__ = ["SessionConfig", "AuditSession", "DEFAULT_SESSION_WINDOW"]
+
+#: Default per-session window: tumbling, 64 fresh operations.
+DEFAULT_SESSION_WINDOW = 64
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """What one audit session verifies and how its stream is windowed.
+
+    Built from the ``hello`` frame of the session protocol; every field has
+    a server-side default so a minimal ``{"type": "hello"}`` opens a
+    2-atomicity session over 64-operation tumbling windows.
+    """
+
+    k: int = 2
+    algorithm: str = "auto"
+    window_mode: str = "count"
+    window_size: float = DEFAULT_SESSION_WINDOW
+    window_overlap: float = 0.0
+
+    def window_policy(self) -> WindowPolicy:
+        """The window policy the configuration describes (validating it)."""
+        return WindowPolicy(
+            mode=self.window_mode, size=self.window_size, overlap=self.window_overlap
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON/pickle-friendly form (stored in checkpoints)."""
+        return {
+            "k": self.k,
+            "algorithm": self.algorithm,
+            "window": {
+                "mode": self.window_mode,
+                "size": self.window_size,
+                "overlap": self.window_overlap,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "SessionConfig":
+        """Build a configuration from a ``hello`` frame or checkpoint record."""
+        window = record.get("window") or {}
+        try:
+            config = cls(
+                k=int(record.get("k", 2)),
+                algorithm=str(record.get("algorithm", "auto")),
+                window_mode=str(window.get("mode", "count")),
+                window_size=float(window.get("size", DEFAULT_SESSION_WINDOW)),
+                window_overlap=float(window.get("overlap", 0.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed session configuration: {record!r}") from exc
+        try:
+            config.window_policy()  # validate eagerly, before the stream starts
+        except VerificationError as exc:
+            raise ServiceError(str(exc)) from exc
+        if config.k < 1:
+            raise ServiceError(f"k must be a positive integer, got {config.k!r}")
+        return config
+
+
+class AuditSession:
+    """One multiplexed audit stream inside the service.
+
+    Construction goes through :meth:`start` (a fresh stream) or
+    :meth:`resume` (rehydrating a checkpoint payload); the server then calls
+    :meth:`feed` per operation, :meth:`checkpoint_payload` when persisting,
+    and :meth:`finish` on the ``end`` frame.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        config: SessionConfig,
+        stream: StreamSession,
+        *,
+        resumed: bool = False,
+        checkpoints: int = 0,
+        elapsed_prior: float = 0.0,
+    ):
+        self.session_id = session_id
+        self.config = config
+        self.stream = stream
+        self.resumed = resumed
+        self.checkpoints = checkpoints
+        self.alarmed_keys = set()
+        self.finished = False
+        self._elapsed_prior = elapsed_prior
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def _engine(cls, config: SessionConfig) -> StreamingEngine:
+        return StreamingEngine(
+            window=config.window_policy(),
+            mode="rolling",
+            algorithm=config.algorithm,
+            executor="serial",
+        )
+
+    @classmethod
+    def start(cls, session_id: str, config: SessionConfig) -> "AuditSession":
+        """Open a fresh session."""
+        engine = cls._engine(config)
+        return cls(session_id, config, engine.open_session(config.k))
+
+    @classmethod
+    def resume(cls, payload: Dict) -> "AuditSession":
+        """Rehydrate a session from a :meth:`checkpoint_payload` mapping."""
+        try:
+            session_id = payload["session_id"]
+            config = SessionConfig.from_dict(payload["config"])
+            stream_state = payload["stream"]
+        except KeyError as exc:
+            raise ServiceError(f"malformed checkpoint payload: missing {exc}") from exc
+        engine = cls._engine(config)
+        try:
+            stream = engine.resume_session(stream_state)
+        except VerificationError as exc:
+            raise ServiceError(str(exc)) from exc
+        session = cls(
+            session_id,
+            config,
+            stream,
+            resumed=True,
+            checkpoints=payload.get("checkpoints", 0),
+            elapsed_prior=payload.get("elapsed_s", 0.0),
+        )
+        session.alarmed_keys = set(payload.get("alarmed_keys", ()))
+        return session
+
+    # ------------------------------------------------------------------
+    @property
+    def ops_fed(self) -> int:
+        """Operations fed into the session so far."""
+        return self.stream.ops_fed
+
+    @property
+    def num_alarms(self) -> int:
+        """Registers whose verdict has turned into a final NO."""
+        return len(self.alarmed_keys)
+
+    def feed(self, op: Operation) -> Optional[WindowReport]:
+        """Feed one operation; returns the closed window's report, if any."""
+        report = self.stream.feed(op)
+        if report is not None:
+            self.alarmed_keys.update(report.alarms())
+        return report
+
+    def finish(self) -> StreamVerificationReport:
+        """Seal the stream and return the final (batch-equal) report."""
+        report = self.stream.finish()
+        self.alarmed_keys.update(report.failures)
+        self.finished = True
+        return report
+
+    def checkpoint_payload(self) -> Dict:
+        """The picklable mapping a checkpoint of this session stores.
+
+        The embedded ``checkpoints`` count includes the checkpoint being
+        taken; the live :attr:`checkpoints` counter is bumped by the caller
+        only once the save actually lands, so a failed save never inflates
+        the session's statistics.
+        """
+        return {
+            "session_id": self.session_id,
+            "config": self.config.to_dict(),
+            "stream": self.stream.snapshot(),
+            "checkpoints": self.checkpoints + 1,
+            "alarmed_keys": list(self.alarmed_keys),
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock seconds this session has been live (across resumes)."""
+        return self._elapsed_prior + (time.monotonic() - self._t0)
+
+    def stats(self) -> SessionStats:
+        """The service-report row for this session."""
+        return SessionStats(
+            session_id=self.session_id,
+            k=self.config.k,
+            window=self.config.window_policy().describe(),
+            num_ops=self.ops_fed,
+            num_windows=self.stream.num_windows,
+            num_registers=self.stream.num_registers,
+            num_alarms=self.num_alarms,
+            checkpoints=self.checkpoints,
+            resumed=self.resumed,
+            finished=self.finished,
+            elapsed_s=self.elapsed_s,
+        )

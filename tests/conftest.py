@@ -1,7 +1,15 @@
-"""Shared fixtures and helpers for the test-suite."""
+"""Shared fixtures and helpers for the test-suite.
+
+Randomised tests (the ``rng`` fixture, :func:`make_random_history`, and the
+fuzz/metamorphic harnesses) all derive from one seed so failures are
+reproducible: set ``REPRO_TEST_SEED`` to replay a CI failure locally.  The
+active seed is printed in the pytest header and echoed by the fuzz harness
+on every failing case.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -9,11 +17,20 @@ import pytest
 from repro.core.history import History
 from repro.core.operation import read, write
 
+#: Seed of every randomised test, overridable via the environment
+#: (``REPRO_TEST_SEED=12345 pytest ...``; hex like 0xBEEF works too).
+TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", str(0xC0FFEE)), 0)
+
+
+def pytest_report_header(config):
+    """Show the active seed so any failure is reproducible by exporting it."""
+    return f"REPRO_TEST_SEED={TEST_SEED:#x} (export to reproduce randomised failures)"
+
 
 @pytest.fixture
 def rng():
     """A deterministic random stream for tests that need randomness."""
-    return random.Random(0xC0FFEE)
+    return random.Random(TEST_SEED)
 
 
 @pytest.fixture

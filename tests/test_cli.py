@@ -218,6 +218,92 @@ class TestOnlineVerify:
         assert "shared-memory" in out.getvalue()
 
 
+class TestServeAndRemote:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port is None and args.queue_size == 1024
+
+    def test_serve_checkpoint_every_without_dir_is_a_clean_error(self):
+        out = io.StringIO()
+        status = main(["serve", "--checkpoint-every", "5"], out=out)
+        assert status == 2
+        assert "checkpoint_dir" in out.getvalue()
+
+    def test_remote_flag_parses(self):
+        args = build_parser().parse_args(
+            ["verify", "t.jsonl", "--remote", "unix:/tmp/a.sock", "--session", "s1"]
+        )
+        assert args.remote == "unix:/tmp/a.sock" and args.session == "s1"
+
+    def test_remote_rejects_local_execution_flags(self, trace_path):
+        out = io.StringIO()
+        status = main(
+            [
+                "verify",
+                str(trace_path),
+                "--remote",
+                "127.0.0.1:1",
+                "--online",
+                "--engine",
+                "threads",
+            ],
+            out=out,
+        )
+        assert status == 2
+        assert "--online" in out.getvalue() and "--engine" in out.getvalue()
+
+    def test_remote_unreachable_reports_error(self, trace_path):
+        out = io.StringIO()
+        status = main(
+            ["verify", str(trace_path), "--remote", "127.0.0.1:1"], out=out
+        )
+        assert status == 2
+        assert "cannot audit via" in out.getvalue()
+
+    def test_serve_then_remote_verify_round_trip(self, trace_path):
+        import re
+        import threading
+        import time
+
+        serve_out = io.StringIO()
+        rc = []
+        thread = threading.Thread(
+            target=lambda: rc.append(
+                main(["serve", "--port", "0", "--max-sessions", "1"], out=serve_out)
+            )
+        )
+        thread.start()
+        port = None
+        for _ in range(200):
+            found = re.search(r"listening on 127\.0\.0\.1:(\d+)", serve_out.getvalue())
+            if found:
+                port = int(found.group(1))
+                break
+            time.sleep(0.02)
+        assert port is not None, serve_out.getvalue()
+
+        out = io.StringIO()
+        status = main(
+            [
+                "verify",
+                str(trace_path),
+                "--k",
+                "2",
+                "--remote",
+                f"127.0.0.1:{port}",
+                "--window",
+                "8",
+            ],
+            out=out,
+        )
+        thread.join(timeout=15)
+        assert not thread.is_alive() and rc == [0]
+        assert status == 0
+        text = out.getvalue()
+        assert "2/2 registers are 2-atomic" in text
+        assert "audit service" in serve_out.getvalue()  # final service report
+
+
 class TestWatchCommand:
     def test_watch_defaults_to_stdin(self):
         args = build_parser().parse_args(["watch"])

@@ -1,0 +1,232 @@
+"""Differential fuzzing: every verification path against the exact oracle.
+
+Random histories — uniform-random interval soups and the structured
+worst-case shapes from :mod:`repro.workloads.adversarial` — are pushed
+through every redundant implementation the library carries:
+
+* GK (k=1) and LBT / LBT-reference / FZF (k=2), object and columnar kernels,
+* the incremental (rolling) checkers,
+* windowed streaming (whose NO verdicts must be *sound*: a windowed NO on a
+  history the oracle accepts is a bug),
+* the serial/threads/processes shard executors (on a combined trace),
+
+and every verdict is cross-checked against :mod:`repro.algorithms.exact`,
+the brute-force oracle.  On a disagreement the harness *shrinks* the history
+to a local minimum (greedy single-operation removal while the disagreement
+persists) and writes the minimised trace to ``tests/corpus/`` so the failure
+is replayable; ``test_corpus_replays_agree`` then re-runs every stored entry
+forever after.
+
+Iteration count is bounded by ``REPRO_FUZZ_ITERS`` (default 25, raised in
+the CI fuzz-smoke job); the seed comes from ``REPRO_TEST_SEED`` and is
+included in every failure message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+from pathlib import Path
+from typing import Callable, List, Sequence
+
+import pytest
+
+from repro.algorithms.online import checker_for
+from repro.core.api import verify
+from repro.core.builder import TraceBuilder
+from repro.core.history import History
+from repro.core.operation import Operation
+from repro.core.windows import WindowPolicy
+from repro.engine import Engine, StreamingEngine
+from repro.io.formats import dump_jsonl, load_jsonl
+from repro.workloads.adversarial import (
+    concurrent_batch_history,
+    non_2atomic_batch_history,
+)
+
+from tests.conftest import TEST_SEED, make_random_history
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+FUZZ_ITERS = int(os.environ.get("REPRO_FUZZ_ITERS", "25"))
+
+#: Every k=2 decision procedure is differential-tested against the oracle.
+TWO_AV_ALGORITHMS = ("lbt", "lbt-reference", "fzf")
+
+
+# ----------------------------------------------------------------------
+# The differential check
+# ----------------------------------------------------------------------
+def disagreements(ops: Sequence[Operation]) -> List[str]:
+    """Run every path over one single-register history; list any divergences."""
+    history = History(ops)
+    problems: List[str] = []
+    for k in (1, 2):
+        oracle = bool(verify(history, k, algorithm="exact", max_exact_ops=10**9))
+        names = ("gk",) if k == 1 else TWO_AV_ALGORITHMS
+        for name in names:
+            for columnar in (False, True):
+                got = bool(verify(history, k, algorithm=name, columnar=columnar))
+                if got != oracle:
+                    kernel = "columnar" if columnar else "object"
+                    problems.append(
+                        f"{name}/{kernel} says {got} but the exact oracle says "
+                        f"{oracle} at k={k}"
+                    )
+        # Rolling incremental checker: final verdict must equal batch exactly.
+        checker = checker_for(k)
+        for op in sorted(ops, key=lambda o: (o.finish, o.op_id)):
+            checker.feed(op)
+        online = bool(checker.finish())
+        if online != oracle:
+            problems.append(
+                f"incremental checker says {online} but the exact oracle says "
+                f"{oracle} at k={k}"
+            )
+        # Windowed streaming: NO verdicts are final and sound, so a windowed
+        # NO on an oracle-YES history is a divergence.  (A windowed YES is an
+        # approximation and proves nothing.)
+        engine = StreamingEngine(
+            window=WindowPolicy.count(4, overlap=1), mode="windowed"
+        )
+        report = engine.verify_stream(
+            sorted(ops, key=lambda o: (o.finish, o.op_id)), k
+        )
+        for key, result in report.results.items():
+            if not result and oracle:
+                problems.append(
+                    f"windowed streaming raised a final NO on register {key!r} "
+                    f"({result.reason}) but the exact oracle says YES at k={k}"
+                )
+    return problems
+
+
+def shrink(
+    ops: List[Operation], disagrees: Callable[[Sequence[Operation]], bool]
+) -> List[Operation]:
+    """Greedy 1-minimal shrink: drop operations while the divergence persists."""
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(ops)):
+            candidate = ops[:i] + ops[i + 1 :]
+            if candidate and disagrees(candidate):
+                ops = candidate
+                changed = True
+                break
+    return ops
+
+
+def report_divergence(ops: List[Operation], problems: List[str], origin: str) -> None:
+    """Shrink, persist to the corpus, and fail with a replayable message."""
+    minimal = shrink(list(ops), lambda candidate: bool(disagreements(candidate)))
+    digest = hashlib.sha256(
+        "".join(
+            f"{op.op_type.value}:{op.value!r}:{op.start!r}:{op.finish!r};"
+            for op in minimal
+        ).encode()
+    ).hexdigest()[:12]
+    CORPUS_DIR.mkdir(exist_ok=True)
+    path = CORPUS_DIR / f"fuzz-{digest}.jsonl"
+    dump_jsonl(minimal, path)
+    pytest.fail(
+        f"differential divergence from {origin} (seed {TEST_SEED:#x}):\n  "
+        + "\n  ".join(disagreements(minimal))
+        + f"\nminimised to {len(minimal)} ops, written to {path} "
+        f"(replay: pytest tests/test_differential_fuzz.py::test_corpus_replays_agree)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def random_case(rng: random.Random) -> tuple:
+    """One random small history (oracle-sized) plus a description of it."""
+    shape = rng.randrange(4)
+    if shape == 0:
+        writes, reads = rng.randint(2, 6), rng.randint(1, 7)
+        span = rng.choice([2.0, 6.0, 12.0])
+        history = make_random_history(rng, writes, reads, span=span)
+        origin = f"make_random_history({writes}, {reads}, span={span})"
+    elif shape == 1:
+        # Dense overlap: long durations force heavy concurrency.
+        writes, reads = rng.randint(2, 5), rng.randint(1, 5)
+        history = make_random_history(rng, writes, reads, span=3.0, max_duration=6.0)
+        origin = f"make_random_history({writes}, {reads}, dense)"
+    elif shape == 2:
+        batches, size = rng.randint(1, 2), rng.randint(3, 4)
+        base = concurrent_batch_history(batches, size)
+        ops = [op for op in base.operations if rng.random() > 0.15]
+        if not ops:
+            ops = list(base.operations)
+        history = History(ops)
+        origin = f"concurrent_batch_history({batches}, {size}) with drops"
+    else:
+        batches, size = rng.randint(1, 2), 3
+        base = non_2atomic_batch_history(batches, size)
+        ops = [op for op in base.operations if rng.random() > 0.1]
+        if not ops:
+            ops = list(base.operations)
+        history = History(ops)
+        origin = f"non_2atomic_batch_history({batches}, {size}) with drops"
+    return history, origin
+
+
+# ----------------------------------------------------------------------
+# Tests
+# ----------------------------------------------------------------------
+def test_differential_fuzz_against_oracle():
+    rng = random.Random(TEST_SEED)
+    for iteration in range(FUZZ_ITERS):
+        history, origin = random_case(rng)
+        problems = disagreements(history.operations)
+        if problems:
+            report_divergence(
+                list(history.operations), problems, f"iteration {iteration}: {origin}"
+            )
+
+
+def test_differential_fuzz_across_executors():
+    """serial/threads/processes engines must agree register-for-register."""
+    rng = random.Random(TEST_SEED + 17)
+    builder = TraceBuilder()
+    for register in range(6):
+        history, _ = random_case(rng)
+        for op in history.operations:
+            # Rebuild with a register key; op_ids stay unique.
+            builder.append(
+                Operation(
+                    op_type=op.op_type,
+                    value=op.value,
+                    start=op.start,
+                    finish=op.finish,
+                    key=f"fuzz-{register}",
+                    client=op.client,
+                    weight=op.weight,
+                )
+            )
+    trace = builder.build()
+    baseline = {
+        key: bool(result)
+        for key, result in Engine(executor="serial").verify_trace(trace, 2).results.items()
+    }
+    for executor in ("threads", "processes"):
+        report = Engine(executor=executor, jobs=2).verify_trace(trace, 2)
+        got = {key: bool(result) for key, result in report.results.items()}
+        assert got == baseline, (
+            f"{executor} executor diverges from serial (seed {TEST_SEED:#x})"
+        )
+
+
+def test_corpus_replays_agree():
+    """Every minimised divergence ever recorded must stay fixed."""
+    entries = sorted(CORPUS_DIR.glob("fuzz-*.jsonl"))
+    if not entries:
+        pytest.skip("corpus is empty (no divergence has ever been recorded)")
+    for path in entries:
+        trace = load_jsonl(path)
+        for key in trace.keys():
+            problems = disagreements(trace[key].operations)
+            assert not problems, (
+                f"corpus entry {path.name} diverges again:\n  " + "\n  ".join(problems)
+            )
