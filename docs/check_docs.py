@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""The docs build: validate the documentation tree (CI-required).
+
+Checks, in order:
+
+1. **Links** — every relative Markdown link in ``docs/*.md``, ``README.md``
+   and ``experiments/README.md`` resolves to an existing file (anchors are
+   stripped; external ``http(s)``/``mailto`` links are ignored).
+2. **Paper-map coverage** — ``docs/paper-map.md`` mentions every algorithm
+   registered in ``repro.algorithms.registry.REGISTRY`` and every
+   incremental checker in ``CHECKERS``, and every ``src/``/``tests/`` path
+   it cites exists.
+3. **API reference freshness** — ``docs/api.md`` matches what
+   ``docs/gen_api.py`` generates from the current docstrings.
+
+Exits non-zero with one line per problem; run ``python docs/check_docs.py``
+locally before pushing docs changes.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(DOCS))
+
+#: Markdown files whose relative links must resolve.
+LINKED_FILES = sorted(DOCS.glob("*.md")) + [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "experiments" / "README.md",
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CITED_PATH = re.compile(r"`((?:src|tests|experiments|benchmarks)/[\w./-]+)`")
+
+
+def check_links(problems: list) -> None:
+    for md_file in LINKED_FILES:
+        if not md_file.exists():
+            problems.append(f"{md_file}: expected documentation file is missing")
+            continue
+        text = md_file.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (md_file.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md_file.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+
+
+def check_paper_map(problems: list) -> None:
+    from repro.algorithms.registry import CHECKERS, REGISTRY
+
+    paper_map = DOCS / "paper-map.md"
+    if not paper_map.exists():
+        problems.append("docs/paper-map.md is missing")
+        return
+    text = paper_map.read_text(encoding="utf-8")
+    for name in sorted(REGISTRY) + sorted(CHECKERS):
+        if f"`{name}`" not in text:
+            problems.append(
+                f"docs/paper-map.md: registered algorithm/checker {name!r} "
+                "is not covered by the paper-to-code map"
+            )
+    for cited in _CITED_PATH.findall(text):
+        if not (REPO_ROOT / cited).exists():
+            problems.append(f"docs/paper-map.md: cited path does not exist: {cited}")
+
+
+def check_api_reference(problems: list) -> None:
+    import gen_api
+
+    api_md = DOCS / "api.md"
+    if not api_md.exists():
+        problems.append("docs/api.md is missing (run: python docs/gen_api.py)")
+        return
+    if api_md.read_text(encoding="utf-8") != gen_api.render():
+        problems.append(
+            "docs/api.md is stale: regenerate it with `python docs/gen_api.py`"
+        )
+
+
+def main() -> int:
+    problems: list = []
+    check_links(problems)
+    check_paper_map(problems)
+    check_api_reference(problems)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        print(f"\ndocs build failed with {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs build OK ({len(LINKED_FILES)} files link-checked, "
+          "paper-map coverage complete, api.md fresh)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,15 @@ The library provides:
   multiplexing many concurrent trace sessions with bounded-queue
   backpressure, checkpoint/resume via the checkers'
   ``snapshot()``/``restore()`` state API, and a remote-verification client
-  (``repro serve`` / ``repro verify --remote``).
+  (``repro serve`` / ``repro verify --remote``),
+* **foreign-trace interop** (:mod:`repro.io`): Jepsen/Knossos event
+  histories and Porcupine operation logs behind one format registry, so
+  every entry point accepts ``--format jepsen|porcupine|jsonl|csv``
+  uniformly,
+* an **experiment harness** (:mod:`repro.experiments`): declarative
+  TOML/JSON grids over workload/algorithm/engine knobs that regenerate the
+  paper's evaluation (per-k staleness spectra, runtime scaling) as
+  JSON/CSV/Markdown reports (``repro experiment run``).
 
 Quickstart
 ----------
@@ -70,7 +78,7 @@ from .engine import Engine, StreamingEngine
 #: Single source of truth for the package version: ``pyproject.toml`` reads
 #: it via ``[tool.setuptools.dynamic]`` and the CLI exposes it as
 #: ``repro --version``.  Bump it here and nowhere else.
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Engine",

@@ -6,20 +6,28 @@ end to end::
     python -m repro verify TRACE --k 2        # per-register k-AV verdicts
     python -m repro verify TRACE --online     # windowed streaming verification
     python -m repro verify TRACE --remote A   # stream the trace to a server
+    python -m repro verify H --format jepsen  # verify a foreign (Jepsen) history
     python -m repro watch TRACE --follow      # rolling verdicts while a log grows
     python -m repro audit TRACE               # staleness spectrum + report
     python -m repro serve --port 7400         # run the concurrent audit service
     python -m repro simulate --out TRACE ...  # record a sloppy-quorum trace
+    python -m repro convert A B --to jepsen   # convert between trace formats
+    python -m repro formats                   # list the registered formats
+    python -m repro experiment run SPEC       # run a declarative experiment grid
 
 ``watch`` reads JSON Lines from a file, a growing log (``--follow``) or
 stdin (``-``) and prints a verdict block every time a window closes, so a
 piped stream yields intermediate verdicts long before end-of-input.
 ``serve`` runs the audit service of :mod:`repro.service` — many concurrent
 sessions, rolling verdicts, checkpoint/resume — and ``verify --remote``
-streams a trace to such a server instead of verifying in-process.  Traces
-are JSON Lines (``.jsonl``, the format of :mod:`repro.io`) or CSV (by
-extension).  The CLI is a thin layer over the library API so that everything
-it does can also be scripted.
+streams a trace to such a server instead of verifying in-process.  Trace
+formats are resolved by the format registry (:mod:`repro.io.registry`):
+native JSON Lines and CSV plus the foreign Jepsen/Porcupine adapters,
+sniffed by extension or forced with ``--format``.  ``experiment run``
+executes the declarative grids of :mod:`repro.experiments` (the canned specs
+under ``experiments/`` regenerate the paper's evaluation).  The CLI is a
+thin layer over the library API so that everything it does can also be
+scripted.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from .core.builder import TraceBuilder
 from .core.windows import WindowPolicy
 from .engine import Engine, StreamingEngine
 from .io.formats import dump_jsonl, follow_jsonl, iter_jsonl_handle, load_trace, stream_trace
+from .io.registry import FORMATS, available_formats, dump_trace, resolve_format
 from .simulation import ExponentialLatency, QuorumConfig, SloppyQuorumStore, StoreConfig
 from .workloads import UniformKeys, WorkloadSpec, ZipfianKeys
 
@@ -56,6 +65,22 @@ def _window_policy(args: argparse.Namespace) -> WindowPolicy:
     """
     return WindowPolicy(
         mode=args.window_mode, size=args.window, overlap=args.overlap
+    )
+
+
+def _add_format_flag(parser: argparse.ArgumentParser) -> None:
+    """The trace-format flag, with choices drawn from the format registry.
+
+    The registry (:mod:`repro.io.registry`) is the single source of truth:
+    adding a format there makes it selectable here (and sniffable by
+    extension) without touching the CLI.
+    """
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        default=None,
+        choices=sorted(FORMATS),
+        help="trace format (default: sniffed from the file extension)",
     )
 
 
@@ -128,7 +153,7 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         return _cmd_verify_online(args, out)
     # Stream the trace straight into per-register buckets; the engine shards
     # and (optionally) parallelises verification from there.
-    builder = TraceBuilder(stream_trace(args.trace))
+    builder = TraceBuilder(stream_trace(args.trace, args.fmt))
     engine = Engine(
         executor=args.engine,
         jobs=args.jobs,
@@ -180,6 +205,7 @@ def _cmd_verify_remote(args: argparse.Namespace, out) -> int:
             algorithm=args.algorithm,
             window=_window_policy(args),
             session=args.session,
+            fmt=args.fmt,
         )
     except (ServiceError, ConnectionError, OSError) as exc:
         print(f"error: cannot audit via {args.remote}: {exc}", file=out)
@@ -213,7 +239,7 @@ def _cmd_verify_online(args: argparse.Namespace, out) -> int:
         jobs=args.jobs,
         max_exact_ops=args.max_exact_ops,
     )
-    report = engine.verify_stream(stream_trace(args.trace), args.k)
+    report = engine.verify_stream(stream_trace(args.trace, args.fmt), args.k)
     print(report.render(), file=out)
     print(
         f"\n{report.num_registers - len(report.failures)}/{report.num_registers} "
@@ -232,15 +258,33 @@ def _cmd_watch(args: argparse.Namespace, out) -> int:
         executor="serial",
     )
     if args.trace == "-":
+        if args.fmt not in (None, "jsonl"):
+            print(
+                f"error: stdin streams are always JSON Lines; --format {args.fmt} "
+                "applies only to files (convert first: repro convert)",
+                file=out,
+            )
+            return 2
         ops = iter_jsonl_handle(sys.stdin, source="<stdin>")
     elif args.follow:
+        # Resolve the format the non-follow path would use (flag or sniffed
+        # extension), so `watch history.jepsen.json --follow` fails as
+        # clearly as `--format jepsen --follow` does.
+        resolved = resolve_format(args.trace, args.fmt).name
+        if resolved != "jsonl":
+            print(
+                f"error: --follow tails JSON Lines logs; {resolved!r} "
+                "is not a line-appendable format",
+                file=out,
+            )
+            return 2
         ops = follow_jsonl(
             args.trace,
             poll_interval_s=args.poll_interval,
             idle_timeout_s=args.idle_timeout,
         )
     else:
-        ops = stream_trace(args.trace)
+        ops = stream_trace(args.trace, args.fmt)
 
     def on_window(window_report) -> None:
         for line in window_report.render_lines():
@@ -312,13 +356,103 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace, out) -> int:
-    trace = load_trace(args.trace)
+    trace = load_trace(args.trace, args.fmt)
     report = audit_trace(
         trace,
         title=f"consistency audit of {Path(args.trace).name}",
         resolve_exact=args.resolve_exact,
     )
     print(report.render(), file=out)
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace, out) -> int:
+    """Convert a trace between registered formats.
+
+    The writers materialise the operation list before emitting (the event
+    formats must interleave and sort by time anyway), so conversion memory
+    is O(trace) — same as ``load_trace`` — not constant.
+    """
+    from .core.errors import TraceFormatError
+
+    try:
+        source = resolve_format(args.source, args.from_fmt)
+        target = resolve_format(args.target, args.to_fmt)
+        count = dump_trace(source.reader(args.source), args.target, target.name)
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(
+        f"converted {count} operations: {args.source} ({source.name}) -> "
+        f"{args.target} ({target.name})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_formats(args: argparse.Namespace, out) -> int:
+    """List the registered trace formats and their sniffable extensions."""
+    rows = []
+    for name, description in available_formats().items():
+        spec = FORMATS[name]
+        rows.append([name, " ".join(spec.extensions), description])
+    print(format_table(["format", "extensions", "description"], rows), file=out)
+    return 0
+
+
+def _cmd_experiment_run(args: argparse.Namespace, out) -> int:
+    from .experiments import ExperimentError, load_spec, run_experiment, validate_report
+
+    try:
+        spec = load_spec(args.spec)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+    progress = None
+    if not args.quiet:
+        def progress(line: str) -> None:
+            print(f"  {line}", file=out)
+            if hasattr(out, "flush"):
+                out.flush()
+
+    trials = (spec.smoke() if args.smoke else spec).trials()
+    print(
+        f"running experiment {spec.name!r} ({spec.kind}): {len(trials)} trials"
+        + (" [smoke]" if args.smoke else ""),
+        file=out,
+    )
+    try:
+        report = run_experiment(spec, smoke=args.smoke, progress=progress)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    validate_report(report.to_dict(), source=spec.name)  # the schema CI asserts
+    paths = report.write(args.out)
+    print("", file=out)
+    print(report.render_text(), file=out)
+    print("", file=out)
+    for kind, path in sorted(paths.items()):
+        print(f"wrote {kind:>4}: {path}", file=out)
+    return 0
+
+
+def _cmd_experiment_report(args: argparse.Namespace, out) -> int:
+    from .experiments import ExperimentError, load_report
+
+    try:
+        report = load_report(args.report)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if args.emit == "markdown":
+        print(report.to_markdown(), file=out, end="")
+    elif args.emit == "csv":
+        print(report.to_csv(), file=out, end="")
+    elif args.emit == "json":
+        print(report.to_json(), file=out)
+    else:  # table
+        print(report.render_text(), file=out)
     return 0
 
 
@@ -427,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="session identifier for --remote (default: server-assigned)",
     )
     _add_window_flags(p_verify, default_window=256)
+    _add_format_flag(p_verify)
     p_verify.set_defaults(func=_cmd_verify)
 
     p_watch = sub.add_parser(
@@ -470,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit with status 1 if any register fails verification",
     )
+    _add_format_flag(p_watch)
     p_watch.set_defaults(func=_cmd_watch)
 
     p_serve = sub.add_parser(
@@ -533,7 +669,70 @@ def build_parser() -> argparse.ArgumentParser:
         dest="resolve_exact",
         help="resolve minimal k exactly for small k>=3 registers (exponential)",
     )
+    _add_format_flag(p_audit)
     p_audit.set_defaults(func=_cmd_audit)
+
+    p_convert = sub.add_parser(
+        "convert",
+        help="convert a trace between registered formats (jsonl/csv/jepsen/porcupine)",
+    )
+    p_convert.add_argument("source", help="input trace file")
+    p_convert.add_argument("target", help="output trace file")
+    p_convert.add_argument(
+        "--from",
+        dest="from_fmt",
+        default=None,
+        choices=sorted(FORMATS),
+        help="input format (default: sniffed from the extension)",
+    )
+    p_convert.add_argument(
+        "--to",
+        dest="to_fmt",
+        default=None,
+        choices=sorted(FORMATS),
+        help="output format (default: sniffed from the extension)",
+    )
+    p_convert.set_defaults(func=_cmd_convert)
+
+    p_formats = sub.add_parser(
+        "formats", help="list the registered trace formats and their extensions"
+    )
+    p_formats.set_defaults(func=_cmd_formats)
+
+    p_experiment = sub.add_parser(
+        "experiment",
+        help="run declarative experiment specs and re-emit their reports",
+    )
+    experiment_sub = p_experiment.add_subparsers(dest="experiment_command", required=True)
+    p_exp_run = experiment_sub.add_parser(
+        "run", help="run an experiment spec (.toml or .json) and write its report"
+    )
+    p_exp_run.add_argument("spec", help="experiment spec file (see experiments/)")
+    p_exp_run.add_argument(
+        "--out",
+        default="experiment-results",
+        help="directory for the JSON/CSV/Markdown report (default experiment-results/)",
+    )
+    p_exp_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the grid to one tiny point per axis (the CI configuration)",
+    )
+    p_exp_run.add_argument(
+        "--quiet", action="store_true", help="suppress per-trial progress lines"
+    )
+    p_exp_run.set_defaults(func=_cmd_experiment_run)
+    p_exp_report = experiment_sub.add_parser(
+        "report", help="re-emit a written experiment report in another form"
+    )
+    p_exp_report.add_argument("report", help="a <name>.json report written by 'run'")
+    p_exp_report.add_argument(
+        "--emit",
+        choices=["markdown", "csv", "json", "table"],
+        default="markdown",
+        help="output form (default markdown)",
+    )
+    p_exp_report.set_defaults(func=_cmd_experiment_report)
 
     p_sim = sub.add_parser("simulate", help="record a trace from the sloppy-quorum simulator")
     p_sim.add_argument("--out", required=True, help="output trace path (.jsonl)")

@@ -92,6 +92,19 @@ def verify(
     Returns
     -------
     VerificationResult
+
+    Example
+    -------
+    >>> from repro import History, read, write, verify
+    >>> h = History([
+    ...     write("a", 0.0, 1.0),
+    ...     write("b", 2.0, 3.0),
+    ...     read("a", 4.0, 5.0),      # stale by one write
+    ... ])
+    >>> bool(verify(h, 1)), bool(verify(h, 2))
+    (False, True)
+    >>> verify(h, 2).algorithm
+    'FZF'
     """
     if k < 1:
         raise VerificationError(f"k must be a positive integer, got {k!r}")

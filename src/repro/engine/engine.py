@@ -194,6 +194,19 @@ class Engine:
     fail_fast:
         When true, stop dispatching after the first shard containing a
         failing register; unverified registers are reported as skipped.
+
+    Example
+    -------
+    >>> from repro import Engine
+    >>> from repro.core.builder import TraceBuilder
+    >>> from repro.core.operation import read, write
+    >>> builder = TraceBuilder([
+    ...     write("a", 0.0, 1.0, key="x"), read("a", 2.0, 3.0, key="x"),
+    ...     write("b", 0.0, 1.0, key="y"), read("b", 2.0, 3.0, key="y"),
+    ... ])
+    >>> report = Engine().verify_trace(builder, 1)
+    >>> report.is_k_atomic, sorted(report.results)
+    (True, ['x', 'y'])
     """
 
     def __init__(
@@ -272,6 +285,20 @@ class Engine:
     # ------------------------------------------------------------------
     # Execution + aggregation
     # ------------------------------------------------------------------
+    def verify_file(
+        self, path, k: int, *, fmt: Optional[str] = None
+    ) -> TraceVerificationReport:
+        """Verify a trace file in any registered format.
+
+        ``fmt`` names a format from the registry (``"jsonl"``, ``"csv"``,
+        ``"jepsen"``, ``"porcupine"``, ...); ``None`` sniffs the extension.
+        The file is streamed straight into per-register buckets — foreign
+        event histories included — and verified like any other trace.
+        """
+        from ..io.registry import stream_trace  # io builds on the engine's inputs
+
+        return self.verify_trace(TraceBuilder(stream_trace(path, fmt)), k)
+
     def verify_trace(self, trace: TraceLike, k: int) -> TraceVerificationReport:
         """Verify every register of ``trace`` and aggregate the results."""
         registers = self._as_register_histories(trace)

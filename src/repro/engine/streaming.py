@@ -128,6 +128,18 @@ class StreamingEngine:
         replay posture.  Final verdicts are identical either way.
     max_exact_ops:
         Size guard for the exponential ``k >= 3`` fallback.
+
+    Example
+    -------
+    >>> from repro.core.windows import WindowPolicy
+    >>> from repro.core.operation import read, write
+    >>> from repro.engine import StreamingEngine
+    >>> ops = [write("a", 0.0, 1.0, key="x"), read("a", 2.0, 3.0, key="x"),
+    ...        write("b", 4.0, 5.0, key="x"), read("b", 6.0, 7.0, key="x")]
+    >>> engine = StreamingEngine(window=WindowPolicy.count(2))
+    >>> report = engine.verify_stream(ops, 1)
+    >>> report.num_windows, report.is_k_atomic
+    (2, True)
     """
 
     def __init__(
@@ -231,6 +243,24 @@ class StreamingEngine:
             jobs=self.jobs,
             elapsed_s=time.perf_counter() - t0,
         )
+
+    def verify_file(
+        self,
+        path,
+        k: int,
+        *,
+        fmt: Optional[str] = None,
+        on_window: Optional[Callable[[WindowReport], None]] = None,
+    ) -> StreamVerificationReport:
+        """Stream a trace file in any registered format through the windows.
+
+        The online counterpart of :meth:`Engine.verify_file`: ``fmt`` names a
+        format from :mod:`repro.io.registry` (``None`` sniffs the extension),
+        and the file's operations are pumped through :meth:`verify_stream`.
+        """
+        from ..io.registry import stream_trace
+
+        return self.verify_stream(stream_trace(path, fmt), k, on_window=on_window)
 
     # ------------------------------------------------------------------
     # Sessions: push-driven, checkpointable streams

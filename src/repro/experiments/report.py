@@ -1,0 +1,371 @@
+"""Experiment results: trial rows, aggregation, and the report emitters.
+
+The runner produces one :class:`TrialResult` per executed trial; an
+:class:`ExperimentReport` bundles them with the spec context and emits the
+three interchange forms the evaluation pipeline consumes:
+
+* **JSON** — the full, schema-versioned document (`load_report` round-trips
+  it and is what CI's smoke job validates);
+* **CSV** — one row per trial with flattened ``param:*`` / ``metric:*``
+  columns, for spreadsheets and plotting scripts;
+* **Markdown** — the human-readable report: spec summary plus an aggregated
+  table (repeats averaged), and for spectrum experiments the per-k staleness
+  spectrum pivot the paper's evaluation figures are built from.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..analysis.report import format_table
+from .spec import ExperimentError
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "TrialResult",
+    "ExperimentReport",
+    "validate_report",
+    "load_report",
+]
+
+#: Bumped whenever the JSON document shape changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+_REQUIRED_TOP = ("schema_version", "name", "kind", "seed", "repeats", "axes", "rows")
+_REQUIRED_ROW = ("trial", "repeat", "params", "metrics", "ops", "registers", "elapsed_s")
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """The measured outcome of one trial."""
+
+    #: Grid-point index (shared by all repeats of the same point).
+    trial: int
+    repeat: int
+    #: Axis name → value for this grid point (plus ``engine`` for runtime).
+    params: Mapping[str, object]
+    #: Measurement name → numeric value (counts, fractions, timings).
+    metrics: Mapping[str, float]
+    #: Workload size actually verified.
+    ops: int
+    registers: int
+    #: Wall-clock cost of the measured phase (not workload generation).
+    elapsed_s: float
+    #: The trial's derived seed (replays the workload exactly).
+    seed: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "trial": self.trial,
+            "repeat": self.repeat,
+            "params": dict(self.params),
+            "metrics": dict(self.metrics),
+            "ops": self.ops,
+            "registers": self.registers,
+            "elapsed_s": self.elapsed_s,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TrialResult":
+        return cls(
+            trial=int(data["trial"]),
+            repeat=int(data["repeat"]),
+            params=dict(data["params"]),
+            metrics=dict(data["metrics"]),
+            ops=int(data["ops"]),
+            registers=int(data["registers"]),
+            elapsed_s=float(data["elapsed_s"]),
+            seed=str(data.get("seed", "")),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """Everything one experiment run produced, ready to emit."""
+
+    name: str
+    kind: str
+    description: str
+    seed: int
+    repeats: int
+    axes: Mapping[str, Tuple[object, ...]]
+    rows: Tuple[TrialResult, ...]
+    elapsed_s: float
+    smoke: bool = False
+    source: str = ""
+    schema_version: int = REPORT_SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    @property
+    def num_trials(self) -> int:
+        """Distinct grid points (× engines) measured."""
+        return len({row.trial for row in self.rows})
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        """All metric columns, in first-appearance order."""
+        names: List[str] = []
+        for row in self.rows:
+            for name in row.metrics:
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        """All parameter columns, in first-appearance order."""
+        names: List[str] = []
+        for row in self.rows:
+            for name in row.params:
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+
+    def aggregated(self) -> List[TrialResult]:
+        """One row per grid point: metrics and timings averaged over repeats."""
+        by_trial: Dict[int, List[TrialResult]] = {}
+        for row in self.rows:
+            by_trial.setdefault(row.trial, []).append(row)
+        merged: List[TrialResult] = []
+        for trial in sorted(by_trial):
+            group = by_trial[trial]
+            metrics: Dict[str, float] = {}
+            for name in self.metric_names:
+                values = [row.metrics[name] for row in group if name in row.metrics]
+                if values:
+                    metrics[name] = sum(values) / len(values)
+            merged.append(
+                TrialResult(
+                    trial=trial,
+                    repeat=-1,  # sentinel: aggregate over all repeats
+                    params=group[0].params,
+                    metrics=metrics,
+                    ops=round(sum(r.ops for r in group) / len(group)),
+                    registers=round(sum(r.registers for r in group) / len(group)),
+                    elapsed_s=sum(r.elapsed_s for r in group) / len(group),
+                    seed="",
+                )
+            )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Emitters
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """The JSON document (schema-versioned; see :func:`validate_report`)."""
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "kind": self.kind,
+            "description": self.description,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "smoke": self.smoke,
+            "source": self.source,
+            "axes": {axis: list(values) for axis, values in self.axes.items()},
+            "elapsed_s": self.elapsed_s,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True, default=str)
+
+    def to_csv(self) -> str:
+        """Flat CSV: one row per trial, ``param:``/``metric:`` column prefixes."""
+        params, metrics = self.param_names, self.metric_names
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(
+            ["trial", "repeat"]
+            + [f"param:{p}" for p in params]
+            + [f"metric:{m}" for m in metrics]
+            + ["ops", "registers", "elapsed_s"]
+        )
+        for row in self.rows:
+            writer.writerow(
+                [row.trial, row.repeat]
+                + [row.params.get(p, "") for p in params]
+                + [row.metrics.get(m, "") for m in metrics]
+                + [row.ops, row.registers, f"{row.elapsed_s:.6f}"]
+            )
+        return buffer.getvalue()
+
+    def to_markdown(self) -> str:
+        """The human-readable report (what ``repro experiment run`` prints)."""
+        lines: List[str] = [f"# experiment: {self.name}", ""]
+        if self.description:
+            lines += [self.description, ""]
+        lines += [
+            f"- kind: `{self.kind}`" + (" (smoke run)" if self.smoke else ""),
+            f"- seed: {self.seed}, repeats: {self.repeats}",
+            f"- grid: "
+            + (
+                ", ".join(f"{axis} × {len(vals)}" for axis, vals in self.axes.items())
+                or "(single point)"
+            ),
+            f"- trials: {self.num_trials} ({len(self.rows)} runs), "
+            f"total measured time {self.elapsed_s:.2f}s",
+            "",
+        ]
+        if self.kind == "spectrum":
+            lines += self._spectrum_section()
+        lines += ["## results (averaged over repeats)", ""]
+        lines += self._markdown_table(self.aggregated(), self.metric_names)
+        return "\n".join(lines) + "\n"
+
+    def _spectrum_section(self) -> List[str]:
+        """The per-k staleness spectrum pivot: fraction of registers per bucket."""
+        lines = ["## per-k staleness spectrum", ""]
+        spectrum_cols = [
+            ("frac_k1", "k=1"),
+            ("frac_k2", "k=2"),
+            ("frac_k3_plus", "k>=3"),
+            ("frac_anomalous", "anomalous"),
+        ]
+        rows = self.aggregated()
+        present = [(m, label) for m, label in spectrum_cols if any(m in r.metrics for r in rows)]
+        if not present:
+            return []
+        header = list(self.param_names) + [label for _, label in present]
+        body = [
+            [str(row.params.get(p, "")) for p in self.param_names]
+            + [f"{row.metrics.get(m, 0.0):.1%}" for m, _ in present]
+            for row in rows
+        ]
+        lines += _pipe_table(header, body)
+        lines.append("")
+        return lines
+
+    def _markdown_table(self, rows: Sequence[TrialResult], metrics: Sequence[str]) -> List[str]:
+        header = list(self.param_names) + list(metrics) + ["ops", "registers", "elapsed (s)"]
+        body = []
+        for row in rows:
+            body.append(
+                [str(row.params.get(p, "")) for p in self.param_names]
+                + [_fmt_metric(row.metrics.get(m)) for m in metrics]
+                + [str(row.ops), str(row.registers), f"{row.elapsed_s:.4f}"]
+            )
+        return _pipe_table(header, body)
+
+    def render_text(self) -> str:
+        """Plain-text summary table (terminal-friendly, no Markdown)."""
+        rows = self.aggregated()
+        return format_table(
+            list(self.param_names) + list(self.metric_names) + ["ops", "elapsed (s)"],
+            [
+                [str(row.params.get(p, "")) for p in self.param_names]
+                + [_fmt_metric(row.metrics.get(m)) for m in self.metric_names]
+                + [row.ops, f"{row.elapsed_s:.4f}"]
+                for row in rows
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    def write(self, out_dir: Union[str, Path]) -> Dict[str, Path]:
+        """Write the JSON/CSV/Markdown emitters to ``out_dir``.
+
+        Files are named after the experiment (``<name>.json`` etc.); returns
+        the mapping from emitter name to the written path.
+        """
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "json": out / f"{self.name}.json",
+            "csv": out / f"{self.name}.csv",
+            "md": out / f"{self.name}.md",
+        }
+        paths["json"].write_text(self.to_json() + "\n", encoding="utf-8")
+        paths["csv"].write_text(self.to_csv(), encoding="utf-8")
+        paths["md"].write_text(self.to_markdown(), encoding="utf-8")
+        return paths
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping, *, source: str = "<dict>") -> "ExperimentReport":
+        """Validate and rehydrate a report document (see :func:`validate_report`)."""
+        validate_report(data, source=source)
+        return cls(
+            name=str(data["name"]),
+            kind=str(data["kind"]),
+            description=str(data.get("description", "")),
+            seed=int(data["seed"]),
+            repeats=int(data["repeats"]),
+            axes={axis: tuple(values) for axis, values in data["axes"].items()},
+            rows=tuple(TrialResult.from_dict(row) for row in data["rows"]),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            smoke=bool(data.get("smoke", False)),
+            source=str(data.get("source", source)),
+            schema_version=int(data["schema_version"]),
+        )
+
+
+def validate_report(data: Mapping, *, source: str = "<dict>") -> None:
+    """Check a report document against the schema; raises :class:`ExperimentError`.
+
+    This is what CI's ``repro experiment run --smoke`` job asserts: required
+    top-level keys, a supported ``schema_version``, and structurally complete
+    rows (params/metrics mappings, numeric sizes).
+    """
+    if not isinstance(data, Mapping):
+        raise ExperimentError(f"{source}: report must be a JSON object")
+    missing = [key for key in _REQUIRED_TOP if key not in data]
+    if missing:
+        raise ExperimentError(f"{source}: report is missing key(s) {missing}")
+    version = data["schema_version"]
+    if version != REPORT_SCHEMA_VERSION:
+        raise ExperimentError(
+            f"{source}: unsupported report schema_version {version!r} "
+            f"(this library reads {REPORT_SCHEMA_VERSION})"
+        )
+    if not isinstance(data["axes"], Mapping):
+        raise ExperimentError(f"{source}: 'axes' must be a mapping of value lists")
+    rows = data["rows"]
+    if not isinstance(rows, list):
+        raise ExperimentError(f"{source}: 'rows' must be a list")
+    for position, row in enumerate(rows):
+        if not isinstance(row, Mapping):
+            raise ExperimentError(f"{source}: row #{position} is not an object")
+        missing = [key for key in _REQUIRED_ROW if key not in row]
+        if missing:
+            raise ExperimentError(
+                f"{source}: row #{position} is missing key(s) {missing}"
+            )
+        if not isinstance(row["params"], Mapping) or not isinstance(row["metrics"], Mapping):
+            raise ExperimentError(
+                f"{source}: row #{position} params/metrics must be objects"
+            )
+
+
+def load_report(path: Union[str, Path]) -> ExperimentReport:
+    """Load and schema-validate a JSON report written by :meth:`ExperimentReport.write`."""
+    p = Path(path)
+    try:
+        data = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ExperimentError(f"cannot read report {p}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"{p}: invalid JSON: {exc}") from exc
+    return ExperimentReport.from_dict(data, source=str(p))
+
+
+# ----------------------------------------------------------------------
+def _fmt_metric(value: Optional[float]) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _pipe_table(header: Sequence[str], body: Sequence[Sequence[str]]) -> List[str]:
+    lines = ["| " + " | ".join(header) + " |", "|" + "---|" * len(header)]
+    lines += ["| " + " | ".join(row) + " |" for row in body]
+    return lines

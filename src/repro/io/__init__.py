@@ -1,12 +1,23 @@
-"""Trace input/output (JSON Lines and CSV), batch and streaming."""
+"""Trace input/output: native JSON Lines / CSV plus foreign-trace interop.
+
+The native formats (:mod:`repro.io.formats`) round-trip the library's own
+operation model; the interop adapters (:mod:`repro.io.interop`) ingest and
+emit Jepsen/Knossos event histories and Porcupine operation logs.  All of
+them sit behind one format registry (:mod:`repro.io.registry`), so every
+path-accepting entry point — ``stream_trace``/``load_trace``/``dump_trace``,
+the CLI's ``--format`` flag, :meth:`repro.engine.Engine.verify_file`, the
+audit-service client — speaks every format uniformly.
+"""
 
 from .formats import (
+    JsonlDecoder,
     dump_csv,
     dump_jsonl,
     follow_jsonl,
     iter_csv,
     iter_jsonl,
     iter_jsonl_handle,
+    load_columnar,
     load_csv,
     load_jsonl,
     load_trace,
@@ -14,18 +25,52 @@ from .formats import (
     operation_to_dict,
     stream_trace,
 )
+from .interop import (
+    dump_jepsen,
+    dump_porcupine,
+    iter_jepsen,
+    iter_porcupine,
+    load_jepsen,
+    load_porcupine,
+)
+from .registry import (
+    FORMATS,
+    TraceFormat,
+    available_formats,
+    detect_format,
+    dump_trace,
+    get_format,
+    register_format,
+    resolve_format,
+)
 
 __all__ = [
+    "FORMATS",
+    "JsonlDecoder",
+    "TraceFormat",
+    "available_formats",
+    "detect_format",
     "dump_csv",
+    "dump_jepsen",
     "dump_jsonl",
+    "dump_porcupine",
+    "dump_trace",
     "follow_jsonl",
+    "get_format",
     "iter_csv",
+    "iter_jepsen",
     "iter_jsonl",
     "iter_jsonl_handle",
+    "iter_porcupine",
+    "load_columnar",
     "load_csv",
+    "load_jepsen",
     "load_jsonl",
+    "load_porcupine",
     "load_trace",
     "operation_from_dict",
     "operation_to_dict",
+    "register_format",
+    "resolve_format",
     "stream_trace",
 ]

@@ -405,22 +405,27 @@ def load_csv(path: Union[str, Path]) -> MultiHistory:
 
 
 # ----------------------------------------------------------------------
-# Format dispatch
+# Format dispatch (routed through the format registry)
 # ----------------------------------------------------------------------
-def stream_trace(path: Union[str, Path]) -> Iterator[Operation]:
-    """Stream any supported trace file (dispatch on extension, JSONL default)."""
-    p = Path(path)
-    if p.suffix.lower() == ".csv":
-        return iter_csv(p)
-    return iter_jsonl(p)
+def stream_trace(path: Union[str, Path], fmt: Optional[str] = None) -> Iterator[Operation]:
+    """Stream any supported trace file, one operation at a time.
+
+    Dispatch goes through the format registry (:mod:`repro.io.registry`):
+    ``fmt`` selects a registered format by name, otherwise the extension is
+    sniffed (JSONL default).  The import is deferred because the registry
+    itself registers the readers defined in this module.
+    """
+    from .registry import resolve_format
+
+    return resolve_format(path, fmt).reader(path)
 
 
-def load_trace(path: Union[str, Path]) -> MultiHistory:
+def load_trace(path: Union[str, Path], fmt: Optional[str] = None) -> MultiHistory:
     """Load any supported trace file into a :class:`MultiHistory`."""
-    return TraceBuilder(stream_trace(path)).build()
+    return TraceBuilder(stream_trace(path, fmt)).build()
 
 
-def load_columnar(path: Union[str, Path]) -> Dict:
+def load_columnar(path: Union[str, Path], fmt: Optional[str] = None) -> Dict:
     """Load a trace straight into per-register columnar encodings.
 
     Operations are *not* materialised: each record's fields go directly into
@@ -430,13 +435,17 @@ def load_columnar(path: Union[str, Path]) -> Dict:
     (or verify through the columnar kernels) as needed — the materialised
     history arrives with its encoding pre-cached.
 
-    JSONL only takes the fully column-oriented route; the CSV reader reuses
-    the operation stream (its per-row dict handling dominates either way).
+    JSONL only takes the fully column-oriented route; every other registered
+    format (CSV, the foreign-trace adapters) reuses its operation stream —
+    per-record dict handling dominates there either way.
     """
+    from .registry import resolve_format
+
+    spec = resolve_format(path, fmt)
     p = Path(path)
-    if p.suffix.lower() == ".csv":
+    if spec.name != "jsonl":
         rows_by_key: Dict = defaultdict(list)
-        for op in iter_csv(p):
+        for op in spec.reader(p):
             rows_by_key[op.key].append(
                 (op.is_write, op.value, op.start, op.finish, op.client, op.weight)
             )

@@ -1,0 +1,397 @@
+"""Foreign-trace interop: Jepsen/Knossos histories and Porcupine logs.
+
+Most recorded histories in the wild were not written by this library.  The
+two de-facto interchange shapes are:
+
+* **Jepsen / Knossos** event histories — a sequence of ``invoke`` / ``ok`` /
+  ``fail`` / ``info`` events, one per process transition, as produced by
+  Jepsen's register workloads (EDN in the original; this adapter reads the
+  common JSON rendering, either a single JSON array or one event object per
+  line);
+* **Porcupine** operation logs — one record per *completed* operation with
+  explicit call/return timestamps, mirroring Porcupine's ``Operation`` struct
+  (``ClientId`` / ``Input`` / ``Call`` / ``Output`` / ``Return``).
+
+Both adapters convert into the library's operation model so every consumer —
+``repro verify``, the sharded engine, the audit service — accepts foreign
+traces uniformly through the format registry (:mod:`repro.io.registry`), and
+both have exporters so a verified history can be handed back to the tool it
+came from.
+
+Semantics of the event-based (Jepsen) import:
+
+* ``invoke`` opens an operation for its process; the matching ``ok`` closes
+  it and supplies the read's returned value (writes take the invoked value);
+* ``fail`` means the operation *did not take effect* — it is dropped;
+* ``info`` means the outcome is *indeterminate* (e.g. a timed-out write).
+  An indeterminate write may have taken effect at any later point, so it is
+  kept with its finish extended past the last event — concurrent with
+  everything after it, exactly the window a linearizability checker must
+  consider.  An indeterminate read constrains nothing and is dropped.
+
+Error behaviour matches the native readers: structurally malformed input
+raises :class:`~repro.core.errors.TraceFormatError` tagged with the source
+and the event/record position.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..core.builder import TraceBuilder
+from ..core.errors import TraceFormatError
+from ..core.history import History, MultiHistory
+from ..core.operation import Operation, OpType, trusted_operation
+from .formats import _iter_operations
+
+__all__ = [
+    "iter_jepsen",
+    "load_jepsen",
+    "dump_jepsen",
+    "iter_porcupine",
+    "load_porcupine",
+    "dump_porcupine",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _iter_json_records(path: Union[str, Path], *, source: str) -> Iterator[Tuple[int, dict]]:
+    """Yield ``(position, record)`` from a JSON array file or a JSONL file.
+
+    Jepsen and Porcupine dumps circulate in both shapes; the first
+    non-whitespace byte decides (``[`` → one JSON array, otherwise one JSON
+    object per line).  Positions are 1-based — array indices or line numbers —
+    and appear in error messages.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        head = ""
+        while True:
+            chunk = fh.read(1)
+            if not chunk:
+                break
+            if not chunk.isspace():
+                head = chunk
+                break
+        fh.seek(0)
+        if head == "[":
+            try:
+                records = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"{source}: invalid JSON: {exc}") from exc
+            if not isinstance(records, list):  # pragma: no cover - head was "["
+                raise TraceFormatError(f"{source}: expected a JSON array of records")
+            for index, record in enumerate(records, start=1):
+                yield index, _require_object(record, source, index)
+        else:
+            for line_number, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceFormatError(
+                        f"{source}:{line_number}: invalid JSON: {exc}"
+                    ) from exc
+                yield line_number, _require_object(record, source, line_number)
+
+
+def _require_object(record, source: str, position: int) -> dict:
+    if not isinstance(record, dict):
+        raise TraceFormatError(
+            f"{source}:{position}: expected a JSON object, got {type(record).__name__}"
+        )
+    return record
+
+
+def _keyword(value) -> object:
+    """Strip the leading colon of an EDN keyword rendered into JSON."""
+    if isinstance(value, str) and value.startswith(":"):
+        return value[1:]
+    return value
+
+
+def _field(record: dict, *names, default=None):
+    """Pull the first present field from aliases (Go exporters capitalise)."""
+    for name in names:
+        if name in record:
+            return record[name]
+    return default
+
+
+def _as_time(value, source: str, position: int, field: str) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(
+            f"{source}:{position}: {field} must be numeric, got {value!r}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Jepsen / Knossos event histories
+# ----------------------------------------------------------------------
+_JEPSEN_TYPES = ("invoke", "ok", "fail", "info")
+_JEPSEN_FUNCS = {"read": OpType.READ, "r": OpType.READ, "get": OpType.READ,
+                 "write": OpType.WRITE, "w": OpType.WRITE, "put": OpType.WRITE}
+
+
+class _PendingInvocation:
+    """One open invocation of a Jepsen process awaiting its completion event."""
+
+    __slots__ = ("op_type", "value", "key", "start", "position")
+
+    def __init__(self, op_type: OpType, value, key, start: float, position: int):
+        self.op_type = op_type
+        self.value = value
+        self.key = key
+        self.start = start
+        self.position = position
+
+
+def iter_jepsen(path: Union[str, Path]) -> Iterator[Operation]:
+    """Stream the operations of a Jepsen/Knossos-style JSON event history.
+
+    Events are JSON objects with ``type`` (``invoke``/``ok``/``fail``/
+    ``info``), ``f`` (``read``/``write``), ``process``, ``value`` and
+    optionally ``key`` and ``time`` (EDN keywords like ``":invoke"`` are
+    accepted).  Without a ``time`` field the event's position in the file
+    serves as the logical clock.  Operations are yielded in completion
+    order; indeterminate (``info``) writes are yielded last, with their
+    finish extended past the final event (see the module docstring).
+    """
+    source = str(path)
+    pending: Dict[object, _PendingInvocation] = {}
+    indeterminate: List[_PendingInvocation] = []
+    last_time = 0.0
+    for position, record in _iter_json_records(path, source=source):
+        event_type = _keyword(_field(record, "type", ":type"))
+        if event_type not in _JEPSEN_TYPES:
+            raise TraceFormatError(
+                f"{source}:{position}: unknown event type {event_type!r} "
+                f"(expected one of {', '.join(_JEPSEN_TYPES)})"
+            )
+        func = _keyword(_field(record, "f", ":f"))
+        op_type = _JEPSEN_FUNCS.get(func if isinstance(func, str) else None)
+        if op_type is None:
+            raise TraceFormatError(
+                f"{source}:{position}: unknown function {func!r} "
+                "(expected read/write); only register histories are supported"
+            )
+        process = _field(record, "process", ":process")
+        timestamp = _field(record, "time", ":time")
+        if timestamp is None:
+            timestamp = position
+        timestamp = _as_time(timestamp, source, position, "time")
+        last_time = max(last_time, timestamp)
+        value = _field(record, "value", ":value")
+        key = _field(record, "key", ":key")
+
+        if event_type == "invoke":
+            if process in pending:
+                raise TraceFormatError(
+                    f"{source}:{position}: process {process!r} invoked an "
+                    "operation while one is still open (events out of order?)"
+                )
+            if op_type is OpType.WRITE and value is None:
+                raise TraceFormatError(
+                    f"{source}:{position}: write invocation carries no value"
+                )
+            pending[process] = _PendingInvocation(op_type, value, key, timestamp, position)
+            continue
+
+        invocation = pending.pop(process, None)
+        if invocation is None:
+            raise TraceFormatError(
+                f"{source}:{position}: {event_type} event for process "
+                f"{process!r} has no open invocation"
+            )
+        if event_type == "fail":
+            continue  # the operation did not take effect
+        if event_type == "info":
+            if invocation.op_type is OpType.WRITE:
+                indeterminate.append(invocation)
+            continue  # an indeterminate read constrains nothing
+        # "ok": reads take the completion value (the invocation's is usually
+        # nil), writes keep the invoked value.
+        if invocation.op_type is OpType.READ:
+            final_value = value if value is not None else invocation.value
+        else:
+            final_value = invocation.value
+        finish = timestamp if timestamp > invocation.start else invocation.start + 1.0
+        yield trusted_operation(
+            invocation.op_type,
+            final_value,
+            invocation.start,
+            finish,
+            key=invocation.key if invocation.key is not None else key,
+            client=process,
+        )
+    # End of history: still-open invocations never completed (crashed client),
+    # which is the same indeterminacy as an explicit info event.
+    for invocation in pending.values():
+        if invocation.op_type is OpType.WRITE:
+            indeterminate.append(invocation)
+    for invocation in sorted(indeterminate, key=lambda inv: (inv.start, inv.position)):
+        yield trusted_operation(
+            invocation.op_type,
+            invocation.value,
+            invocation.start,
+            max(last_time, invocation.start) + 1.0,
+            key=invocation.key,
+        )
+
+
+def load_jepsen(path: Union[str, Path]) -> MultiHistory:
+    """Load a Jepsen-style event history into a :class:`MultiHistory`."""
+    return TraceBuilder(iter_jepsen(path)).build()
+
+
+def dump_jepsen(
+    trace: Union[History, MultiHistory, Iterable[Operation]], path: Union[str, Path]
+) -> int:
+    """Write a trace as a Jepsen-style JSON event array; returns the op count.
+
+    Every operation becomes an ``invoke``/``ok`` event pair at its start and
+    finish timestamps, interleaved across the whole trace in time order (ties
+    complete before they invoke, preserving the precedence partial order).
+    Clients map to integer process ids in first-appearance order; because a
+    Jepsen process is single-threaded, a client whose operations overlap (or a
+    ``None`` client) is spread over as many process ids as its concurrency
+    requires.  Re-importing with :func:`iter_jepsen` reproduces the same
+    operations.
+    """
+    ops = _iter_operations(trace)
+    # client -> [(process_id, busy_until)]: one lane per concurrent operation.
+    lanes: Dict[object, List[List[float]]] = {}
+    next_process = 0
+    events: List[Tuple[float, int, int, dict]] = []  # (time, phase, seq, event)
+    for seq, op in enumerate(sorted(ops, key=lambda o: (o.start, o.finish, o.op_id))):
+        client_lanes = lanes.setdefault(op.client, [])
+        for lane in client_lanes:
+            if lane[1] <= op.start:
+                lane[1] = op.finish
+                process = int(lane[0])
+                break
+        else:
+            process = next_process
+            next_process += 1
+            client_lanes.append([process, op.finish])
+        func = "write" if op.is_write else "read"
+        base = {"process": process, "f": func}
+        if op.key is not None:
+            base["key"] = op.key
+        invoke = dict(base, type="invoke", time=op.start,
+                      value=op.value if op.is_write else None)
+        ok = dict(base, type="ok", time=op.finish, value=op.value)
+        # phase 0 = completion, phase 1 = invocation: at equal timestamps the
+        # finishing operation is ordered first so it still precedes the
+        # starting one after the round trip.
+        events.append((op.start, 1, seq, invoke))
+        events.append((op.finish, 0, seq, ok))
+    events.sort(key=lambda item: item[:3])
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("[\n")
+        for index, (_, _, _, event) in enumerate(events):
+            comma = "," if index < len(events) - 1 else ""
+            fh.write(f"  {json.dumps(event, sort_keys=True)}{comma}\n")
+        fh.write("]\n")
+    return len(events) // 2
+
+
+# ----------------------------------------------------------------------
+# Porcupine operation logs
+# ----------------------------------------------------------------------
+def iter_porcupine(path: Union[str, Path]) -> Iterator[Operation]:
+    """Stream the operations of a Porcupine-style operation log.
+
+    Each record mirrors Porcupine's ``Operation`` struct: ``client`` (or
+    ``ClientId``), ``call``/``Call`` and ``return``/``Return`` timestamps,
+    an ``input`` object (``{"op": "read"|"write", "key": ..., "value": ...}``)
+    and an ``output`` object (``{"value": ...}``, or a bare value).  Reads
+    take their value from the output, writes from the input.  Accepts a JSON
+    array or one record per line.
+    """
+    source = str(path)
+    for position, record in _iter_json_records(path, source=source):
+        input_obj = _field(record, "input", "Input")
+        if not isinstance(input_obj, dict):
+            raise TraceFormatError(
+                f"{source}:{position}: record has no input object"
+            )
+        func = _keyword(_field(input_obj, "op", "Op", "f"))
+        op_type = _JEPSEN_FUNCS.get(func if isinstance(func, str) else None)
+        if op_type is None:
+            raise TraceFormatError(
+                f"{source}:{position}: unknown operation {func!r} "
+                "(expected read/write)"
+            )
+        start = _as_time(_field(record, "call", "Call"), source, position, "call")
+        finish = _as_time(_field(record, "return", "Return"), source, position, "return")
+        if finish <= start:
+            raise TraceFormatError(
+                f"{source}:{position}: return time {finish!r} is not after "
+                f"call time {start!r}"
+            )
+        output_obj = _field(record, "output", "Output")
+        if op_type is OpType.READ:
+            if isinstance(output_obj, dict):
+                value = _field(output_obj, "value", "Value")
+            else:
+                value = output_obj
+            if value is None:
+                value = _field(input_obj, "value", "Value")
+        else:
+            value = _field(input_obj, "value", "Value")
+            if value is None:
+                raise TraceFormatError(
+                    f"{source}:{position}: write record carries no input value"
+                )
+        yield trusted_operation(
+            op_type,
+            value,
+            start,
+            finish,
+            key=_field(input_obj, "key", "Key"),
+            client=_field(record, "client", "ClientId", "client_id"),
+        )
+
+
+def load_porcupine(path: Union[str, Path]) -> MultiHistory:
+    """Load a Porcupine-style operation log into a :class:`MultiHistory`."""
+    return TraceBuilder(iter_porcupine(path)).build()
+
+
+def dump_porcupine(
+    trace: Union[History, MultiHistory, Iterable[Operation]], path: Union[str, Path]
+) -> int:
+    """Write a trace as a Porcupine-style operation log (one record per line).
+
+    Records carry ``client``, ``call``/``return`` timestamps, the ``input``
+    (op, key, value for writes) and the ``output`` (value for reads), so
+    re-importing with :func:`iter_porcupine` reproduces the same operations.
+    """
+    ops = _iter_operations(trace)
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for op in sorted(ops, key=lambda o: (o.start, o.finish, o.op_id)):
+            input_obj: dict = {"op": "write" if op.is_write else "read"}
+            if op.key is not None:
+                input_obj["key"] = op.key
+            if op.is_write:
+                input_obj["value"] = op.value
+            record = {
+                "client": op.client,
+                "call": op.start,
+                "return": op.finish,
+                "input": input_obj,
+                "output": {"value": op.value} if op.is_read else None,
+            }
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count

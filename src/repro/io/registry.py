@@ -1,0 +1,201 @@
+"""Format registry: the single source of truth for trace formats.
+
+Every place that turns a path into operations — ``repro verify``/``watch``/
+``audit``, :meth:`repro.engine.Engine.verify_file`, the audit-service client —
+resolves the format here, either explicitly by name (``--format jepsen``) or
+by sniffing the file extension.  Registering a :class:`TraceFormat` makes a
+format available everywhere at once; nothing else hard-codes an extension.
+
+    >>> detect_format("trace.jsonl").name
+    'jsonl'
+    >>> detect_format("history.jepsen.json").name
+    'jepsen'
+    >>> get_format("csv").extensions
+    ('.csv',)
+
+Built-in formats:
+
+========== ============================== ======================================
+name       extensions                     shape
+========== ============================== ======================================
+jsonl      ``.jsonl`` ``.ndjson``         native JSON Lines (one op per line)
+csv        ``.csv``                       flat CSV export
+jepsen     ``.jepsen`` ``.jepsen.json``   Jepsen/Knossos invoke/ok event history
+           ``.edn.json``
+porcupine  ``.porcupine``                 Porcupine-style call/return records
+           ``.porcupine.json``
+========== ============================== ======================================
+
+Paths with none of these extensions default to ``jsonl`` (the historical
+behaviour of :func:`repro.io.formats.stream_trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple, Union
+
+from ..core.builder import TraceBuilder
+from ..core.errors import TraceFormatError
+from ..core.history import History, MultiHistory
+from ..core.operation import Operation
+from . import formats as _formats
+from . import interop as _interop
+
+__all__ = [
+    "TraceFormat",
+    "FORMATS",
+    "register_format",
+    "get_format",
+    "detect_format",
+    "resolve_format",
+    "available_formats",
+    "stream_trace",
+    "load_trace",
+    "dump_trace",
+]
+
+TraceLike = Union[History, MultiHistory, Iterable[Operation]]
+
+
+@dataclass(frozen=True)
+class TraceFormat:
+    """One registered trace format: how to recognise, read and write it."""
+
+    name: str
+    description: str
+    #: Filename suffixes that select this format during sniffing, matched
+    #: case-insensitively against the end of the filename (so compound
+    #: suffixes like ``.jepsen.json`` work).  May be empty for formats that
+    #: are only ever selected by name.
+    extensions: Tuple[str, ...]
+    #: ``reader(path) -> Iterator[Operation]`` — streaming, one op at a time.
+    reader: Callable[[Union[str, Path]], Iterator[Operation]]
+    #: ``writer(trace, path) -> int`` (op count), or ``None`` if write-less.
+    writer: Optional[Callable[[TraceLike, Union[str, Path]], int]] = None
+
+    def matches(self, filename: str) -> bool:
+        """True iff the filename carries one of this format's extensions."""
+        lowered = filename.lower()
+        return any(lowered.endswith(ext) for ext in self.extensions)
+
+
+FORMATS: Dict[str, TraceFormat] = {}
+
+
+def register_format(spec: TraceFormat) -> TraceFormat:
+    """Add a format to the registry; rejects name/extension collisions."""
+    key = spec.name.strip().lower()
+    if key in FORMATS:
+        raise TraceFormatError(f"trace format {spec.name!r} is already registered")
+    for other in FORMATS.values():
+        clash = set(ext.lower() for ext in spec.extensions) & set(
+            ext.lower() for ext in other.extensions
+        )
+        if clash:
+            raise TraceFormatError(
+                f"trace format {spec.name!r} claims extension(s) "
+                f"{sorted(clash)} already owned by {other.name!r}"
+            )
+    FORMATS[key] = spec
+    return spec
+
+
+def get_format(name: str) -> TraceFormat:
+    """Look up a format by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in FORMATS:
+        raise TraceFormatError(
+            f"unknown trace format {name!r}; available: {', '.join(sorted(FORMATS))}"
+        )
+    return FORMATS[key]
+
+
+def detect_format(path: Union[str, Path]) -> TraceFormat:
+    """Sniff the format of a path by extension (longest match wins).
+
+    Unrecognised extensions fall back to ``jsonl``, preserving the historical
+    default of the native readers.
+    """
+    filename = Path(path).name
+    best: Optional[TraceFormat] = None
+    best_len = -1
+    for spec in FORMATS.values():
+        for ext in spec.extensions:
+            if filename.lower().endswith(ext.lower()) and len(ext) > best_len:
+                best, best_len = spec, len(ext)
+    return best if best is not None else FORMATS["jsonl"]
+
+
+def resolve_format(path: Union[str, Path], fmt: Optional[str] = None) -> TraceFormat:
+    """The format to use for ``path``: explicit ``fmt`` if given, else sniffed."""
+    return get_format(fmt) if fmt else detect_format(path)
+
+
+def available_formats() -> Dict[str, str]:
+    """Mapping from format name to its one-line description."""
+    return {name: spec.description for name, spec in sorted(FORMATS.items())}
+
+
+# ----------------------------------------------------------------------
+# Registry-routed entry points
+# ----------------------------------------------------------------------
+def stream_trace(path: Union[str, Path], fmt: Optional[str] = None) -> Iterator[Operation]:
+    """Stream any supported trace file, one operation at a time."""
+    return resolve_format(path, fmt).reader(path)
+
+
+def load_trace(path: Union[str, Path], fmt: Optional[str] = None) -> MultiHistory:
+    """Load any supported trace file into a :class:`MultiHistory`."""
+    return TraceBuilder(stream_trace(path, fmt)).build()
+
+
+def dump_trace(trace: TraceLike, path: Union[str, Path], fmt: Optional[str] = None) -> int:
+    """Write a trace in any supported format; returns the operation count."""
+    spec = resolve_format(path, fmt)
+    if spec.writer is None:
+        raise TraceFormatError(f"trace format {spec.name!r} has no writer")
+    return spec.writer(trace, path)
+
+
+# ----------------------------------------------------------------------
+# Built-in formats
+# ----------------------------------------------------------------------
+register_format(
+    TraceFormat(
+        name="jsonl",
+        description="native JSON Lines trace (one operation object per line)",
+        extensions=(".jsonl", ".ndjson"),
+        reader=_formats.iter_jsonl,
+        writer=_formats.dump_jsonl,
+    )
+)
+register_format(
+    TraceFormat(
+        name="csv",
+        description="flat CSV export (spreadsheets, ad-hoc scripts)",
+        extensions=(".csv",),
+        reader=_formats.iter_csv,
+        writer=_formats.dump_csv,
+    )
+)
+register_format(
+    TraceFormat(
+        name="jepsen",
+        description="Jepsen/Knossos-style invoke/ok/fail/info event history "
+        "(JSON array or JSONL)",
+        extensions=(".jepsen", ".jepsen.json", ".edn.json"),
+        reader=_interop.iter_jepsen,
+        writer=_interop.dump_jepsen,
+    )
+)
+register_format(
+    TraceFormat(
+        name="porcupine",
+        description="Porcupine-style operation log (call/return records)",
+        extensions=(".porcupine", ".porcupine.json"),
+        reader=_interop.iter_porcupine,
+        writer=_interop.dump_porcupine,
+    )
+)

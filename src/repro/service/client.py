@@ -296,19 +296,22 @@ def verify_remote(
     session: Optional[str] = None,
     resume: bool = False,
     witness: bool = False,
+    fmt: Optional[str] = None,
     on_window: Optional[Callable[[dict], None]] = None,
 ) -> RemoteReport:
     """Stream a trace to an audit server and return its final report.
 
     The synchronous counterpart of :class:`AuditClient` — what ``repro verify
-    --remote ADDRESS`` calls.  ``trace`` is a trace file path (dispatched like
-    :func:`repro.io.formats.stream_trace`) or any iterable of operations.
-    ``report.results`` equals what :func:`~repro.core.api.verify_trace` returns
-    for the same operations, by the incremental checkers' batch-parity
-    guarantee.
+    --remote ADDRESS`` calls.  ``trace`` is a trace file path (any format the
+    registry knows; ``fmt`` forces one by name, ``None`` sniffs the
+    extension) or any iterable of operations — foreign Jepsen/Porcupine
+    histories are decoded client-side and travel the wire as ordinary
+    protocol records.  ``report.results`` equals what
+    :func:`~repro.core.api.verify_trace` returns for the same operations, by
+    the incremental checkers' batch-parity guarantee.
     """
     if isinstance(trace, (str, Path)):
-        ops: Iterable[Operation] = stream_trace(trace)
+        ops: Iterable[Operation] = stream_trace(trace, fmt)
     else:
         ops = trace
 
