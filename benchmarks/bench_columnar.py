@@ -6,28 +6,32 @@ buys end to end and doubles as a parity test:
 
 * **single-register sweep** — ``verify(h, 1)`` (GK) followed by
   ``verify(h, 2)`` (FZF) on one practical history, over a range of trace
-  sizes, columnar vs object path, on fresh history instances each repeat so
-  the derived-structure cache cannot leak between the two paths;
+  sizes, on fresh history instances each repeat so the derived-structure
+  cache cannot leak between paths.  Three tiers: the object path, the
+  columnar (struct-of-arrays) kernels, and the vectorized numpy kernels fed
+  straight from a memory-mapped ``.rcol`` file (load + GK + FZF, witnesses
+  left undecoded — the engine's out-of-core configuration);
 * **multi-register engine pass** — the serial engine over a synthetic trace,
   columnar vs object path;
-* **ingestion** — JSONL → per-register histories: the streaming object
-  reader vs :func:`repro.io.formats.load_columnar` (records → columns, no
-  ``Operation`` objects);
+* **ingestion** — trace file → per-register histories: the streaming
+  object reader vs :func:`repro.io.formats.load_columnar` (records →
+  columns, no ``Operation`` objects) vs lazy ``.rcol`` memory-mapping
+  (:class:`repro.io.rcol.RcolFile` — a footer parse plus zero-copy views);
 * **shard IPC payload** — pickled ``ShardTask`` object graphs vs the compact
   column codec the process executor ships (:mod:`repro.engine.codec`).
 
-Every timed verdict is cross-checked between the two paths (verdict, reason
-and witness validity), so a kernel divergence fails the run loudly.
+Every timed verdict is cross-checked between the paths (verdict, reason,
+stats and witness validity), so a kernel divergence fails the run loudly.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_columnar.py [--sizes 10000,30000,100000]
         [--registers N] [--repeat R] [--json PATH] [--check [--baseline PATH]]
 
-``--check`` re-validates the recorded baseline invariants (parity, a minimum
-columnar speedup, payload reduction) at whatever size was run — CI runs it at
-a small size as a regression smoke test; the committed reference numbers live
-in ``benchmarks/results/bench_columnar.json``.
+``--check`` re-validates the recorded baseline invariants (parity, minimum
+columnar and vectorized speedups, payload reduction) at whatever size was run
+— CI runs it at a small size as a regression smoke test; the committed
+reference numbers live in ``benchmarks/results/bench_columnar.json``.
 """
 
 from __future__ import annotations
@@ -48,11 +52,13 @@ if __name__ == "__main__" and __package__ is None:
         sys.path.insert(0, str(_src))
 
 from repro.analysis.report import format_table
+from repro.core import vector
 from repro.core.api import verify
 from repro.core.history import History
 from repro.core.preprocess import normalize
 from repro.engine import Engine
 from repro.io.formats import dump_jsonl, load_columnar, load_trace
+from repro.io.rcol import RcolFile, dump_rcol
 from repro.workloads.synthetic import practical_history, synthetic_trace
 
 DEFAULT_BASELINE = Path(__file__).parent / "results" / "bench_columnar.json"
@@ -91,8 +97,35 @@ def fresh(history):
     return History(history.operations, key=history.key)
 
 
+def check_numpy_parity(col, obj_r1, obj_r2, np_r1, np_r2):
+    """Assert the vectorized tier matches the object path on both verdicts.
+
+    The timed vectorized runs leave witnesses undecoded, so witness validity
+    is checked on a separate decoded (untimed) run against the decoded
+    operations of the memory-mapped columns.
+    """
+    decoded = None
+    for k, obj_r, np_r in ((1, obj_r1, np_r1), (2, obj_r2, np_r2)):
+        assert bool(obj_r) == bool(np_r), (
+            f"verdict divergence at k={k}: object={bool(obj_r)} numpy={bool(np_r)}"
+        )
+        assert obj_r.reason == np_r.reason, (
+            f"reason divergence at k={k}: {obj_r.reason!r} != {np_r.reason!r}"
+        )
+        assert obj_r.stats == np_r.stats, (
+            f"stats divergence at k={k}: {obj_r.stats!r} != {np_r.stats!r}"
+        )
+        dec = vector.verify_columnar(col, k, preprocess=False)
+        if dec.witness is not None:
+            if decoded is None:
+                decoded = col.to_history()
+            assert decoded.is_k_atomic_total_order(dec.witness, k), (
+                f"invalid witness from {dec.algorithm} at k={k} (numpy kernel)"
+            )
+
+
 def bench_single_register(sizes, repeat, seed, out):
-    """GK then FZF on one register, columnar vs object, over a size sweep."""
+    """GK then FZF on one register: object vs columnar vs vectorized tiers."""
     rows = []
     records = []
     for n in sizes:
@@ -112,8 +145,40 @@ def bench_single_register(sizes, repeat, seed, out):
         check_parity(history, obj_r1, col_r1, 1)
         check_parity(history, obj_r2, col_r2, 2)
         speedup = obj_s / col_s if col_s > 0 else float("inf")
+        np_s = np_speedup = np_vs_col = None
+        if vector.NUMPY_AVAILABLE:
+            # The vectorized tier is timed the way the out-of-core engine
+            # runs it: memory-map the .rcol file, build columns lazily and
+            # verify without decoding the YES witness back into Operation
+            # objects.  The dump itself is one-time conversion cost and is
+            # measured separately by bench_ingestion.
+            with tempfile.TemporaryDirectory() as tmp:
+                rcol_path = Path(tmp) / "trace.rcol"
+                dump_rcol(history, rcol_path)
+
+                def run_numpy_pair():
+                    with RcolFile(rcol_path) as rf:
+                        col = rf.load_columnar(history.key)
+                        r1 = vector.verify_columnar(
+                            col, 1, preprocess=False, decode_witness=False
+                        )
+                        r2 = vector.verify_columnar(
+                            col, 2, preprocess=False, decode_witness=False
+                        )
+                    return r1, r2
+
+                np_s, (np_r1, np_r2) = timed(run_numpy_pair, repeat)
+                with RcolFile(rcol_path) as rf:
+                    check_numpy_parity(
+                        rf.load_columnar(history.key), obj_r1, obj_r2, np_r1, np_r2
+                    )
+            np_speedup = obj_s / np_s if np_s > 0 else float("inf")
+            np_vs_col = col_s / np_s if np_s > 0 else float("inf")
         rows.append(
-            [n, f"{obj_s:.3f}", f"{col_s:.3f}", f"{speedup:.2f}x",
+            [n, f"{obj_s:.3f}", f"{col_s:.3f}",
+             "-" if np_s is None else f"{np_s:.3f}",
+             f"{speedup:.2f}x",
+             "-" if np_speedup is None else f"{np_speedup:.2f}x",
              "YES" if col_r2 else "NO"]
         )
         records.append(
@@ -121,13 +186,22 @@ def bench_single_register(sizes, repeat, seed, out):
                 "ops": n,
                 "object_s": round(obj_s, 6),
                 "columnar_s": round(col_s, 6),
+                "numpy_s": None if np_s is None else round(np_s, 6),
                 "speedup": round(speedup, 3),
+                "numpy_speedup": (
+                    None if np_speedup is None else round(np_speedup, 3)
+                ),
+                "numpy_vs_columnar": (
+                    None if np_vs_col is None else round(np_vs_col, 3)
+                ),
             }
         )
     print("single-register GK+FZF sweep (fresh caches per run):", file=out)
     print(
         format_table(
-            ["ops", "object (s)", "columnar (s)", "speedup", "2-atomic"], rows
+            ["ops", "object (s)", "columnar (s)", "numpy (s)", "col x",
+             "numpy x", "2-atomic"],
+            rows,
         ),
         file=out,
     )
@@ -175,26 +249,47 @@ def bench_engine(num_registers, ops_per_register, repeat, seed, out):
 
 
 def bench_ingestion(num_registers, ops_per_register, repeat, seed, out):
-    """JSONL ingestion: streaming object reader vs direct columnar decode."""
+    """Trace-file ingestion: object reader vs columnar decode vs .rcol memmap."""
     rng = random.Random(seed)
     trace = synthetic_trace(rng, num_registers, ops_per_register)
+    rcol_s = None
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "trace.jsonl"
         count = dump_jsonl(trace, path)
         object_s, _ = timed(lambda: load_trace(path), repeat)
         columnar_s, cols = timed(lambda: load_columnar(path), repeat)
+        if vector.NUMPY_AVAILABLE:
+            rcol_path = Path(tmp) / "trace.rcol"
+            dump_rcol(trace, rcol_path)
+
+            def load_rcol():
+                with RcolFile(rcol_path) as rf:
+                    return {key: rf.load_columnar(key) for key in rf.keys()}
+
+            rcol_s, rcols = timed(load_rcol, repeat)
+            assert sum(c.n for c in rcols.values()) == count
     assert sum(c.n for c in cols.values()) == count
     print("", file=out)
+    rcol_part = (
+        ""
+        if rcol_s is None
+        else f" vs .rcol memmap {rcol_s:.3f}s ({object_s / rcol_s:.2f}x)"
+    )
     print(
-        f"JSONL ingestion ({count} ops): object reader {object_s:.3f}s vs "
-        f"columnar decode {columnar_s:.3f}s ({object_s / columnar_s:.2f}x)",
+        f"trace ingestion ({count} ops): JSONL object reader {object_s:.3f}s vs "
+        f"JSONL columnar decode {columnar_s:.3f}s "
+        f"({object_s / columnar_s:.2f}x){rcol_part}",
         file=out,
     )
     return {
         "total_ops": count,
         "object_s": round(object_s, 6),
         "columnar_s": round(columnar_s, 6),
+        "rcol_s": None if rcol_s is None else round(rcol_s, 6),
         "speedup": round(object_s / columnar_s, 3) if columnar_s else None,
+        "rcol_speedup": (
+            round(object_s / rcol_s, 3) if rcol_s else None
+        ),
     }
 
 
@@ -226,7 +321,7 @@ def bench_ipc_payload(num_registers, ops_per_register, seed, out):
 
 
 def run(sizes, num_registers, ops_per_register, repeat, seed, json_path, check,
-        check_min_speedup, out=sys.stdout):
+        check_min_speedup, check_min_numpy_speedup=None, out=sys.stdout):
     print(
         f"columnar benchmark: sizes={sizes}, engine trace "
         f"{num_registers}x{ops_per_register}, repeat={repeat}, seed={seed}",
@@ -266,6 +361,19 @@ def run(sizes, num_registers, ops_per_register, repeat, seed, json_path, check,
                 f"{largest['ops']} ops is below the required "
                 f"{check_min_speedup:.2f}x"
             )
+        numpy_note = "numpy tier unavailable (not checked)"
+        if vector.NUMPY_AVAILABLE and check_min_numpy_speedup is not None:
+            np_ratio = largest["numpy_vs_columnar"]
+            if np_ratio is None or np_ratio < check_min_numpy_speedup:
+                failures.append(
+                    f"vectorized GK+FZF is {np_ratio}x the columnar kernels at "
+                    f"{largest['ops']} ops, below the required "
+                    f"{check_min_numpy_speedup:.2f}x"
+                )
+            else:
+                numpy_note = (
+                    f"vectorized tier {np_ratio:.2f}x over columnar"
+                )
         if ipc["column_bytes"] >= ipc["object_bytes"]:
             failures.append(
                 f"column payload {ipc['column_bytes']} B is not smaller than "
@@ -279,7 +387,7 @@ def run(sizes, num_registers, ops_per_register, repeat, seed, json_path, check,
         print(
             f"CHECK OK: parity held, columnar speedup {largest['speedup']:.2f}x "
             f"at {largest['ops']} ops (worst across sizes {worst:.2f}x), "
-            f"payload {ipc['reduction']:.2f}x smaller",
+            f"{numpy_note}, payload {ipc['reduction']:.2f}x smaller",
             file=out,
         )
     return record, 0
@@ -312,11 +420,23 @@ def main(argv=None):
         "(default: 2.0 at >=100k ops, 1.2 below — small sizes amortise "
         "the encoding less)",
     )
+    parser.add_argument(
+        "--check-min-numpy-speedup",
+        type=float,
+        default=None,
+        dest="check_min_numpy_speedup",
+        help="minimum required vectorized-over-columnar ratio at the largest "
+        "size (default: 10.0 at >=100k ops, 2.0 below; skipped when numpy "
+        "is unavailable)",
+    )
     args = parser.parse_args(argv)
     sizes = [int(s) for s in args.sizes.split(",") if s]
     min_speedup = args.check_min_speedup
     if min_speedup is None:
         min_speedup = 2.0 if max(sizes) >= 100_000 else 1.2
+    min_numpy = args.check_min_numpy_speedup
+    if min_numpy is None:
+        min_numpy = 10.0 if max(sizes) >= 100_000 else 2.0
     _, status = run(
         sizes=sizes,
         num_registers=args.registers,
@@ -326,6 +446,7 @@ def main(argv=None):
         json_path=args.json,
         check=args.check,
         check_min_speedup=min_speedup,
+        check_min_numpy_speedup=min_numpy,
     )
     return status
 

@@ -41,6 +41,9 @@ SECTIONS = [
       "CheckerSpec", "get_checker"]),
     ("Incremental checkers", "repro.algorithms.online",
      ["Checker", "IncrementalGKChecker", "IncrementalLBTChecker"]),
+    ("Vectorized kernel tier", "repro.core.vector",
+     ["resolve_kernel", "available", "set_default_enabled", "verify_columnar",
+      "columnar_from_numpy"]),
     ("Batch engine", "repro.engine.engine",
      ["Engine"]),
     ("Streaming engine", "repro.engine.streaming",
@@ -53,6 +56,8 @@ SECTIONS = [
      ["stream_trace", "load_trace", "dump_jsonl", "iter_jsonl", "load_jsonl",
       "follow_jsonl", "JsonlDecoder", "dump_csv", "iter_csv", "load_csv",
       "load_columnar"]),
+    ("Out-of-core traces (.rcol)", "repro.io.rcol",
+     ["RcolFile", "RcolWriter", "iter_rcol", "dump_rcol"]),
     ("Format registry", "repro.io.registry",
      ["TraceFormat", "register_format", "get_format", "detect_format",
       "available_formats", "dump_trace"]),

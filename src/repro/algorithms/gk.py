@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..core import columnar
+from ..core import columnar, vector
 from ..core.history import History
 from ..core.preprocess import has_anomalies
 from ..core.result import VerificationResult
@@ -67,7 +67,10 @@ def find_1atomicity_violation(history: History) -> Optional[Tuple[str, Cluster, 
 
 
 def verify_1atomic(
-    history: History, *, columnar_path: Optional[bool] = None
+    history: History,
+    *,
+    columnar_path: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> VerificationResult:
     """Decide whether ``history`` is 1-atomic (linearizable).
 
@@ -75,10 +78,13 @@ def verify_1atomic(
     uniquely-valued writes); use :func:`repro.core.preprocess.normalize`
     first if unsure.
 
-    By default the zone conditions are evaluated by the columnar kernel
-    (:func:`repro.core.columnar.gk_violation`), an index-based twin of
-    :func:`find_1atomicity_violation` with identical verdicts and reasons;
-    pass ``columnar_path=False`` to force the object-path sweep.
+    By default the zone conditions are evaluated by the fastest available
+    kernel tier (:func:`repro.core.vector.resolve_kernel`): the vectorized
+    numpy sweeps when numpy is importable, else the columnar kernel
+    (:func:`repro.core.columnar.gk_violation`) — both index-based twins of
+    :func:`find_1atomicity_violation` with identical verdicts and reasons.
+    Pass ``kernel="object"`` (or the legacy ``columnar_path=False``) to force
+    the object-path sweep.
 
     Returns
     -------
@@ -88,7 +94,10 @@ def verify_1atomic(
     """
     if history.is_empty:
         return VerificationResult.yes(1, _ALGORITHM, witness=(), reason="empty history")
-    if columnar.resolve(columnar_path):
+    tier = vector.resolve_kernel(kernel, columnar_path)
+    if tier == "numpy":
+        return vector.gk_result_np(columnar.columnar_of(history))
+    if tier == "columnar":
         return _verify_1atomic_columnar(history)
     if has_anomalies(history):
         return VerificationResult.no(

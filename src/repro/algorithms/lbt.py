@@ -229,7 +229,9 @@ class LBTChecker:
       of the cheapest successful candidate.
     """
 
-    def __init__(self, history: History):
+    def __init__(self, history: History, *, kernel: Optional[str] = None):
+        from ..core import vector
+
         self.history = history
         # Operations sorted by start time define the H linked list.  The hot
         # loops below never touch the Operation objects themselves: all
@@ -238,6 +240,22 @@ class LBTChecker:
         self.ops: List[Operation] = list(history.operations)
         self.h_index: Dict[Operation, int] = {op: i for i, op in enumerate(self.ops)}
         self.H = _LinkedList(len(self.ops))
+        if vector.resolve_kernel(kernel, None) == "numpy" and self.ops:
+            # Vectorized setup: the same columns, built with array ops
+            # (lexsort / stable argsort) instead of per-operation Python.
+            cols = vector.lbt_setup(history)
+            self.h_starts = cols["h_starts"]
+            self.h_is_write = cols["h_is_write"]
+            self.h_of_w = cols["h_of_w"]
+            self.writes = [self.ops[i] for i in self.h_of_w]
+            self.w_starts = cols["w_starts"]
+            self.w_finishes = cols["w_finishes"]
+            self.dictated_of_w = cols["dictated_of_w"]
+            self.dictating_w_of_h = cols["dictating_w_of_h"]
+            self.w_index = {w: i for i, w in enumerate(self.writes)}
+            self.W = _LinkedList(len(self.writes))
+            self.stats = {"epochs": 0, "candidates_tried": 0, "deepening_rounds": 0}
+            return
         self.h_starts: List[float] = [op.start for op in self.ops]
         self.h_is_write: List[bool] = [op.is_write for op in self.ops]
         # Writes sorted by finish time define the W linked list.
@@ -423,7 +441,12 @@ class LBTChecker:
         return None
 
 
-def verify_2atomic(history: History, *, preprocess: bool = False) -> VerificationResult:
+def verify_2atomic(
+    history: History,
+    *,
+    preprocess: bool = False,
+    kernel: Optional[str] = None,
+) -> VerificationResult:
     """Decide whether ``history`` is 2-atomic using the efficient LBT.
 
     Parameters
@@ -435,6 +458,10 @@ def verify_2atomic(history: History, *, preprocess: bool = False) -> Verificatio
         When true, run :func:`repro.core.preprocess.normalize` first
         (timestamp tie-breaking and write shortening).  Anomalous histories
         then yield a NO verdict instead of an exception.
+    kernel:
+        Kernel tier for the checker's setup columns
+        (:func:`repro.core.vector.resolve_kernel`); the epoch loops
+        themselves are inherently sequential and identical across tiers.
     """
     if preprocess:
         if has_anomalies(history):
@@ -442,7 +469,7 @@ def verify_2atomic(history: History, *, preprocess: bool = False) -> Verificatio
                 2, _ALGORITHM, reason="history contains Section II-C anomalies"
             )
         history = normalize(history)
-    return LBTChecker(history).verify()
+    return LBTChecker(history, kernel=kernel).verify()
 
 
 def is_2atomic(history: History, *, preprocess: bool = False) -> bool:

@@ -77,7 +77,10 @@ def _accepts_options(fn) -> bool:
         else:
             cached = any(
                 p.kind is inspect.Parameter.VAR_KEYWORD
-                or (p.kind is inspect.Parameter.KEYWORD_ONLY and p.name == "columnar")
+                or (
+                    p.kind is inspect.Parameter.KEYWORD_ONLY
+                    and p.name in ("columnar", "kernel")
+                )
                 for p in params
             )
         _OPTION_SUPPORT[fn] = cached
@@ -87,16 +90,24 @@ def _accepts_options(fn) -> bool:
 _OPTION_SUPPORT: Dict[Callable, bool] = {}
 
 
-def _gk_adapter(history: History, k: int, *, columnar: Optional[bool] = None) -> VerificationResult:
+def _gk_adapter(
+    history: History,
+    k: int,
+    *,
+    columnar: Optional[bool] = None,
+    kernel: Optional[str] = None,
+) -> VerificationResult:
     if k != 1:
         raise VerificationError("GK decides only 1-atomicity")
-    return gk.verify_1atomic(history, columnar_path=columnar)
+    return gk.verify_1atomic(history, columnar_path=columnar, kernel=kernel)
 
 
-def _lbt_adapter(history: History, k: int, **_options) -> VerificationResult:
+def _lbt_adapter(
+    history: History, k: int, *, kernel: Optional[str] = None, **_options
+) -> VerificationResult:
     if k != 2:
         raise VerificationError("LBT decides only 2-atomicity")
-    return lbt.verify_2atomic(history)
+    return lbt.verify_2atomic(history, kernel=kernel)
 
 
 def _lbt_reference_adapter(history: History, k: int, **_options) -> VerificationResult:
@@ -105,10 +116,16 @@ def _lbt_reference_adapter(history: History, k: int, **_options) -> Verification
     return lbt.verify_2atomic_reference(history)
 
 
-def _fzf_adapter(history: History, k: int, *, columnar: Optional[bool] = None) -> VerificationResult:
+def _fzf_adapter(
+    history: History,
+    k: int,
+    *,
+    columnar: Optional[bool] = None,
+    kernel: Optional[str] = None,
+) -> VerificationResult:
     if k != 2:
         raise VerificationError("FZF decides only 2-atomicity")
-    return fzf.verify_2atomic_fzf(history, columnar_path=columnar)
+    return fzf.verify_2atomic_fzf(history, columnar_path=columnar, kernel=kernel)
 
 
 def _exact_adapter(history: History, k: int, **_options) -> VerificationResult:

@@ -151,9 +151,6 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         return _cmd_verify_remote(args, out)
     if args.online:
         return _cmd_verify_online(args, out)
-    # Stream the trace straight into per-register buckets; the engine shards
-    # and (optionally) parallelises verification from there.
-    builder = TraceBuilder(stream_trace(args.trace, args.fmt))
     engine = Engine(
         executor=args.engine,
         jobs=args.jobs,
@@ -161,10 +158,26 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         algorithm=args.algorithm,
         max_exact_ops=args.max_exact_ops,
         columnar=False if args.no_columnar else None,
+        kernel=args.kernel,
     )
-    report = engine.verify_trace(builder, args.k)
+    from .io.registry import resolve_format
+
+    if resolve_format(args.trace, args.fmt).name == "rcol":
+        # Memory-mapped trace: let the engine ingest registers lazily instead
+        # of materialising the operation stream here.
+        from .io.rcol import RcolFile
+
+        with RcolFile(args.trace) as rcol_file:
+            op_counts = dict(rcol_file.register_sizes())
+        report = engine.verify_file(args.trace, args.k, fmt=args.fmt)
+    else:
+        # Stream the trace straight into per-register buckets; the engine
+        # shards and (optionally) parallelises verification from there.
+        builder = TraceBuilder(stream_trace(args.trace, args.fmt))
+        op_counts = builder.operation_counts()
+        report = engine.verify_trace(builder, args.k)
     failures = _print_results_table(
-        report.results, args.k, out, op_counts=builder.operation_counts()
+        report.results, args.k, out, op_counts=op_counts
     )
     if args.engine != "serial" or args.jobs:
         print(report.summary(), file=out)
@@ -186,6 +199,7 @@ def _cmd_verify_remote(args: argparse.Namespace, out) -> int:
             ("--jobs", args.jobs is not None),
             ("--partitioner", args.partitioner != "size-balanced"),
             ("--no-columnar", args.no_columnar),
+            ("--kernel", args.kernel is not None),
             ("--stream-mode", args.stream_mode != "rolling"),
         )
         if used
@@ -541,6 +555,14 @@ def build_parser() -> argparse.ArgumentParser:
         dest="no_columnar",
         help="disable the columnar (struct-of-arrays) fast path and verify "
         "through the object-model reference kernels",
+    )
+    p_verify.add_argument(
+        "--kernel",
+        choices=["object", "columnar", "numpy"],
+        default=None,
+        help="kernel tier for the verification hot loops (default: fastest "
+        "available — numpy when importable, else columnar); all tiers "
+        "produce identical verdicts",
     )
     p_verify.add_argument(
         "--online",

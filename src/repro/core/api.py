@@ -63,6 +63,7 @@ def verify(
     preprocess: bool = True,
     max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
     columnar: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> VerificationResult:
     """Decide whether ``history`` is k-atomic.
 
@@ -83,10 +84,15 @@ def verify(
         Size guard for the automatic ``k >= 3`` fallback to the exponential
         oracle.
     columnar:
-        ``True``/``False`` force or forbid the columnar (struct-of-arrays)
-        kernels for algorithms that have them (GK and FZF); ``None`` (the
-        default) follows :func:`repro.core.columnar.default_enabled`.  Both
-        paths produce identical results; the flag exists for benchmarks and
+        Legacy kernel switch: ``True``/``False`` force or forbid the columnar
+        (struct-of-arrays) kernels for algorithms that have them (GK and
+        FZF).  Superseded by ``kernel``; ignored when ``kernel`` is given.
+    kernel:
+        Kernel tier for algorithms that have tiered implementations:
+        ``"object"``, ``"columnar"`` or ``"numpy"`` (the vectorized kernels
+        of :mod:`repro.core.vector`).  ``None`` (the default) picks the
+        fastest enabled tier — ``numpy`` when numpy is importable.  All
+        tiers produce identical results; the flag exists for benchmarks and
         cross-validation.
 
     Returns
@@ -126,7 +132,7 @@ def verify(
             f"algorithm {spec.name!r} cannot decide {k}-atomicity; "
             f"it supports k in {tuple(spec.supported_k)}"
         )
-    return spec.run(history, k, columnar=columnar)
+    return spec.run(history, k, columnar=columnar, kernel=kernel)
 
 
 def verify_trace(
@@ -139,6 +145,7 @@ def verify_trace(
     executor: str = "serial",
     jobs: Optional[int] = None,
     columnar: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[Hashable, VerificationResult]:
     """Verify every per-register history of a multi-register trace.
 
@@ -162,6 +169,7 @@ def verify_trace(
         preprocess=preprocess,
         max_exact_ops=max_exact_ops,
         columnar=columnar,
+        kernel=kernel,
     ).verify_trace(trace, k)
     return dict(report.results)
 

@@ -118,6 +118,7 @@ class ColumnarHistory:
         "_history",
         "_clusters",
         "_anomalous",
+        "_vector",
     )
 
     def __init__(self) -> None:  # populated by the classmethod constructors
@@ -141,6 +142,10 @@ class ColumnarHistory:
         self._history: Optional[History] = None
         self._clusters: Optional[ClusterArrays] = None
         self._anomalous: Optional[bool] = None
+        # Derived numpy-side state (cluster/chunk tables), owned by
+        # repro.core.vector; None until the vectorized kernels touch this
+        # encoding.
+        self._vector = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -319,15 +324,18 @@ class ColumnarHistory:
         op = self._ops[index]
         if op is None:
             cid = self.client_id[index]
+            # float()/int() are no-ops for the array-module columns and
+            # normalise numpy scalars from memmap-backed columns, so decoded
+            # operations are identical regardless of the column storage.
             op = trusted_operation(
                 OpType.WRITE if self.is_write[index] else OpType.READ,
                 self.values[self.value_id[index]],
-                self.start[index],
-                self.finish[index],
+                float(self.start[index]),
+                float(self.finish[index]),
                 key=self.key if self.has_key[index] else None,
                 client=None if cid < 0 else self.clients[cid],
-                op_id=self.op_ids[index],
-                weight=self.weights[index],
+                op_id=int(self.op_ids[index]),
+                weight=int(self.weights[index]),
             )
             self._ops[index] = op
         return op

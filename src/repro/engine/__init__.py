@@ -7,7 +7,14 @@ pipeline; see :class:`Engine` for the entry point.
 """
 
 from .codec import decode_shard_items, encode_shard_items
-from .engine import EncodedShardTask, Engine, ShardOutcome, ShardTask, run_shard
+from .engine import (
+    EncodedShardTask,
+    Engine,
+    RcolShardTask,
+    ShardOutcome,
+    ShardTask,
+    run_shard,
+)
 from .streaming import DEFAULT_WINDOW, StreamingEngine
 from .executors import (
     EXECUTORS,
@@ -31,6 +38,7 @@ __all__ = [
     "DEFAULT_WINDOW",
     "EXECUTORS",
     "EncodedShardTask",
+    "RcolShardTask",
     "Engine",
     "HashPartitioner",
     "PARTITIONERS",

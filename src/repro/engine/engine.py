@@ -39,6 +39,7 @@ from .partition import Partitioner, get_partitioner
 __all__ = [
     "ShardTask",
     "EncodedShardTask",
+    "RcolShardTask",
     "ShardOutcome",
     "Engine",
     "DEFAULT_MAX_EXACT_OPS",
@@ -67,6 +68,7 @@ class ShardTask:
     preprocess: bool
     max_exact_ops: int
     columnar: Optional[bool] = None
+    kernel: Optional[str] = None
 
     @property
     def num_ops(self) -> int:
@@ -84,6 +86,7 @@ class ShardTask:
             preprocess=self.preprocess,
             max_exact_ops=self.max_exact_ops,
             columnar=self.columnar,
+            kernel=self.kernel,
         )
 
 
@@ -107,10 +110,41 @@ class EncodedShardTask:
     preprocess: bool
     max_exact_ops: int
     columnar: Optional[bool] = None
+    kernel: Optional[str] = None
 
     def decode_items(self) -> Tuple[Tuple[Hashable, History], ...]:
         """Rebuild the ``(key, History)`` pairs inside the worker."""
         return tuple(decode_shard_items(self.payload))
+
+
+@dataclass(frozen=True)
+class RcolShardTask:
+    """A shard of registers to verify straight from an ``.rcol`` trace file.
+
+    Instead of carrying histories (or column buffers), the task carries the
+    *file path* plus the register keys assigned to this shard: each worker
+    memory-maps the file independently and ingests only its own registers'
+    columns, so a multi-million-operation trace is verified without any
+    process ever materialising it — the out-of-core path.  Pickles trivially
+    (a path and a key tuple), so process-pool executors need no IPC encoding.
+    """
+
+    shard_id: int
+    path: str
+    keys: Tuple[Hashable, ...]
+    num_ops: int
+    k: int
+    algorithm: str
+    preprocess: bool
+    max_exact_ops: int
+    columnar: Optional[bool] = None
+    kernel: Optional[str] = None
+
+    def effective_kernel(self) -> Optional[str]:
+        """The kernel request to forward, folding in the legacy flag."""
+        if self.kernel is not None or self.columnar is None:
+            return self.kernel
+        return "columnar" if self.columnar else "object"
 
 
 @dataclass(frozen=True)
@@ -128,16 +162,54 @@ class ShardOutcome:
         return any(not r for _, r in self.results)
 
 
-def run_shard(task: Union[ShardTask, EncodedShardTask]) -> ShardOutcome:
+def _run_rcol_shard(task: RcolShardTask) -> ShardOutcome:
+    """Verify one :class:`RcolShardTask` by lazy per-register ingestion."""
+    from ..core import vector
+    from ..io.rcol import RcolFile
+
+    t0 = time.perf_counter()
+    kernel = task.effective_kernel()
+    results = []
+    with RcolFile(task.path) as rf:
+        for key in task.keys:
+            col = rf.load_columnar(key)
+            results.append(
+                (
+                    key,
+                    vector.verify_columnar(
+                        col,
+                        task.k,
+                        algorithm=task.algorithm,
+                        preprocess=task.preprocess,
+                        max_exact_ops=task.max_exact_ops,
+                        kernel=kernel,
+                        decode_witness=False,
+                    ),
+                )
+            )
+    return ShardOutcome(
+        shard_id=task.shard_id,
+        results=tuple(results),
+        num_ops=task.num_ops,
+        elapsed_s=time.perf_counter() - t0,
+    )
+
+
+def run_shard(
+    task: Union[ShardTask, EncodedShardTask, RcolShardTask]
+) -> ShardOutcome:
     """Verify every register of one shard (module-level: picklable).
 
     Worker processes receive this function by qualified name and the task by
     value; the algorithm is resolved from the registry *here*, inside the
     worker, never shipped as a function object.  Column-encoded tasks are
-    decoded here too, on the worker side of the process boundary.
+    decoded here too, on the worker side of the process boundary, and
+    ``.rcol`` shards are memory-mapped here, inside the worker that owns them.
     """
     from ..core.api import verify  # local import keeps worker start-up lean
 
+    if isinstance(task, RcolShardTask):
+        return _run_rcol_shard(task)
     t0 = time.perf_counter()
     items = task.decode_items() if isinstance(task, EncodedShardTask) else task.items
     results = tuple(
@@ -150,6 +222,7 @@ def run_shard(task: Union[ShardTask, EncodedShardTask]) -> ShardOutcome:
                 preprocess=task.preprocess,
                 max_exact_ops=task.max_exact_ops,
                 columnar=task.columnar,
+                kernel=task.kernel,
             ),
         )
         for key, history in items
@@ -186,6 +259,10 @@ class Engine:
         (``False``) or defer to the process default (``None``) on the
         columnar kernels.  Carried inside the shard task so worker processes
         honour it too.
+    kernel:
+        Kernel tier (``"object"``, ``"columnar"``, ``"numpy"``) forwarded to
+        :func:`repro.core.api.verify`; ``None`` picks the fastest enabled
+        tier.  Carried inside the shard task like ``columnar``.
     compact_ipc:
         When true (default), executors that cross the process boundary ship
         shards as compact column buffers (:mod:`repro.engine.codec`) instead
@@ -220,6 +297,7 @@ class Engine:
         preprocess: bool = True,
         max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
         columnar: Optional[bool] = None,
+        kernel: Optional[str] = None,
         compact_ipc: bool = True,
         fail_fast: bool = False,
     ):
@@ -239,6 +317,7 @@ class Engine:
         self.preprocess = preprocess
         self.max_exact_ops = max_exact_ops
         self.columnar = columnar
+        self.kernel = kernel
         self.compact_ipc = compact_ipc
         self.fail_fast = fail_fast
 
@@ -278,6 +357,7 @@ class Engine:
                     preprocess=self.preprocess,
                     max_exact_ops=self.max_exact_ops,
                     columnar=self.columnar,
+                    kernel=self.kernel,
                 )
             )
         return tasks
@@ -292,12 +372,49 @@ class Engine:
 
         ``fmt`` names a format from the registry (``"jsonl"``, ``"csv"``,
         ``"jepsen"``, ``"porcupine"``, ...); ``None`` sniffs the extension.
-        The file is streamed straight into per-register buckets — foreign
+        Row formats are streamed straight into per-register buckets — foreign
         event histories included — and verified like any other trace.
+        Memory-mapped ``.rcol`` traces take the out-of-core route instead:
+        shard tasks carry only the path and register keys, and workers map
+        their registers' columns lazily (no full materialisation).
         """
-        from ..io.registry import stream_trace  # io builds on the engine's inputs
+        from ..io.registry import resolve_format, stream_trace  # io builds on the engine's inputs
 
+        if resolve_format(path, fmt).name == "rcol":
+            return self._verify_rcol_file(path, k)
         return self.verify_trace(TraceBuilder(stream_trace(path, fmt)), k)
+
+    def _verify_rcol_file(self, path, k: int) -> TraceVerificationReport:
+        """Verify an ``.rcol`` trace out-of-core: shards carry the file path
+        and register keys, and each worker memory-maps only its share."""
+        from ..io.rcol import RcolFile
+
+        rf = RcolFile(path)
+        sized = rf.register_sizes()
+        rf.close()
+        key_order = [key for key, _ in sized]
+        size_of = dict(sized)
+        num_shards = max(1, min(len(sized), self.jobs * self.shards_per_job))
+        assignment = self.partitioner.partition(sized, num_shards) if sized else []
+        tasks: List[RcolShardTask] = []
+        for keys in assignment:
+            if not keys:
+                continue
+            tasks.append(
+                RcolShardTask(
+                    shard_id=len(tasks),
+                    path=str(path),
+                    keys=tuple(keys),
+                    num_ops=sum(size_of[key] for key in keys),
+                    k=k,
+                    algorithm=self.algorithm,
+                    preprocess=self.preprocess,
+                    max_exact_ops=self.max_exact_ops,
+                    columnar=self.columnar,
+                    kernel=self.kernel,
+                )
+            )
+        return self._execute(tasks, key_order, k)
 
     def verify_trace(self, trace: TraceLike, k: int) -> TraceVerificationReport:
         """Verify every register of ``trace`` and aggregate the results."""
@@ -306,7 +423,10 @@ class Engine:
         tasks: List[Union[ShardTask, EncodedShardTask]] = list(self.plan(registers, k))
         if self.compact_ipc and self.executor.crosses_process_boundary:
             tasks = [task.encode() for task in tasks]
+        return self._execute(tasks, key_order, k)
 
+    def _execute(self, tasks, key_order, k: int) -> TraceVerificationReport:
+        """Run planned shard tasks and merge their outcomes into a report."""
         merged: Dict[Hashable, VerificationResult] = {}
         stats: List[ShardStats] = []
         t0 = time.perf_counter()

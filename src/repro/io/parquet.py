@@ -1,0 +1,115 @@
+"""Optional Apache Parquet trace format (soft dependency on ``pyarrow``).
+
+Parquet is the lingua franca of analytics pipelines; this module lets traces
+flow between ``repro`` and dataframe tooling without a JSONL detour.  The
+format registers unconditionally so it shows up in ``repro formats``, but
+reading or writing without ``pyarrow`` installed raises a
+:class:`~repro.core.errors.TraceFormatError` explaining the missing extra
+(``pip install repro-katomicity[arrow]``).
+
+Schema (one row per operation)::
+
+    op_type  string   "read" | "write"
+    key      string?  JSON-encoded register key (null = keyless)
+    value    string   JSON-encoded operation value
+    start    float64
+    finish   float64
+    client   string?  JSON-encoded client id (null = none)
+    weight   int64    write weight (1 for reads)
+
+``key``/``value``/``client`` are JSON-encoded strings rather than native
+columns so arbitrary (non-string) scalars round-trip exactly, matching the
+JSONL representation field for field.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from ..core.errors import TraceFormatError
+from ..core.history import History, MultiHistory
+from ..core.operation import Operation
+
+__all__ = ["PYARROW_AVAILABLE", "iter_parquet", "dump_parquet"]
+
+try:  # pragma: no cover - exercised via both branches in CI matrices
+    import pyarrow  # noqa: F401
+
+    PYARROW_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    PYARROW_AVAILABLE = False
+
+
+def _require_pyarrow():
+    if not PYARROW_AVAILABLE:
+        raise TraceFormatError(
+            "the 'parquet' trace format requires pyarrow, which is not "
+            "installed; install the optional extra: "
+            "pip install repro-katomicity[arrow]"
+        )
+    import pyarrow.parquet as pq
+
+    return pq
+
+
+def _decode(text):
+    return None if text is None else json.loads(text)
+
+
+def iter_parquet(path: Union[str, Path]) -> Iterator[Operation]:
+    """Stream operations from a Parquet trace file, batch by batch."""
+    from .formats import _fast_operation_from_record
+
+    pq = _require_pyarrow()
+    table = pq.ParquetFile(path)
+    for batch in table.iter_batches():
+        cols = {name: batch.column(name).to_pylist() for name in batch.schema.names}
+        n = batch.num_rows
+        for i in range(n):
+            record = {
+                "op_type": cols["op_type"][i],
+                "key": _decode(cols.get("key", [None] * n)[i]),
+                "value": _decode(cols["value"][i]),
+                "start": cols["start"][i],
+                "finish": cols["finish"][i],
+                "client": _decode(cols.get("client", [None] * n)[i]),
+            }
+            weight = cols.get("weight")
+            if weight is not None and weight[i] is not None:
+                record["weight"] = weight[i]
+            yield _fast_operation_from_record(record)
+
+
+def dump_parquet(
+    trace: Union[History, MultiHistory, Iterable[Operation]],
+    path: Union[str, Path],
+) -> int:
+    """Write a trace as Parquet; returns the operation count."""
+    pq = _require_pyarrow()
+    import pyarrow as pa
+
+    from .formats import _iter_operations
+
+    ops = _iter_operations(trace)
+    encode = json.dumps
+    table = pa.table(
+        {
+            "op_type": pa.array([op.op_type.value for op in ops], type=pa.string()),
+            "key": pa.array(
+                [None if op.key is None else encode(op.key) for op in ops],
+                type=pa.string(),
+            ),
+            "value": pa.array([encode(op.value) for op in ops], type=pa.string()),
+            "start": pa.array([op.start for op in ops], type=pa.float64()),
+            "finish": pa.array([op.finish for op in ops], type=pa.float64()),
+            "client": pa.array(
+                [None if op.client is None else encode(op.client) for op in ops],
+                type=pa.string(),
+            ),
+            "weight": pa.array([op.weight for op in ops], type=pa.int64()),
+        }
+    )
+    pq.write_table(table, path)
+    return len(ops)

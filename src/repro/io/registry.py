@@ -24,6 +24,10 @@ jepsen     ``.jepsen`` ``.jepsen.json``   Jepsen/Knossos invoke/ok event history
            ``.edn.json``
 porcupine  ``.porcupine``                 Porcupine-style call/return records
            ``.porcupine.json``
+rcol       ``.rcol``                      memory-mapped columnar binary (lazy,
+                                          out-of-core; requires numpy)
+parquet    ``.parquet``                   Apache Parquet export (requires the
+                                          optional ``pyarrow`` extra)
 ========== ============================== ======================================
 
 Paths with none of these extensions default to ``jsonl`` (the historical
@@ -42,6 +46,8 @@ from ..core.history import History, MultiHistory
 from ..core.operation import Operation
 from . import formats as _formats
 from . import interop as _interop
+from . import parquet as _parquet
+from . import rcol as _rcol
 
 __all__ = [
     "TraceFormat",
@@ -197,5 +203,25 @@ register_format(
         extensions=(".porcupine", ".porcupine.json"),
         reader=_interop.iter_porcupine,
         writer=_interop.dump_porcupine,
+    )
+)
+register_format(
+    TraceFormat(
+        name="rcol",
+        description="memory-mapped columnar binary: chunked per-register "
+        "segments, lazy out-of-core ingestion (requires numpy)",
+        extensions=(".rcol",),
+        reader=_rcol.iter_rcol,
+        writer=_rcol.dump_rcol,
+    )
+)
+register_format(
+    TraceFormat(
+        name="parquet",
+        description="Apache Parquet export for dataframe/analytics tooling "
+        "(requires the optional pyarrow extra)",
+        extensions=(".parquet",),
+        reader=_parquet.iter_parquet,
+        writer=_parquet.dump_parquet,
     )
 )

@@ -15,7 +15,7 @@ import random
 
 import pytest
 
-from repro.core import columnar
+from repro.core import columnar, vector
 from repro.core.api import verify, verify_trace
 from repro.core.columnar import ColumnarHistory, columnar_of
 from repro.core.errors import DuplicateValueError, MalformedOperationError
@@ -90,6 +90,51 @@ class TestVerdictParity:
         }
         assert {k: r.reason for k, r in col.items()} == {
             k: r.reason for k, r in obj.items()
+        }
+
+    @pytest.mark.skipif(not vector.NUMPY_AVAILABLE, reason="numpy not installed")
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_three_way_kernel_parity(self, k):
+        """object, columnar and numpy tiers agree on every observable."""
+        for history in fuzz_histories():
+            results = {
+                kernel: verify(history, k, kernel=kernel)
+                for kernel in vector.KERNELS
+            }
+            ref = results["object"]
+            for kernel, res in results.items():
+                assert bool(res) == bool(ref), (history.key, kernel)
+                assert res.reason == ref.reason, (history.key, kernel)
+                assert res.stats == ref.stats, (history.key, kernel)
+                assert res.algorithm == ref.algorithm, (history.key, kernel)
+                if res and res.witness is not None and not history.is_empty:
+                    if not find_anomalies(history):
+                        assert normalize(history).is_k_atomic_total_order(
+                            res.witness, k
+                        ), (history.key, kernel)
+
+    @pytest.mark.skipif(not vector.NUMPY_AVAILABLE, reason="numpy not installed")
+    def test_numpy_tier_orders_tested_matches(self):
+        """The vectorized FZF screens the same candidate orders (stats parity)."""
+        for seed in range(20):
+            history = practical_history(
+                random.Random(seed), 120, staleness_probability=0.35,
+                max_staleness=3, key=f"ot{seed}",
+            )
+            np_res = verify(history, 2, algorithm="fzf", kernel="numpy")
+            col_res = verify(history, 2, algorithm="fzf", kernel="columnar")
+            assert np_res.stats == col_res.stats, seed
+
+    @pytest.mark.skipif(not vector.NUMPY_AVAILABLE, reason="numpy not installed")
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    def test_numpy_kernel_through_engine(self, executor):
+        trace = synthetic_trace(
+            random.Random(9), 6, 150, staleness_probability=0.2, max_staleness=2
+        )
+        np_rep = verify_trace(trace, 2, executor=executor, jobs=2, kernel="numpy")
+        obj_rep = verify_trace(trace, 2, executor=executor, jobs=2, kernel="object")
+        assert {k: (bool(r), r.reason) for k, r in np_rep.items()} == {
+            k: (bool(r), r.reason) for k, r in obj_rep.items()
         }
 
     def test_default_toggle_controls_path(self):
@@ -314,6 +359,35 @@ class TestCLI:
         )
         assert status_default == status_object == 0
         assert out_default.getvalue() == out_object.getvalue()
+
+    def test_kernel_flag_matches_across_tiers(self, tmp_path):
+        import io as _io
+
+        from repro.cli import main
+        from repro.core.history import MultiHistory
+        from repro.io.formats import dump_jsonl
+
+        ops = []
+        for seed in range(3):
+            ops.extend(
+                practical_history(
+                    random.Random(seed + 50), 40, staleness_probability=0.3,
+                    max_staleness=2, key=f"reg-{seed}",
+                ).operations
+            )
+        path = tmp_path / "trace.jsonl"
+        dump_jsonl(MultiHistory(ops), path)
+        kernels = ["object", "columnar"]
+        if vector.NUMPY_AVAILABLE:
+            kernels.append("numpy")
+        outputs = {}
+        for kernel in kernels:
+            out = _io.StringIO()
+            assert main(
+                ["verify", str(path), "--k", "2", "--kernel", kernel], out=out
+            ) == 0
+            outputs[kernel] = out.getvalue()
+        assert len(set(outputs.values())) == 1, outputs.keys()
 
 
 class TestTrustedConstructor:

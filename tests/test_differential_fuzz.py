@@ -4,7 +4,8 @@ Random histories — uniform-random interval soups and the structured
 worst-case shapes from :mod:`repro.workloads.adversarial` — are pushed
 through every redundant implementation the library carries:
 
-* GK (k=1) and LBT / LBT-reference / FZF (k=2), object and columnar kernels,
+* GK (k=1) and LBT / LBT-reference / FZF (k=2), through every kernel tier
+  (object, columnar and — when numpy is importable — the vectorized tier),
 * the incremental (rolling) checkers,
 * windowed streaming (whose NO verdicts must be *sound*: a windowed NO on a
   history the oracle accepts is a bug),
@@ -33,6 +34,7 @@ from typing import Callable, List, Sequence
 import pytest
 
 from repro.algorithms.online import checker_for
+from repro.core import vector
 from repro.core.api import verify
 from repro.core.builder import TraceBuilder
 from repro.core.history import History
@@ -53,6 +55,12 @@ FUZZ_ITERS = int(os.environ.get("REPRO_FUZZ_ITERS", "25"))
 #: Every k=2 decision procedure is differential-tested against the oracle.
 TWO_AV_ALGORITHMS = ("lbt", "lbt-reference", "fzf")
 
+#: Every kernel tier runs through the same differential check; the numpy
+#: tier joins automatically when numpy is importable.
+KERNELS = ("object", "columnar") + (
+    ("numpy",) if vector.NUMPY_AVAILABLE else ()
+)
+
 
 # ----------------------------------------------------------------------
 # The differential check
@@ -65,10 +73,9 @@ def disagreements(ops: Sequence[Operation]) -> List[str]:
         oracle = bool(verify(history, k, algorithm="exact", max_exact_ops=10**9))
         names = ("gk",) if k == 1 else TWO_AV_ALGORITHMS
         for name in names:
-            for columnar in (False, True):
-                got = bool(verify(history, k, algorithm=name, columnar=columnar))
+            for kernel in KERNELS:
+                got = bool(verify(history, k, algorithm=name, kernel=kernel))
                 if got != oracle:
-                    kernel = "columnar" if columnar else "object"
                     problems.append(
                         f"{name}/{kernel} says {got} but the exact oracle says "
                         f"{oracle} at k={k}"
@@ -230,3 +237,34 @@ def test_corpus_replays_agree():
             assert not problems, (
                 f"corpus entry {path.name} diverges again:\n  " + "\n  ".join(problems)
             )
+
+
+@pytest.mark.skipif(not vector.NUMPY_AVAILABLE, reason="numpy not installed")
+def test_rcol_roundtrip_fuzz_parity(tmp_path):
+    """.rcol round-trips preserve every verdict observable, YES and NO alike."""
+    import re
+
+    from repro.core.vector import verify_columnar
+    from repro.io.rcol import RcolFile, dump_rcol
+
+    def scrub(reason):
+        # Loading a trace file assigns fresh op_ids (ids are process-local,
+        # not serialised), so "#N" references in reasons cannot be stable.
+        return None if reason is None else re.sub(r"#\d+", "#?", reason)
+
+    rng = random.Random(TEST_SEED + 29)
+    for iteration in range(FUZZ_ITERS):
+        history, origin = random_case(rng)
+        if history.is_empty:
+            continue
+        path = tmp_path / f"fuzz-{iteration}.rcol"
+        dump_rcol(history, path)
+        with RcolFile(path) as rf:
+            (key,) = rf.keys()
+            for k in (1, 2):
+                ref = verify(history, k, kernel="numpy")
+                got = verify_columnar(rf.load_columnar(key), k)
+                context = (iteration, origin, k, TEST_SEED)
+                assert bool(got) == bool(ref), context
+                assert scrub(got.reason) == scrub(ref.reason), context
+                assert got.stats == ref.stats, context

@@ -48,6 +48,29 @@ def test_api_reference_covers_the_public_surface():
         assert f"### `{symbol}`" in text, f"api.md lacks {symbol}"
 
 
+def test_formats_page_and_cli_cover_every_registered_extension():
+    """Registering a trace format obliges docs/formats.md and `repro formats`."""
+    import io as _io
+
+    from repro.cli import main
+    from repro.io.registry import FORMATS
+
+    page = (DOCS / "formats.md").read_text(encoding="utf-8")
+    out = _io.StringIO()
+    assert main(["formats"], out=out) == 0
+    cli_text = out.getvalue()
+    for fmt in FORMATS.values():
+        assert fmt.name in cli_text, f"`repro formats` does not list {fmt.name!r}"
+        for extension in fmt.extensions:
+            assert extension in page, (
+                f"docs/formats.md does not document the {extension!r} extension "
+                f"of the {fmt.name!r} format"
+            )
+            assert extension in cli_text, (
+                f"`repro formats` does not show the {extension!r} extension"
+            )
+
+
 def test_docs_pages_exist():
     for page in (
         "index.md",
