@@ -27,6 +27,7 @@ __all__ = [
     "WindowReport",
     "StreamVerificationReport",
     "SessionStats",
+    "WorkerStats",
     "ServiceReport",
 ]
 
@@ -464,15 +465,40 @@ class SessionStats:
 
 
 @dataclass(frozen=True)
+class WorkerStats:
+    """Per-worker accounting of the audit service's process pool.
+
+    One row per pool worker: how many checker shards it currently homes, the
+    feed traffic it has absorbed, and its failover history (``restarts``
+    counts respawns after a worker-process death; ``restored_shards`` counts
+    shards rehydrated onto this worker from snapshots — failover and
+    ring-rebalance migrations alike).
+    """
+
+    worker_id: int
+    pid: Optional[int]
+    alive: bool
+    shards: int
+    batches: int
+    ops: int
+    snapshots: int
+    restarts: int
+    restored_shards: int
+
+
+@dataclass(frozen=True)
 class ServiceReport:
     """Service-level view of an audit-server run.
 
     ``sessions`` holds one :class:`SessionStats` per session the server has
-    seen — completed and still-active alike — in arrival order.
+    seen — completed and still-active alike — in arrival order.  When the
+    server runs a worker pool, ``workers`` carries one :class:`WorkerStats`
+    row per checker process (empty for single-process servers).
     """
 
     sessions: Tuple[SessionStats, ...]
     uptime_s: float
+    workers: Tuple[WorkerStats, ...] = ()
 
     @property
     def num_sessions(self) -> int:
@@ -504,10 +530,11 @@ class ServiceReport:
         detached = (
             f", {self.detached_sessions} detached" if self.detached_sessions else ""
         )
+        pool = f" / {len(self.workers)} workers" if self.workers else ""
         return (
             f"audit service — {self.num_sessions} sessions "
             f"({self.active_sessions} active{detached}) / {self.total_ops} ops / "
-            f"{self.total_alarms} alarms — up {self.uptime_s:.1f}s"
+            f"{self.total_alarms} alarms{pool} — up {self.uptime_s:.1f}s"
         )
 
     def render(self) -> str:
@@ -536,6 +563,31 @@ class ServiceReport:
                             f"{s.ops_per_second:,.0f}",
                         ]
                         for s in self.sessions
+                    ],
+                )
+            )
+        if self.workers:
+            lines.append("")
+            lines.append("worker pool:")
+            lines.append(
+                format_table(
+                    [
+                        "worker", "pid", "state", "shards", "batches", "ops",
+                        "snapshots", "restarts", "restored",
+                    ],
+                    [
+                        [
+                            w.worker_id,
+                            w.pid if w.pid is not None else "-",
+                            "up" if w.alive else "down",
+                            w.shards,
+                            w.batches,
+                            w.ops,
+                            w.snapshots,
+                            w.restarts,
+                            w.restored_shards,
+                        ]
+                        for w in self.workers
                     ],
                 )
             )

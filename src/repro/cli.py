@@ -344,13 +344,39 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             queue_size=args.queue_size,
             max_sessions=args.max_sessions,
             default_config=SessionConfig(k=args.k, algorithm=args.algorithm),
+            workers=args.workers,
         )
     except ServiceError as exc:
         print(f"error: {exc}", file=out)
         return 2
 
     async def run() -> None:
+        import signal
+
         await server.start()
+        # Graceful drain on SIGTERM/SIGINT: stop accepting, checkpoint every
+        # live session at an operation boundary, then fall out of
+        # serve_forever.  A second signal cancels the drain the hard way.
+        loop = asyncio.get_running_loop()
+        drain_task: list = []
+
+        def _begin_drain(signame: str) -> None:
+            if drain_task:
+                for task in drain_task:
+                    task.cancel()
+                return
+            print(f"{signame}: draining audit service...", file=out)
+            if hasattr(out, "flush"):
+                out.flush()
+            drain_task.append(asyncio.ensure_future(server.drain()))
+
+        for signame in ("SIGTERM", "SIGINT"):
+            try:
+                loop.add_signal_handler(
+                    getattr(signal, signame), _begin_drain, signame
+                )
+            except (NotImplementedError, RuntimeError):  # non-unix loops
+                pass
         for address in server.addresses:
             print(f"audit service listening on {address}", file=out)
         if hasattr(out, "flush"):
@@ -680,6 +706,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--algorithm", default="auto", help="default algorithm for sessions"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run checkers on a pool of N worker processes (default 0: "
+        "in-process, single-core)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -19,15 +19,25 @@ verifier's fast path starts without re-encoding.
 from __future__ import annotations
 
 import pickle
+from array import array
 from typing import Hashable, List, Sequence, Tuple
 
 from ..core.columnar import ColumnarHistory, columnar_of
 from ..core.history import History
+from ..core.operation import Operation, OpType, trusted_operation
 
-__all__ = ["encode_shard_items", "decode_shard_items"]
+__all__ = [
+    "encode_shard_items",
+    "decode_shard_items",
+    "encode_feed_batches",
+    "decode_feed_batches",
+]
 
 #: Bump when the column layout changes incompatibly.
 _CODEC_VERSION = 1
+
+#: Separate version for the stream-order feed-batch layout below.
+_BATCH_CODEC_VERSION = 1
 
 
 def encode_shard_items(
@@ -55,3 +65,134 @@ def decode_shard_items(blob: bytes) -> List[Tuple[Hashable, History]]:
         (key, ColumnarHistory.from_columns(columns).to_history())
         for key, columns in payload
     ]
+
+
+# ----------------------------------------------------------------------
+# Feed batches: stream-order operation sequences for the worker pool
+# ----------------------------------------------------------------------
+# The shard-item codec above ships *whole register histories* in canonical
+# (start, finish, id) order — right for batch shard tasks, wrong for the
+# audit pool, whose incremental checkers must see each register's operations
+# in *stream* order with their original op ids (verdict parity with the
+# single-process path is id- and order-sensitive).  A feed batch therefore
+# keeps the operations exactly as fed and columnarises them positionally:
+# type flags, timestamp arrays, id arrays, interned values/clients, with the
+# uniform columns (all-1 weights, no clients, the batch-wide register key)
+# collapsed to single values.  Same wire economics as the shard codec
+# (~35-40 B/op), no canonicalisation.
+
+
+def _encode_ops(ops: Sequence[Operation]) -> Tuple:
+    is_write = bytearray(len(ops))
+    start = array("d")
+    finish = array("d")
+    op_ids = array("q")
+    value_ids = array("i")
+    weights = array("q")
+    values: List[Hashable] = []
+    value_index: dict = {}
+    clients: List[Hashable] = []
+    client_index: dict = {}
+    client_ids = array("i")
+    any_client = False
+    any_weight = False
+    for i, op in enumerate(ops):
+        if op.is_write:
+            is_write[i] = 1
+        start.append(op.start)
+        finish.append(op.finish)
+        op_ids.append(op.op_id)
+        weights.append(op.weight)
+        if op.weight != 1:
+            any_weight = True
+        value_id = value_index.get(op.value)
+        if value_id is None:
+            value_id = value_index[op.value] = len(values)
+            values.append(op.value)
+        value_ids.append(value_id)
+        if op.client is None:
+            client_ids.append(-1)
+        else:
+            any_client = True
+            client_id = client_index.get(op.client)
+            if client_id is None:
+                client_id = client_index[op.client] = len(clients)
+                clients.append(op.client)
+            client_ids.append(client_id)
+    return (
+        len(ops),
+        bytes(is_write),
+        start.tobytes(),
+        finish.tobytes(),
+        op_ids.tobytes(),
+        value_ids.tobytes(),
+        values,
+        None if not any_client else (client_ids.tobytes(), clients),
+        None if not any_weight else weights.tobytes(),
+    )
+
+
+def _decode_ops(columns: Tuple, key: Hashable) -> List[Operation]:
+    n, is_write, start_b, finish_b, op_ids_b, value_ids_b, values, client_cols, weights_b = columns
+    start = array("d")
+    start.frombytes(start_b)
+    finish = array("d")
+    finish.frombytes(finish_b)
+    op_ids = array("q")
+    op_ids.frombytes(op_ids_b)
+    value_ids = array("i")
+    value_ids.frombytes(value_ids_b)
+    if client_cols is not None:
+        client_ids = array("i")
+        client_ids.frombytes(client_cols[0])
+        clients = client_cols[1]
+    if weights_b is not None:
+        weights = array("q")
+        weights.frombytes(weights_b)
+    ops: List[Operation] = []
+    for i in range(n):
+        client = None
+        if client_cols is not None and client_ids[i] >= 0:
+            client = clients[client_ids[i]]
+        ops.append(
+            trusted_operation(
+                OpType.WRITE if is_write[i] else OpType.READ,
+                values[value_ids[i]],
+                start[i],
+                finish[i],
+                key=key,
+                client=client,
+                op_id=op_ids[i],
+                weight=weights[i] if weights_b is not None else 1,
+            )
+        )
+    return ops
+
+
+def encode_feed_batches(
+    batches: Sequence[Tuple[Hashable, Sequence[Operation]]]
+) -> bytes:
+    """Serialise ``(register_key, ops-in-stream-order)`` batches compactly.
+
+    Each batch is one register's slice of a closed window, exactly as the
+    event loop would have fed it to an in-process checker.  Operation order,
+    ids, clients and weights survive the round trip bit-for-bit — the
+    contract that makes pooled verdict streams identical to single-process
+    ones.  Every operation in a batch must carry the batch's register key
+    (the service groups by ``op.key``, so this holds by construction).
+    """
+    payload = [(key, _encode_ops(ops)) for key, ops in batches]
+    return pickle.dumps(
+        (_BATCH_CODEC_VERSION, payload), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def decode_feed_batches(blob: bytes) -> List[Tuple[Hashable, List[Operation]]]:
+    """Rebuild the ``(register_key, ops)`` batches from :func:`encode_feed_batches`."""
+    version, payload = pickle.loads(blob)
+    if version != _BATCH_CODEC_VERSION:
+        raise ValueError(
+            f"unsupported feed-batch codec version {version!r} "
+            f"(expected {_BATCH_CODEC_VERSION})"
+        )
+    return [(key, _decode_ops(columns, key)) for key, columns in payload]

@@ -8,7 +8,9 @@ client — over TCP and/or a unix socket, applies per-session backpressure
 through bounded queues, streams rolling window verdicts back while each
 trace is still arriving, and (with a :class:`CheckpointStore` attached)
 persists sessions so a crash or restart resumes them with verdicts identical
-to an uninterrupted run.
+to an uninterrupted run.  With ``workers=N`` the checker CPU runs on a
+:class:`WorkerPool` of long-lived processes behind consistent-hash shard
+routing (:class:`HashRing`) — same protocol, same verdicts, multiple cores.
 
 Entry points:
 
@@ -21,7 +23,9 @@ Entry points:
 
 from .checkpoint import CheckpointStore
 from .client import AuditClient, RemoteReport, verify_remote
+from .pool import PooledAuditSession, WorkerPool
 from .protocol import parse_address
+from .routing import HashRing
 from .server import AuditServer
 from .session import AuditSession, SessionConfig
 
@@ -34,4 +38,7 @@ __all__ = [
     "RemoteReport",
     "verify_remote",
     "parse_address",
+    "WorkerPool",
+    "PooledAuditSession",
+    "HashRing",
 ]

@@ -1,0 +1,148 @@
+"""Consistent-hash shard routing for the audit worker pool.
+
+The worker pool partitions checker state by *shard* — a ``(session_id,
+register_key)`` pair, the unit of the paper's per-register locality theorem:
+each register's verdict depends only on its own operations, so a shard can
+live on any worker as long as *every* operation of that register reaches
+*that* worker in stream order.
+
+Routing must therefore be
+
+* **deterministic across processes** — the event loop decides where a batch
+  goes and a respawned pool must agree with its predecessor, so hashing is
+  keyed on a canonical byte encoding of the shard key (never the
+  per-process-salted builtin ``hash``);
+* **stable under resizing** — growing a pool from *N* to *N + 1* workers
+  should move roughly ``1/(N+1)`` of the shards (each migration drags a
+  checker snapshot across the process boundary), not re-deal all of them the
+  way ``hash(key) % N`` would.
+
+Both come from a classic consistent-hash ring: every worker owns
+:data:`DEFAULT_REPLICAS` pseudo-random points on a 64-bit circle, a shard key
+hashes to a point, and the shard's home is the owner of the next point
+clockwise.  The replicas smooth the load split (more points → the arcs of
+each worker approach ``1/N`` of the circle) and make the moved fraction under
+a resize concentrate near its ``1/(N+1)`` expectation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from ..core.errors import ServiceError
+
+__all__ = ["HashRing", "canonical_key_bytes", "DEFAULT_REPLICAS"]
+
+#: Ring points per worker.  128 keeps the worker load split within a few
+#: percent of uniform while the ring stays tiny (128·N 8-byte points).
+DEFAULT_REPLICAS = 128
+
+
+def canonical_key_bytes(key: Hashable) -> bytes:
+    """Encode a shard key as process-independent bytes.
+
+    Covers every key shape the service produces: session ids are strings and
+    register keys arrive from JSON (``str``/``int``/``float``/``bool``/
+    ``None``), possibly nested in tuples by
+    :func:`~repro.service.protocol.hashable_key`.  Type tags keep distinct
+    values distinct (``1`` vs ``"1"`` vs ``True``); anything exotic falls
+    back to ``repr``, which is stable for the hashable immutables used as
+    register names.
+    """
+    if isinstance(key, tuple):
+        return b"t(" + b",".join(canonical_key_bytes(item) for item in key) + b")"
+    if isinstance(key, bool):  # before int: bool is an int subclass
+        return b"b1" if key else b"b0"
+    if isinstance(key, str):
+        return b"s" + key.encode("utf-8")
+    if isinstance(key, int):
+        return b"i" + str(key).encode("ascii")
+    if isinstance(key, float):
+        return b"f" + repr(key).encode("ascii")
+    if key is None:
+        return b"n"
+    return b"r" + repr(key).encode("utf-8")
+
+
+def _point(data: bytes) -> int:
+    """Hash bytes to a 64-bit ring position (keyed, process-independent)."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring mapping shard keys to worker ids.
+
+    Parameters
+    ----------
+    workers:
+        The worker ids on the ring (any hashable ints; the pool uses dense
+        indexes but respawned replacements keep their predecessor's id so
+        routing never changes on failover).
+    replicas:
+        Ring points per worker.
+
+    Example
+    -------
+    >>> ring = HashRing([0, 1, 2])
+    >>> home = ring.route(("session-7", "x"))
+    >>> home in (0, 1, 2)
+    True
+    >>> ring.route(("session-7", "x")) == home  # deterministic
+    True
+    """
+
+    def __init__(self, workers: Iterable[int], *, replicas: int = DEFAULT_REPLICAS):
+        self.workers: Tuple[int, ...] = tuple(workers)
+        if not self.workers:
+            raise ServiceError("a hash ring needs at least one worker")
+        if len(set(self.workers)) != len(self.workers):
+            raise ServiceError(f"duplicate worker ids on the ring: {self.workers!r}")
+        if replicas < 1:
+            raise ServiceError(f"replicas must be >= 1, got {replicas!r}")
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for worker in self.workers:
+            label = canonical_key_bytes(worker)
+            for replica in range(replicas):
+                points.append((_point(b"%s#%d" % (label, replica)), worker))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [w for _, w in points]
+
+    # ------------------------------------------------------------------
+    def route(self, shard_key: Hashable) -> int:
+        """The worker id owning ``shard_key`` (first ring point clockwise)."""
+        position = _point(canonical_key_bytes(shard_key))
+        index = bisect_right(self._points, position)
+        if index == len(self._points):  # wrap around the circle
+            index = 0
+        return self._owners[index]
+
+    def assignment(self, shard_keys: Iterable[Hashable]) -> Dict[Hashable, int]:
+        """Route many shard keys at once: ``{shard_key: worker_id}``."""
+        return {key: self.route(key) for key in shard_keys}
+
+    def resized(self, workers: Sequence[int]) -> "HashRing":
+        """A new ring over ``workers`` with the same replica count.
+
+        Shared workers keep their points, so only shards whose arc gained or
+        lost an owner move — the ``~1/N`` stability property the failover
+        tests assert.
+        """
+        return HashRing(workers, replicas=self.replicas)
+
+    def moved_keys(
+        self, other: "HashRing", shard_keys: Iterable[Hashable]
+    ) -> List[Hashable]:
+        """The shard keys whose home differs between this ring and ``other``."""
+        return [key for key in shard_keys if self.route(key) != other.route(key)]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing(workers={self.workers!r}, replicas={self.replicas})"

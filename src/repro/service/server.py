@@ -28,6 +28,24 @@ re-connects with ``resume: true`` and continues exactly where the last
 checkpoint left off — the restored verdict stream is identical to an
 uninterrupted run's.  A session's checkpoint is discarded once its final
 report is delivered.
+
+Worker pool
+-----------
+With ``workers=N`` the checker CPU moves off the event loop onto a
+:class:`~repro.service.pool.WorkerPool` of ``N`` long-lived processes:
+sessions become :class:`~repro.service.pool.PooledAuditSession` objects whose
+per-register checkers live on pool workers, routed by consistent hashing and
+restored transparently when a worker dies.  The protocol, the verdict
+streams, and the checkpoint format are identical to single-process serving —
+``workers`` is purely a throughput knob.
+
+Graceful drain
+--------------
+:meth:`AuditServer.drain` (wired to ``SIGTERM``/``SIGINT`` by ``repro
+serve``) stops accepting connections, lets every live session reach an
+operation boundary, checkpoints it (when a store is attached), tells the
+client via a ``draining`` frame, and returns — so a restarted server resumes
+every interrupted session exactly where the drain left it.
 """
 
 from __future__ import annotations
@@ -42,6 +60,7 @@ from ..analysis.report import ServiceReport, SessionStats, WindowReport
 from ..core.errors import ReproError, ServiceError
 from ..io.formats import JsonlDecoder
 from .checkpoint import CheckpointStore
+from .pool import PooledAuditSession, WorkerPool
 from .protocol import (
     MAX_FRAME_BYTES,
     decode_frame,
@@ -61,6 +80,7 @@ DEFAULT_QUEUE_SIZE = 1024
 _YIELD_EVERY = 256
 
 _EOF = object()
+_DRAIN = object()
 
 
 class AuditServer:
@@ -88,6 +108,10 @@ class AuditServer:
         After this many sessions have *completed*, :meth:`serve_forever`
         returns (used by tests and one-shot CLI runs); ``None`` serves until
         :meth:`stop`.
+    workers:
+        Run the checkers on a :class:`~repro.service.pool.WorkerPool` of this
+        many processes (``None``/``0``: in-process checkers, the
+        single-core default).
     """
 
     def __init__(
@@ -101,6 +125,7 @@ class AuditServer:
         queue_size: int = DEFAULT_QUEUE_SIZE,
         default_config: SessionConfig = SessionConfig(),
         max_sessions: Optional[int] = None,
+        workers: Optional[int] = None,
     ):
         if port is None and unix_path is None:
             raise ServiceError("enable at least one endpoint (TCP port or unix path)")
@@ -123,6 +148,11 @@ class AuditServer:
         self.queue_size = queue_size
         self.default_config = default_config
         self.max_sessions = max_sessions
+        if workers is not None and workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers!r}")
+        self.workers = workers or None  # 0 → in-process, same as None
+        self._pool: Optional[WorkerPool] = None
+        self._worker_rows: tuple = ()
 
         self._servers: List[asyncio.AbstractServer] = []
         self._active: Dict[str, AuditSession] = {}
@@ -138,6 +168,9 @@ class AuditServer:
         #: id) replaces the previous entry in place, O(1) per event.
         self._session_log: Dict[str, Union[AuditSession, SessionStats]] = {}
         self._conn_tasks: "set[asyncio.Task]" = set()
+        #: Live per-connection pump queues, so drain() can inject its sentinel.
+        self._conn_queues: Dict[asyncio.Task, asyncio.Queue] = {}
+        self._draining = False
         self._completed = 0
         self._session_counter = 0
         self._started_at: Optional[float] = None
@@ -152,6 +185,9 @@ class AuditServer:
             raise ServiceError("server already started")
         self._stop_event = asyncio.Event()
         self._started_at = time.monotonic()
+        if self.workers is not None:
+            self._pool = WorkerPool(self.workers)
+            await self._pool.start()
         if self.port is not None:
             self._servers.append(
                 await asyncio.start_server(
@@ -207,6 +243,48 @@ class AuditServer:
             task.cancel()
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._pool is not None:
+            self._worker_rows = self._pool.worker_stats()
+            await self._pool.stop()
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def drain(self, timeout: float = 30.0) -> None:
+        """Stop accepting, checkpoint every live session, then return.
+
+        The graceful-shutdown path (``repro serve`` wires it to ``SIGTERM``
+        and ``SIGINT``): listeners close first, then every connection's
+        worker receives a drain sentinel *behind* whatever its queue already
+        holds, so each session stops at an operation boundary — never
+        mid-window — gets checkpointed (when the server has a store), and is
+        told via a ``draining`` frame before its connection closes.
+        Connections still running after ``timeout`` seconds are cancelled;
+        their sessions keep whatever checkpoint they last persisted.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        # The sentinel queues *behind* in-flight items (puts block on full
+        # queues until the draining worker makes room), so every already
+        # received operation is still fed and checkpointed.
+        if self._conn_queues:
+            await asyncio.gather(
+                *(queue.put(_DRAIN) for queue in list(self._conn_queues.values())),
+                return_exceptions=True,
+            )
+        if self._conn_tasks:
+            _done, pending = await asyncio.wait(
+                list(self._conn_tasks), timeout=timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
         if self._stop_event is not None:
             self._stop_event.set()
 
@@ -215,12 +293,17 @@ class AuditServer:
         uptime = (
             time.monotonic() - self._started_at if self._started_at is not None else 0.0
         )
+        if self._pool is not None:
+            rows = self._pool.worker_stats()
+            if rows:  # after pool.stop() keep the last live snapshot
+                self._worker_rows = rows
         return ServiceReport(
             sessions=tuple(
                 entry.stats() if isinstance(entry, AuditSession) else entry
                 for entry in self._session_log.values()
             ),
             uptime_s=uptime,
+            workers=self._worker_rows,
         )
 
     # ------------------------------------------------------------------
@@ -231,13 +314,15 @@ class AuditServer:
         self._conn_tasks.add(task)
         session: Optional[AuditSession] = None
         try:
-            session = await self._run_session(reader, writer)
+            if not self._draining:
+                session = await self._run_session(reader, writer)
         except asyncio.CancelledError:
             raise
         except ConnectionError:
             pass  # client vanished; any checkpoint stays for resume
         finally:
             self._conn_tasks.discard(task)
+            self._conn_queues.pop(task, None)
             if session is not None:
                 self._active.pop(session.session_id, None)
                 if self._session_log.get(session.session_id) is session:
@@ -246,6 +331,13 @@ class AuditServer:
                     self._session_log[session.session_id] = replace(
                         session.stats(), connected=False
                     )
+                try:
+                    # Pooled sessions hold worker-side checker state; an
+                    # abandoned (unfinished) stream must release it — any
+                    # resume rebuilds from the checkpoint store.
+                    await session.aclose()
+                except (ReproError, asyncio.CancelledError):
+                    pass
             writer.close()
             try:
                 await writer.wait_closed()
@@ -256,6 +348,7 @@ class AuditServer:
         peer = writer.get_extra_info("peername") or writer.get_extra_info("sockname")
         decoder = JsonlDecoder(source=f"session@{peer}", mixed=True)
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_size)
+        self._conn_queues[asyncio.current_task()] = queue
 
         # --- handshake, before any operation is decoded --------------------
         # The hello line is read directly (not through the pump) so that a
@@ -339,6 +432,9 @@ class AuditServer:
                     # Abrupt disconnect: keep the session's checkpoint (if
                     # any) so the client can resume; drop the live state.
                     return session
+                if item is _DRAIN:
+                    await self._drain_session(session, writer)
+                    return session
                 if isinstance(item, Exception):
                     await self._send_error(writer, str(item), session)
                     return session
@@ -347,7 +443,7 @@ class AuditServer:
                         return session
                     continue
                 try:
-                    report = session.feed(item)
+                    report = await session.afeed(item)
                 except ReproError as exc:
                     await self._send_error(writer, str(exc), session)
                     return session
@@ -374,6 +470,28 @@ class AuditServer:
         finally:
             pump_task.cancel()
 
+    async def _drain_session(self, session: AuditSession, writer) -> None:
+        """End one connection for a server drain: checkpoint, notify, close."""
+        if self.store is not None and not session.finished:
+            try:
+                await self._save_checkpoint(session)
+            except ServiceError as exc:
+                await self._send_error(writer, str(exc), session)
+                return
+        try:
+            await self._send(
+                writer,
+                {
+                    "type": "draining",
+                    "session": session.session_id,
+                    "ops": session.ops_fed,
+                    "checkpoints": session.checkpoints,
+                    "resumable": self.store is not None,
+                },
+            )
+        except ConnectionError:
+            pass
+
     # ------------------------------------------------------------------
     async def _open_session(self, hello: dict) -> AuditSession:
         resume = bool(hello.get("resume", False))
@@ -395,7 +513,10 @@ class AuditServer:
                 # _save_checkpoint: keep it off the event loop so concurrent
                 # sessions stream uninterrupted through the handshake.
                 payload = await asyncio.to_thread(self.store.load, session_id)
-                session = AuditSession.resume(payload)
+                if self._pool is not None:
+                    session = await PooledAuditSession.resume(payload, self._pool)
+                else:
+                    session = AuditSession.resume(payload)
                 if session.session_id != session_id:
                     raise ServiceError(
                         f"checkpoint belongs to session {session.session_id!r}"
@@ -411,7 +532,11 @@ class AuditServer:
                 defaults = self.default_config.to_dict()
                 merged = {**defaults, **{k: v for k, v in hello.items() if v is not None}}
                 merged["window"] = {**defaults["window"], **(window or {})}
-                session = AuditSession.start(session_id, SessionConfig.from_dict(merged))
+                config = SessionConfig.from_dict(merged)
+                if self._pool is not None:
+                    session = PooledAuditSession.start(session_id, config, self._pool)
+                else:
+                    session = AuditSession.start(session_id, config)
             self._active[session_id] = session
         finally:
             self._opening.discard(session_id)
@@ -428,7 +553,7 @@ class AuditServer:
         kind = frame.get("type")
         if kind == "end":
             try:
-                report = session.finish()
+                report = await session.afinish()
             except ReproError as exc:
                 await self._send_error(writer, str(exc), session)
                 return True
@@ -492,11 +617,12 @@ class AuditServer:
     async def _save_checkpoint(self, session: AuditSession) -> None:
         if self.store is None:
             return
-        # Snapshot on the loop (cheap shallow copies of immutable state),
-        # pickle + write in a thread so other sessions keep streaming during
-        # the disk I/O.  The session's worker is parked on this await, so
-        # nothing mutates the snapshotted state meanwhile.
-        payload = session.checkpoint_payload()
+        # Snapshot on the loop (cheap shallow copies of immutable state; a
+        # pooled session awaits its workers' snapshots here), pickle + write
+        # in a thread so other sessions keep streaming during the disk I/O.
+        # The session's worker coroutine is parked on this await, so nothing
+        # mutates the snapshotted state meanwhile.
+        payload = await session.acheckpoint_payload()
         await asyncio.to_thread(self.store.save, session.session_id, payload)
         session.checkpoints += 1  # only persisted checkpoints count
 

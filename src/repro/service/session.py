@@ -178,6 +178,31 @@ class AuditSession:
         self.finished = True
         return report
 
+    # ------------------------------------------------------------------
+    # Async surface
+    # ------------------------------------------------------------------
+    # The server drives every session through these coroutines so pooled
+    # sessions (repro.service.pool.PooledAuditSession), whose checkers answer
+    # over a process boundary, plug in without the server caring.  For the
+    # in-process session they simply delegate: the synchronous calls are
+    # sub-millisecond per operation and already yield to the loop through the
+    # server's own cadence.
+
+    async def afeed(self, op: Operation) -> Optional[WindowReport]:
+        """Coroutine form of :meth:`feed`."""
+        return self.feed(op)
+
+    async def afinish(self) -> StreamVerificationReport:
+        """Coroutine form of :meth:`finish`."""
+        return self.finish()
+
+    async def acheckpoint_payload(self) -> Dict:
+        """Coroutine form of :meth:`checkpoint_payload`."""
+        return self.checkpoint_payload()
+
+    async def aclose(self) -> None:
+        """Release per-session resources on abandonment (no-op in-process)."""
+
     def checkpoint_payload(self) -> Dict:
         """The picklable mapping a checkpoint of this session stores.
 

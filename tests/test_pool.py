@@ -1,0 +1,439 @@
+"""Worker pool, consistent-hash routing, failover, and graceful drain.
+
+The contract under test everywhere here is *verdict parity*: a pooled audit
+session — even one that loses workers mid-stream, resizes its pool, or is
+drained and resumed — must emit the exact verdict stream (reasons and
+witnesses included) of a single-process session over the same operations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import signal
+
+import pytest
+
+from repro.core.api import verify_trace
+from repro.core.errors import ServiceError
+from repro.engine.codec import decode_feed_batches, encode_feed_batches
+from repro.service import (
+    AuditClient,
+    AuditServer,
+    AuditSession,
+    HashRing,
+    PooledAuditSession,
+    WorkerPool,
+)
+from repro.service.routing import canonical_key_bytes
+from repro.service.session import SessionConfig
+
+from tests.conftest import TEST_SEED
+from tests.test_service import make_trace_ops, result_signature
+
+CONFIG = SessionConfig(k=2, algorithm="lbt", window_mode="count", window_size=16)
+
+_REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def run_single_process(ops, config=CONFIG):
+    """Reference: windows + final report from an in-process session."""
+    session = AuditSession.start("ref", config)
+    windows = [r for op in ops if (r := session.feed(op)) is not None]
+    return windows, session.finish()
+
+
+def assert_window_parity(ref_windows, got_windows):
+    assert len(ref_windows) == len(got_windows)
+    for index, (ref, got) in enumerate(zip(ref_windows, got_windows)):
+        assert list(ref.verdicts) == list(got.verdicts), f"window {index}"
+        for key in ref.verdicts:
+            a, b = ref.verdicts[key], got.verdicts[key]
+            assert (bool(a.result), a.final, a.ops_seen) == (
+                bool(b.result), b.final, b.ops_seen,
+            ), f"window {index} register {key!r}"
+
+
+def assert_report_parity(ref_report, got_report):
+    assert list(ref_report.results) == list(got_report.results)
+    for key, expected in ref_report.results.items():
+        assert result_signature(expected) == result_signature(
+            got_report.results[key]
+        ), f"register {key!r} (seed {TEST_SEED:#x})"
+
+
+# ----------------------------------------------------------------------
+# Consistent-hash ring
+# ----------------------------------------------------------------------
+def test_ring_routes_deterministically_and_validates():
+    ring = HashRing([0, 1, 2])
+    keys = [(f"s{i}", f"r{j}") for i in range(20) for j in range(10)]
+    assert ring.assignment(keys) == ring.assignment(keys)
+    rebuilt = HashRing([0, 1, 2])  # a fresh process would build this ring
+    assert ring.assignment(keys) == rebuilt.assignment(keys)
+    with pytest.raises(ServiceError):
+        HashRing([])
+    with pytest.raises(ServiceError):
+        HashRing([0, 0, 1])
+    with pytest.raises(ServiceError):
+        HashRing([0], replicas=0)
+
+
+def test_canonical_key_bytes_distinguishes_types():
+    values = [1, "1", 1.0, True, None, ("1",), (1,)]
+    encodings = [canonical_key_bytes(v) for v in values]
+    # bool is an int subclass and 1.0 == 1, so only the byte encodings —
+    # not the values — can tell these shard keys apart.
+    assert len(set(encodings)) == len(values)
+
+
+def test_ring_resize_moves_about_one_over_n():
+    rng = random.Random(TEST_SEED)
+    keys = [(f"session-{rng.randrange(1 << 30)}", f"reg-{i}") for i in range(4000)]
+    for n in (2, 4, 8):
+        ring = HashRing(range(n))
+        grown = ring.resized(range(n + 1))
+        moved = ring.moved_keys(grown, keys)
+        fraction = len(moved) / len(keys)
+        # Ideal is 1/(n+1); replicas concentrate the distribution near it.
+        assert fraction <= 1.5 / (n + 1), (n, fraction)
+        # Every moved key must land on the *new* worker — a key hopping
+        # between two old workers would invalidate untouched checker state.
+        assert all(grown.route(key) == n for key in moved)
+
+
+def test_ring_load_spread_is_reasonable():
+    rng = random.Random(TEST_SEED + 1)
+    keys = [(f"s{rng.randrange(1 << 30)}", i) for i in range(6000)]
+    ring = HashRing(range(4))
+    counts = {w: 0 for w in range(4)}
+    for key in keys:
+        counts[ring.route(key)] += 1
+    ideal = len(keys) / 4
+    assert max(counts.values()) <= 1.35 * ideal, counts
+
+
+# ----------------------------------------------------------------------
+# Feed-batch codec
+# ----------------------------------------------------------------------
+def test_feed_batch_codec_round_trips_stream_order():
+    _trace, stream = make_trace_ops(random.Random(TEST_SEED), staleness=0.1)
+    by_key = {}
+    for op in stream:
+        by_key.setdefault(op.key, []).append(op)
+    blob = encode_feed_batches(list(by_key.items()))
+    decoded = decode_feed_batches(blob)
+    assert [key for key, _ in decoded] == list(by_key)
+    for (key, ops) in decoded:
+        originals = by_key[key]
+        assert len(ops) == len(originals)
+        for got, want in zip(ops, originals):
+            assert (
+                got.op_id, got.op_type, got.value, got.start,
+                got.finish, got.key, got.client, got.weight,
+            ) == (
+                want.op_id, want.op_type, want.value, want.start,
+                want.finish, want.key, want.client, want.weight,
+            )
+
+
+# ----------------------------------------------------------------------
+# Pooled sessions: parity, failover, resize
+# ----------------------------------------------------------------------
+def test_pooled_session_matches_single_process_exactly():
+    trace, stream = make_trace_ops(
+        random.Random(TEST_SEED), registers=6, ops=80, staleness=0.15
+    )
+    ref_windows, ref_report = run_single_process(stream)
+    batch = verify_trace(trace, 2, algorithm="lbt")
+
+    async def scenario():
+        pool = WorkerPool(3)
+        await pool.start()
+        try:
+            session = PooledAuditSession.start("p1", CONFIG, pool)
+            windows = [
+                r for op in stream if (r := await session.afeed(op)) is not None
+            ]
+            return windows, await session.afinish()
+        finally:
+            await pool.stop()
+
+    windows, report = asyncio.run(scenario())
+    assert_window_parity(ref_windows, windows)
+    assert_report_parity(ref_report, report)
+    # ...and the final verdicts equal batch verification, witness included.
+    for key, result in batch.items():
+        assert result_signature(report.results[key]) == result_signature(result)
+
+
+def test_worker_kill_failover_keeps_verdict_stream_identical():
+    rng = random.Random(TEST_SEED + 2)
+    trace, stream = make_trace_ops(
+        rng, registers=6, ops=70, staleness=0.2
+    )
+    ref_windows, ref_report = run_single_process(stream)
+    # Kill a worker at randomized feed indices — including mid-window
+    # positions — across a few runs; parity must hold at every one.
+    kill_points = sorted(rng.sample(range(20, len(stream) - 10), 3))
+
+    async def scenario(kill_at):
+        pool = WorkerPool(3)
+        await pool.start()
+        try:
+            session = PooledAuditSession.start("kill", CONFIG, pool)
+            windows = []
+            for index, op in enumerate(stream):
+                if index == kill_at:
+                    victim = rng.choice(list(pool.worker_pids().values()))
+                    os.kill(victim, signal.SIGKILL)
+                report = await session.afeed(op)
+                if report is not None:
+                    windows.append(report)
+            final = await session.afinish()
+            return windows, final, pool.worker_stats()
+        finally:
+            await pool.stop()
+
+    for kill_at in kill_points:
+        windows, report, stats = asyncio.run(scenario(kill_at))
+        assert_window_parity(ref_windows, windows)
+        assert_report_parity(ref_report, report)
+        assert sum(row.restarts for row in stats) >= 1
+        assert sum(row.restored_shards for row in stats) >= 1
+
+
+def test_resize_mid_stream_keeps_parity_and_moves_few_shards():
+    trace, stream = make_trace_ops(
+        random.Random(TEST_SEED + 3), registers=8, ops=60, staleness=0.1
+    )
+    ref_windows, ref_report = run_single_process(stream)
+    third = len(stream) // 3
+
+    async def scenario():
+        pool = WorkerPool(2)
+        await pool.start()
+        try:
+            session = PooledAuditSession.start("rz", CONFIG, pool)
+            windows = []
+            moves = []
+            for index, op in enumerate(stream):
+                if index == third:
+                    moves.append(await pool.resize(4))
+                    assert pool.size == 4
+                if index == 2 * third:
+                    moves.append(await pool.resize(3))
+                    assert pool.size == 3
+                report = await session.afeed(op)
+                if report is not None:
+                    windows.append(report)
+            final = await session.afinish()
+            return windows, final, moves
+        finally:
+            await pool.stop()
+
+    windows, report, moves = asyncio.run(scenario())
+    assert_window_parity(ref_windows, windows)
+    assert_report_parity(ref_report, report)
+    # Growing 2→4 must not re-deal every shard (8 registers = 8 shards).
+    assert moves[0] <= 6, moves
+
+
+def test_pooled_and_in_process_checkpoints_are_interchangeable():
+    _trace, stream = make_trace_ops(
+        random.Random(TEST_SEED + 4), registers=5, ops=60, staleness=0.15
+    )
+    _ref_windows, ref_report = run_single_process(stream)
+    half = len(stream) // 2
+
+    async def pooled_then_inproc():
+        pool = WorkerPool(2)
+        await pool.start()
+        try:
+            session = PooledAuditSession.start("x1", CONFIG, pool)
+            for op in stream[:half]:
+                await session.afeed(op)
+            payload = await session.acheckpoint_payload()
+            await session.aclose()
+        finally:
+            await pool.stop()
+        resumed = AuditSession.resume(payload)
+        for op in stream[half:]:
+            resumed.feed(op)
+        return resumed.finish()
+
+    async def inproc_then_pooled():
+        session = AuditSession.start("x2", CONFIG)
+        for op in stream[:half]:
+            session.feed(op)
+        payload = session.checkpoint_payload()
+        pool = WorkerPool(2)
+        await pool.start()
+        try:
+            resumed = await PooledAuditSession.resume(payload, pool)
+            assert resumed.resumed and resumed.ops_fed == half
+            for op in stream[half:]:
+                await resumed.afeed(op)
+            return await resumed.afinish()
+        finally:
+            await pool.stop()
+
+    assert_report_parity(ref_report, asyncio.run(pooled_then_inproc()))
+    assert_report_parity(ref_report, asyncio.run(inproc_then_pooled()))
+
+
+# ----------------------------------------------------------------------
+# Graceful drain
+# ----------------------------------------------------------------------
+def test_drain_checkpoints_live_sessions_and_resumes_exactly(tmp_path):
+    _trace, stream = make_trace_ops(
+        random.Random(TEST_SEED + 5), registers=5, ops=60, staleness=0.1
+    )
+    _ref_windows, ref_report = run_single_process(stream)
+    cut = (len(stream) * 2) // 3
+
+    async def scenario():
+        server = AuditServer(
+            port=0, checkpoint_dir=tmp_path, workers=2,
+            default_config=CONFIG,
+        )
+        await server.start()
+        address = server.addresses[0]
+        client = await AuditClient.connect(
+            address, session="dr", k=2, algorithm="lbt", window=16, witness=True
+        )
+        await client.feed_ops(stream[:cut])
+        # The checkpoint ack doubles as a sync barrier: the drain sentinel
+        # queues behind whatever the pump has produced, so without it the
+        # drain could legitimately land before the ops left the socket.
+        ack = await client.checkpoint()
+        assert ack["ops"] == cut
+        drained = asyncio.create_task(server.drain())
+        # The drain frame must arrive in-band after the fed operations.
+        frame = await asyncio.wait_for(client._frames.get(), timeout=10)
+        assert frame["type"] == "draining", frame
+        assert frame["resumable"] is True
+        assert frame["ops"] == cut
+        await client.close()
+        await asyncio.wait_for(drained, timeout=10)
+        await server.stop()
+
+        # A fresh server (different pool size, to prove routing is not
+        # baked into the checkpoint) resumes and finishes the stream.
+        server2 = AuditServer(
+            port=0, checkpoint_dir=tmp_path, workers=3, default_config=CONFIG
+        )
+        await server2.start()
+        client2 = await AuditClient.connect(
+            server2.addresses[0], session="dr", resume=True,
+            k=2, algorithm="lbt", window=16, witness=True,
+        )
+        assert client2.resumed and client2.ops_restored == cut
+        await client2.feed_ops(stream[cut:])
+        report = await client2.finish()
+        await client2.close()
+        await server2.stop()
+        return report
+
+    report = asyncio.run(scenario())
+    assert_report_parity(ref_report, report)
+
+
+def test_drain_refuses_new_connections(tmp_path):
+    async def scenario():
+        server = AuditServer(
+            port=0, checkpoint_dir=tmp_path, workers=1, default_config=CONFIG
+        )
+        await server.start()
+        await server.drain()
+        # The listener is gone: connecting must fail outright.
+        with pytest.raises((ConnectionError, OSError, asyncio.TimeoutError)):
+            await asyncio.wait_for(
+                AuditClient.connect(f"127.0.0.1:{server.tcp_port or 1}", k=2),
+                timeout=5,
+            )
+        await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_sigterm_drains_the_cli_server_and_exits_cleanly(tmp_path):
+    """``repro serve`` + SIGTERM: checkpoint, notify the client, exit 0."""
+    import subprocess
+    import sys
+
+    _trace, stream = make_trace_ops(
+        random.Random(TEST_SEED + 6), registers=4, ops=40, staleness=0.1
+    )
+    cut = len(stream) // 2
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(_REPO_SRC), env.get("PYTHONPATH")])
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--workers", "1", "--algorithm", "lbt",
+            "--checkpoint-dir", str(tmp_path),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        assert "audit service listening on" in banner, banner
+        address = banner.strip().rsplit(" ", 1)[-1]
+
+        async def drive():
+            client = await AuditClient.connect(
+                address, session="sig", k=2, algorithm="lbt", window=16
+            )
+            await client.feed_ops(stream[:cut])
+            ack = await client.checkpoint()  # barrier: ops are all fed
+            assert ack["ops"] == cut
+            proc.send_signal(signal.SIGTERM)
+            frame = await asyncio.wait_for(client._frames.get(), timeout=15)
+            assert frame["type"] == "draining", frame
+            assert frame["ops"] == cut and frame["resumable"] is True
+            await client.close()
+
+        asyncio.run(drive())
+        assert proc.wait(timeout=20) == 0
+        output = proc.stdout.read()
+        assert "draining audit service" in output
+        assert "worker pool:" in output  # final report includes pool stats
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    # The drain-time checkpoint resumes: finish on an in-process server.
+    async def resume_and_finish():
+        server = AuditServer(
+            port=0, checkpoint_dir=tmp_path, default_config=CONFIG
+        )
+        await server.start()
+        client = await AuditClient.connect(
+            server.addresses[0], session="sig", resume=True,
+            k=2, algorithm="lbt", window=16, witness=True,
+        )
+        assert client.resumed and client.ops_restored == cut
+        await client.feed_ops(stream[cut:])
+        report = await client.finish()
+        await server.stop()
+        return report
+
+    _ref_windows, ref_report = run_single_process(stream)
+    assert_report_parity(ref_report, asyncio.run(resume_and_finish()))
+
+
+def test_pool_rejects_bad_sizes():
+    with pytest.raises(ServiceError):
+        WorkerPool(0)
+    with pytest.raises(ServiceError):
+        WorkerPool(2, snapshot_every=-1)
+    with pytest.raises(ServiceError):
+        AuditServer(workers=-1)

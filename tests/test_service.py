@@ -199,7 +199,8 @@ def test_jsonl_decoder_counts_physical_lines():
 # ----------------------------------------------------------------------
 # Concurrent multiplexing
 # ----------------------------------------------------------------------
-def test_eight_plus_concurrent_sessions_match_batch():
+@pytest.mark.parametrize("workers", [0, 3], ids=["in-process", "pool-3"])
+def test_eight_plus_concurrent_sessions_match_batch(workers):
     rng = random.Random(TEST_SEED)
     cases = [make_trace_ops(random.Random(TEST_SEED + i), staleness=0.05 * (i % 3))
              for i in range(9)]
@@ -209,7 +210,7 @@ def test_eight_plus_concurrent_sessions_match_batch():
     batch = [verify_trace(trace, 2, algorithm="lbt") for trace, _ in cases]
 
     async def scenario():
-        server = AuditServer()
+        server = AuditServer(workers=workers)
         await server.start()
         address = server.addresses[0]
 
@@ -229,6 +230,9 @@ def test_eight_plus_concurrent_sessions_match_batch():
 
     reports, service = asyncio.run(scenario())
     assert service.num_sessions == 9 and service.active_sessions == 0
+    if workers:
+        assert len(service.workers) == workers
+        assert sum(row.batches for row in service.workers) > 0
     for index, report in enumerate(reports):
         assert report.session_id == f"mux-{index}"
         assert report.ops == len(cases[index][1])
