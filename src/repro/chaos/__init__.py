@@ -1,0 +1,32 @@
+"""Unified fault injection: one declarative plan, two arms.
+
+:class:`FaultPlan` (see :mod:`repro.chaos.plan`) is the single schema both
+chaos arms consume — the store-simulator/workload arm
+(:meth:`~repro.simulation.faults.FaultSchedule.from_plan`,
+:func:`~repro.workloads.chaos.history_from_plan`) and the service arm
+(:class:`~repro.service.chaos.ChaosProxy`,
+:class:`~repro.service.chaos.WorkerChaos`).  Plans are seeded, reproducible,
+and composable; the chaos test-suite and ``bench_chaos`` hold the headline
+invariant that any injected plan leaves the completed verdict stream
+byte-identical to a fault-free run.
+"""
+
+from .plan import (
+    DOMAIN_SERVICE,
+    DOMAIN_SIMULATION,
+    DOMAIN_WORKLOAD,
+    FAULT_KINDS,
+    FaultClause,
+    FaultPlan,
+    load_plan,
+)
+
+__all__ = [
+    "DOMAIN_SERVICE",
+    "DOMAIN_SIMULATION",
+    "DOMAIN_WORKLOAD",
+    "FAULT_KINDS",
+    "FaultClause",
+    "FaultPlan",
+    "load_plan",
+]

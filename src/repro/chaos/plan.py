@@ -1,0 +1,239 @@
+"""Declarative fault plans shared by the simulator and the service chaos arm.
+
+A :class:`FaultPlan` is a named, seeded list of :class:`FaultClause` entries.
+Each clause names one fault *kind* (a registered string such as
+``"split_brain"`` or ``"frame_corrupt"``) plus kind-specific parameters, and
+the plan derives an independent deterministic random stream per clause — so
+the same plan JSON replays the same faults, two clauses never share a random
+stream (adding one clause cannot reshuffle another's decisions), and plans
+compose by concatenation.
+
+The plan itself is deliberately dumb: it validates, serialises, and hands out
+clause streams.  The two arms interpret it —
+
+* **simulation/workload arm**: :meth:`repro.simulation.faults.FaultSchedule.
+  from_plan` turns simulation clauses into scheduled events, and
+  :func:`repro.workloads.chaos.history_from_plan` turns workload clauses into
+  hostile operation streams (hot keys, indeterminate storms, clock skew).
+* **service arm**: :class:`repro.service.chaos.ChaosProxy` and
+  :class:`repro.service.chaos.WorkerChaos` read the service clauses to
+  corrupt the wire and kill/stall pool workers.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.errors import SimulationError
+
+__all__ = [
+    "DOMAIN_SIMULATION",
+    "DOMAIN_WORKLOAD",
+    "DOMAIN_SERVICE",
+    "FAULT_KINDS",
+    "FaultClause",
+    "FaultPlan",
+    "load_plan",
+]
+
+#: Clauses the store simulator interprets (replica/network faults).
+DOMAIN_SIMULATION = "simulation"
+#: Clauses the workload generators interpret (hostile operation streams).
+DOMAIN_WORKLOAD = "workload"
+#: Clauses the service chaos layer interprets (wire and worker faults).
+DOMAIN_SERVICE = "service"
+
+#: Every supported fault kind, mapped to the domain that interprets it.
+FAULT_KINDS: Dict[str, str] = {
+    # -- simulator faults ------------------------------------------------
+    "crash": DOMAIN_SIMULATION,  # replica, at_ms, duration_ms
+    "partition": DOMAIN_SIMULATION,  # a, b, at_ms, duration_ms
+    "split_brain": DOMAIN_SIMULATION,  # groups, at_ms, duration_ms
+    # -- workload faults -------------------------------------------------
+    "clock_skew": DOMAIN_WORKLOAD,  # max_skew_ms, drift_ppm
+    "hot_key": DOMAIN_WORKLOAD,  # registers, ops, alpha, clients
+    "indeterminate_storm": DOMAIN_WORKLOAD,  # registers, ops, fraction
+    # -- service faults --------------------------------------------------
+    "frame_drop": DOMAIN_SERVICE,  # direction, probability
+    "frame_delay": DOMAIN_SERVICE,  # direction, probability, delay_ms
+    "frame_duplicate": DOMAIN_SERVICE,  # probability (server→client only)
+    "frame_truncate": DOMAIN_SERVICE,  # direction, probability
+    "frame_corrupt": DOMAIN_SERVICE,  # direction, probability
+    "worker_kill": DOMAIN_SERVICE,  # after_s, every_s, count
+    "worker_stall": DOMAIN_SERVICE,  # after_s, duration_s, count
+    "worker_slow": DOMAIN_SERVICE,  # after_s, period_s, duty, duration_s
+}
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One fault: a registered kind plus kind-specific JSON parameters."""
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise SimulationError(
+                f"unknown fault kind {self.kind!r}; known kinds: "
+                f"{', '.join(sorted(FAULT_KINDS))}"
+            )
+        if isinstance(self.params, dict):  # accept dicts, store hashable
+            object.__setattr__(self, "params", tuple(sorted(self.params.items())))
+        try:
+            json.dumps(dict(self.params))
+        except (TypeError, ValueError) as exc:
+            raise SimulationError(
+                f"fault clause {self.kind!r} has non-JSON parameters: {exc}"
+            ) from exc
+
+    @property
+    def domain(self) -> str:
+        """The arm that interprets this clause (simulation/workload/service)."""
+        return FAULT_KINDS[self.kind]
+
+    def param(self, name: str, default=None):
+        """Look up one parameter with a default."""
+        return dict(self.params).get(name, default)
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "FaultClause":
+        if not isinstance(record, dict) or "kind" not in record:
+            raise SimulationError(
+                f"fault clauses must be objects with a 'kind', got {record!r}"
+            )
+        params = record.get("params", {})
+        if not isinstance(params, dict):
+            raise SimulationError(
+                f"fault clause 'params' must be an object, got {params!r}"
+            )
+        return cls(kind=str(record["kind"]), params=tuple(sorted(params.items())))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded, composable set of fault clauses.
+
+    ``seed`` anchors every random decision the plan's interpreters make:
+    :meth:`rng_for` derives one independent ``random.Random`` per clause from
+    ``(seed, clause index, clause kind)``, so replaying a saved plan replays
+    the exact fault schedule.
+    """
+
+    name: str = "chaos"
+    seed: int = 0
+    clauses: Tuple[FaultClause, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "clauses", tuple(self.clauses))
+        for clause in self.clauses:
+            if not isinstance(clause, FaultClause):
+                raise SimulationError(
+                    f"plan clauses must be FaultClause objects, got {clause!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def rng_for(self, index: int) -> random.Random:
+        """The deterministic random stream of clause ``index``."""
+        clause = self.clauses[index]
+        return random.Random(f"{self.seed}:{index}:{clause.kind}")
+
+    def clauses_for(self, domain: str) -> List[Tuple[int, FaultClause]]:
+        """The ``(index, clause)`` pairs one arm interprets, in plan order."""
+        return [
+            (index, clause)
+            for index, clause in enumerate(self.clauses)
+            if clause.domain == domain
+        ]
+
+    def domains(self) -> Tuple[str, ...]:
+        """The distinct domains this plan touches, in first-use order."""
+        seen: List[str] = []
+        for clause in self.clauses:
+            if clause.domain not in seen:
+                seen.append(clause.domain)
+        return tuple(seen)
+
+    def add(self, kind: str, **params) -> "FaultPlan":
+        """A new plan with one clause appended (plans are immutable)."""
+        return FaultPlan(
+            name=self.name,
+            seed=self.seed,
+            clauses=self.clauses + (FaultClause(kind, tuple(sorted(params.items()))),),
+        )
+
+    def compose(self, other: "FaultPlan") -> "FaultPlan":
+        """Concatenate two plans (keeps this plan's name and seed).
+
+        The composed clauses keep deterministic per-clause streams because
+        stream derivation uses the clause's *position in the composed plan*.
+        """
+        return FaultPlan(
+            name=f"{self.name}+{other.name}",
+            seed=self.seed,
+            clauses=self.clauses + other.clauses,
+        )
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "clauses": [clause.to_dict() for clause in self.clauses],
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "FaultPlan":
+        if not isinstance(record, dict):
+            raise SimulationError(f"a fault plan must be a JSON object, got {record!r}")
+        clauses = record.get("clauses", [])
+        if not isinstance(clauses, list):
+            raise SimulationError(
+                f"fault plan 'clauses' must be a list, got {clauses!r}"
+            )
+        try:
+            seed = int(record.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise SimulationError(
+                f"fault plan 'seed' must be an integer, got {record.get('seed')!r}"
+            ) from exc
+        return cls(
+            name=str(record.get("name", "chaos")),
+            seed=seed,
+            clauses=tuple(FaultClause.from_dict(c) for c in clauses),
+        )
+
+    def dumps(self) -> str:
+        """Serialise to (stable) JSON text."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SimulationError(f"malformed fault plan JSON: {exc}") from exc
+        return cls.from_dict(record)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the plan to a JSON file; returns the path."""
+        path = Path(path)
+        path.write_text(self.dumps() + "\n", encoding="utf-8")
+        return path
+
+
+def load_plan(path: Union[str, Path]) -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file."""
+    return FaultPlan.loads(Path(path).read_text(encoding="utf-8"))

@@ -14,6 +14,8 @@ end to end::
     python -m repro convert A B --to jepsen   # convert between trace formats
     python -m repro formats                   # list the registered formats
     python -m repro experiment run SPEC       # run a declarative experiment grid
+    python -m repro chaos kinds               # list fault-injection kinds
+    python -m repro chaos trace PLAN --out T  # hostile trace from a fault plan
 
 ``watch`` reads JSON Lines from a file, a growing log (``--follow``) or
 stdin (``-``) and prints a verdict block every time a window closes, so a
@@ -345,6 +347,8 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             max_sessions=args.max_sessions,
             default_config=SessionConfig(k=args.k, algorithm=args.algorithm),
             workers=args.workers,
+            session_idle_timeout=args.idle_timeout,
+            max_active_sessions=args.max_active,
         )
     except ServiceError as exc:
         print(f"error: {exc}", file=out)
@@ -392,6 +396,48 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         pass
     print("", file=out)
     print(server.service_report().render(), file=out)
+    return 0
+
+
+def _cmd_chaos_kinds(args: argparse.Namespace, out) -> int:
+    """List the registered fault kinds and the arm each one drives."""
+    from .chaos import FAULT_KINDS
+
+    rows = [[kind, domain] for kind, domain in sorted(FAULT_KINDS.items())]
+    print(format_table(["kind", "domain"], rows), file=out)
+    return 0
+
+
+def _cmd_chaos_trace(args: argparse.Namespace, out) -> int:
+    """Generate the hostile trace a fault plan's workload clauses describe."""
+    from .chaos import load_plan
+    from .core.errors import ReproError
+    from .workloads.chaos import dump_chaos_fixtures, history_from_plan
+
+    try:
+        plan = load_plan(args.plan)
+        ops = history_from_plan(plan)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if not ops:
+        print(
+            f"error: plan {plan.name!r} has no workload clauses "
+            "(hot_key / indeterminate_storm / clock_skew)",
+            file=out,
+        )
+        return 2
+    count = dump_trace(iter(ops), args.out, "jsonl")
+    print(
+        f"plan {plan.name!r} (seed {plan.seed}): wrote {count} operations "
+        f"to {args.out}",
+        file=out,
+    )
+    if args.fixtures is not None:
+        stem = Path(args.out).stem
+        paths = dump_chaos_fixtures(ops, args.fixtures, stem)
+        for fmt, path in sorted(paths.items()):
+            print(f"wrote {fmt} fixture: {path}", file=out)
     return 0
 
 
@@ -714,7 +760,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="run checkers on a pool of N worker processes (default 0: "
         "in-process, single-core)",
     )
+    p_serve.add_argument(
+        "--idle-timeout",
+        dest="idle_timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close sessions quiet for this long (checkpointing first when "
+        "--checkpoint-dir is set), surfacing a typed retryable error",
+    )
+    p_serve.add_argument(
+        "--max-active",
+        dest="max_active",
+        type=_positive_int,
+        default=None,
+        help="load-shed: refuse new sessions beyond N concurrently active "
+        "ones with a typed retryable 'overloaded' error",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection plans: list kinds, generate hostile traces",
+    )
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+    p_chaos_kinds = chaos_sub.add_parser(
+        "kinds", help="list the registered fault kinds and their domains"
+    )
+    p_chaos_kinds.set_defaults(func=_cmd_chaos_kinds)
+    p_chaos_trace = chaos_sub.add_parser(
+        "trace",
+        help="generate the hostile trace a plan's workload clauses describe",
+    )
+    p_chaos_trace.add_argument("plan", help="fault-plan file (.json)")
+    p_chaos_trace.add_argument(
+        "--out", required=True, help="output trace path (.jsonl)"
+    )
+    p_chaos_trace.add_argument(
+        "--fixtures",
+        default=None,
+        metavar="DIR",
+        help="additionally export Jepsen + Porcupine fixtures to this directory",
+    )
+    p_chaos_trace.set_defaults(func=_cmd_chaos_trace)
 
     p_audit = sub.add_parser("audit", help="full staleness-spectrum audit of a trace")
     p_audit.add_argument("trace", help="trace file (.jsonl or .csv)")

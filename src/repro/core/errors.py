@@ -62,4 +62,76 @@ class TraceFormatError(ReproError):
 
 
 class ServiceError(ReproError):
-    """The audit service (or its wire protocol) was used incorrectly."""
+    """The audit service (or its wire protocol) was used incorrectly.
+
+    Service errors carry two wire-visible attributes: ``code``, a short
+    machine-readable tag travelling in error frames, and ``retryable``,
+    which tells a client whether reconnecting (possibly with ``resume``)
+    can succeed — the distinction the self-healing client keys on.
+    """
+
+    #: Machine-readable error code for the wire ("" = unspecified).
+    code: str = ""
+    #: Whether a client may retry the session later.
+    retryable: bool = False
+
+
+class RetryableServiceError(ServiceError):
+    """A service error where reconnecting (with backoff) is expected to work."""
+
+    retryable = True
+
+
+class ServerOverloaded(RetryableServiceError):
+    """The server is shedding load; retry after a backoff."""
+
+    code = "overloaded"
+
+
+class SessionIdleTimeout(RetryableServiceError):
+    """The per-session idle watchdog fired; any checkpoint is kept for resume."""
+
+    code = "idle_timeout"
+
+
+class WorkerCrashLoopError(ServiceError):
+    """A pool worker kept dying on respawn; its shards are failed, not retried.
+
+    Raised instead of spinning when crash-loop detection trips (N respawns
+    within T seconds) — the shard state is preserved in the parent, but the
+    pool refuses to feed the affected worker until it is resized or
+    restarted.
+    """
+
+    code = "crash_loop"
+
+
+class ServerDraining(RetryableServiceError):
+    """The server drained this session (graceful shutdown).
+
+    Carries the resume token from the ``draining`` frame: the session id,
+    how many operations the server checkpointed, and whether a checkpoint
+    store is attached (``resumable``) — everything a client needs to
+    reconnect with ``resume: true`` once a replacement server is up.
+    """
+
+    code = "draining"
+
+    def __init__(
+        self,
+        message: str = "server is draining",
+        *,
+        session=None,
+        ops: int = 0,
+        checkpoints: int = 0,
+        resumable: bool = False,
+    ):
+        super().__init__(message)
+        #: Session id to resume under.
+        self.session = session
+        #: Operations the server had fed (and checkpointed) at drain time.
+        self.ops = int(ops)
+        #: Checkpoints the session has persisted.
+        self.checkpoints = int(checkpoints)
+        #: True iff the server has a checkpoint store to resume from.
+        self.resumable = bool(resumable)

@@ -22,6 +22,15 @@ Two measurement kinds:
   the reads were;
 * ``runtime`` — wall-clock verification time per engine configuration
   (batch / streaming, algorithm choice, columnar on/off, executors).
+
+A third measurement kind quantifies the paper's global-clock assumption:
+
+* ``skew`` — re-stamp the identical workload through a per-client
+  :class:`~repro.simulation.clock.SkewedClocks` model
+  (``clock_skew_ms`` / ``clock_drift_ppm`` knobs, usually swept as grid
+  axes) and report the *verdict flip rate*: the fraction of registers whose
+  k-atomicity verdict differs between the skewed trace and its perfectly
+  clocked twin, per k in ``k_values``.
 """
 
 from __future__ import annotations
@@ -64,6 +73,9 @@ _SIMULATION_KNOBS = {
     "write_quorum", "read_repair", "mean_latency_ms", "think_time_ms",
     "drop_probability",
 }
+#: Measurement knobs of the ``skew`` kind; they ride the workload table (so
+#: grids can sweep them) but do not affect workload generation itself.
+_SKEW_KNOBS = {"clock_skew_ms", "clock_drift_ppm"}
 
 
 def _trial_rng(seed: str) -> random.Random:
@@ -74,7 +86,9 @@ def _trial_rng(seed: str) -> random.Random:
 def build_workload(config: Mapping[str, object], seed: str) -> MultiHistory:
     """Generate the trial's multi-register trace from its workload config."""
     kind = config.get("kind", "synthetic")
-    knobs = {k: v for k, v in config.items() if k != "kind"}
+    knobs = {
+        k: v for k, v in config.items() if k != "kind" and k not in _SKEW_KNOBS
+    }
     if kind == "synthetic":
         unknown = set(knobs) - _SYNTHETIC_KNOBS
         if unknown:
@@ -239,6 +253,45 @@ def _measure_runtime(trace: MultiHistory, trial: TrialSpec) -> Dict[str, float]:
     }
 
 
+def _measure_skew(
+    trace: MultiHistory, trial: TrialSpec, k_values: Tuple[int, ...]
+) -> Dict[str, float]:
+    """Verdict flip rate between ``trace`` and its clock-skewed re-stamp.
+
+    The skewed twin runs through the *identical* verifier: any verdict
+    change is attributable to the clock model alone, which is exactly the
+    sensitivity to the paper's global-clock assumption the experiment
+    quantifies.
+    """
+    from ..simulation.clock import SkewedClocks
+    from ..workloads.chaos import apply_clock_skew
+
+    skew_ms = float(trial.workload.get("clock_skew_ms", 0.0))
+    drift_ppm = float(trial.workload.get("clock_drift_ppm", 0.0))
+    model = SkewedClocks(
+        max_skew_ms=skew_ms,
+        drift_ppm=drift_ppm,
+        seed=_trial_rng(trial.seed).getrandbits(32),
+    )
+    ops = [op for key in trace.keys() for op in trace[key].operations]
+    skewed = MultiHistory(apply_clock_skew(ops, model))
+    engine = Engine()
+    total = max(1, len(trace.keys()))
+    metrics: Dict[str, float] = {}
+    total_flips = 0
+    for k in k_values:
+        base = engine.verify_trace(trace, k).results
+        after = engine.verify_trace(skewed, k).results
+        flips = sum(
+            1 for key in base if bool(base[key]) != bool(after.get(key))
+        )
+        metrics[f"flips_k{k}"] = flips
+        metrics[f"flip_rate_k{k}"] = flips / total
+        total_flips += flips
+    metrics["flip_rate"] = total_flips / (total * max(1, len(k_values)))
+    return metrics
+
+
 # ----------------------------------------------------------------------
 # Trial and experiment execution
 # ----------------------------------------------------------------------
@@ -255,6 +308,8 @@ def run_trial(
     t0 = time.perf_counter()
     if spec.kind == "spectrum":
         metrics = _measure_spectrum(trace, trial)
+    elif spec.kind == "skew":
+        metrics = _measure_skew(trace, trial, spec.k_values)
     else:
         metrics = _measure_runtime(trace, trial)
     elapsed = time.perf_counter() - t0

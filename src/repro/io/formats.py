@@ -321,7 +321,14 @@ class JsonlDecoder:
     def feed(self, data: Union[str, bytes]) -> List[Operation]:
         """Decode one chunk; returns the operations its complete lines held."""
         if isinstance(data, bytes):
-            data = self._utf8.decode(data)
+            try:
+                data = self._utf8.decode(data)
+            except UnicodeDecodeError as exc:
+                self._utf8.reset()
+                raise TraceFormatError(
+                    f"{self.source}:{self._line_number + 1}: "
+                    f"invalid UTF-8 in stream: {exc}"
+                ) from exc
         self._buffer += data
         if "\n" not in self._buffer:
             return []
@@ -338,7 +345,15 @@ class JsonlDecoder:
 
     def flush(self) -> List[Operation]:
         """Decode a trailing record that never received its newline."""
-        line = self._buffer + self._utf8.decode(b"", final=True)
+        try:
+            tail = self._utf8.decode(b"", final=True)
+        except UnicodeDecodeError as exc:
+            self._utf8.reset()
+            raise TraceFormatError(
+                f"{self.source}:{self._line_number + 1}: "
+                f"truncated UTF-8 sequence at end of stream: {exc}"
+            ) from exc
+        line = self._buffer + tail
         self._buffer = ""
         if not line.strip():
             return []
@@ -359,7 +374,12 @@ class JsonlDecoder:
             and "op_type" not in record
         ):
             return record
-        return _fast_operation_from_record(record)
+        try:
+            return _fast_operation_from_record(record)
+        except TraceFormatError as exc:
+            raise TraceFormatError(
+                f"{self.source}:{self._line_number}: {exc}"
+            ) from exc
 
 
 # ----------------------------------------------------------------------

@@ -21,10 +21,12 @@ Entry points:
 * :class:`AuditClient` — the async client the above is built on.
 """
 
+from .chaos import ChaosProxy, WorkerChaos
 from .checkpoint import CheckpointStore
 from .client import AuditClient, RemoteReport, verify_remote
 from .pool import PooledAuditSession, WorkerPool
 from .protocol import parse_address
+from .resilient import ResilientAuditClient, RetryPolicy
 from .routing import HashRing
 from .server import AuditServer
 from .session import AuditSession, SessionConfig
@@ -34,11 +36,15 @@ __all__ = [
     "AuditClient",
     "AuditSession",
     "SessionConfig",
+    "ChaosProxy",
     "CheckpointStore",
     "RemoteReport",
+    "ResilientAuditClient",
+    "RetryPolicy",
     "verify_remote",
     "parse_address",
     "WorkerPool",
     "PooledAuditSession",
+    "WorkerChaos",
     "HashRing",
 ]

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
-from ..core.errors import ServiceError
+from ..core.errors import RetryableServiceError, ServiceError
 from ..core.operation import Operation
 from ..core.result import VerificationResult
 from ..core.windows import WindowPolicy
@@ -28,6 +28,7 @@ from ..io.formats import JsonlDecoder, operation_to_dict, stream_trace
 from .protocol import (
     MAX_FRAME_BYTES,
     encode_frame,
+    error_to_exception,
     parse_address,
     results_from_pairs,
 )
@@ -84,10 +85,14 @@ class AuditClient:
         writer: asyncio.StreamWriter,
         *,
         on_window: Optional[Callable[[dict], None]] = None,
+        io_timeout: Optional[float] = None,
     ):
         self._reader = reader
         self._writer = writer
         self._on_window = on_window
+        #: Per-await cap (seconds) on writes draining and replies arriving;
+        #: ``None`` waits forever (the pre-chaos behaviour).
+        self.io_timeout = io_timeout
         self._frames: asyncio.Queue = asyncio.Queue()
         self._receiver = asyncio.create_task(self._receive())
         self.windows: List[dict] = []
@@ -110,24 +115,38 @@ class AuditClient:
         resume: bool = False,
         witness: bool = False,
         on_window: Optional[Callable[[dict], None]] = None,
+        connect_timeout: Optional[float] = None,
+        io_timeout: Optional[float] = None,
     ) -> "AuditClient":
         """Open a connection and complete the ``hello``/``welcome`` handshake.
 
         ``address`` is ``HOST:PORT`` or ``unix:PATH``; ``window`` is a
         :class:`WindowPolicy` or a plain count-window size.  ``resume=True``
         asks the server to rehydrate ``session`` from its checkpoint store.
+        ``connect_timeout`` caps the dial; ``io_timeout`` caps every
+        subsequent await on the connection (both in seconds, ``None`` =
+        unbounded).
         """
         kind, endpoint = parse_address(address)
-        if kind == "unix":
-            reader, writer = await asyncio.open_unix_connection(
-                endpoint, limit=MAX_FRAME_BYTES
-            )
-        else:
+
+        async def dial():
+            if kind == "unix":
+                return await asyncio.open_unix_connection(
+                    endpoint, limit=MAX_FRAME_BYTES
+                )
             host, port = endpoint
-            reader, writer = await asyncio.open_connection(
-                host, port, limit=MAX_FRAME_BYTES
-            )
-        client = cls(reader, writer, on_window=on_window)
+            return await asyncio.open_connection(host, port, limit=MAX_FRAME_BYTES)
+
+        try:
+            if connect_timeout is not None:
+                reader, writer = await asyncio.wait_for(dial(), connect_timeout)
+            else:
+                reader, writer = await dial()
+        except asyncio.TimeoutError:
+            raise RetryableServiceError(
+                f"timed out connecting to {address} after {connect_timeout}s"
+            ) from None
+        client = cls(reader, writer, on_window=on_window, io_timeout=io_timeout)
         hello: dict = {"type": "hello", "k": k, "algorithm": algorithm}
         if session is not None:
             hello["session"] = session
@@ -175,7 +194,7 @@ class AuditClient:
             (json.dumps(operation_to_dict(op), sort_keys=True) + "\n").encode("utf-8")
         )
         self._ops_sent += 1
-        await self._writer.drain()
+        await self._timed(self._writer.drain(), "write to server")
 
     async def feed_ops(self, ops: Iterable[Operation]) -> int:
         """Stream many operations; returns how many were sent."""
@@ -228,9 +247,20 @@ class AuditClient:
             pass
 
     # ------------------------------------------------------------------
+    async def _timed(self, awaitable, what: str):
+        """Await with the per-operation cap; timeouts are retryable."""
+        if self.io_timeout is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, self.io_timeout)
+        except asyncio.TimeoutError:
+            raise RetryableServiceError(
+                f"{what} timed out after {self.io_timeout}s"
+            ) from None
+
     async def _send(self, frame: dict) -> None:
         self._writer.write(encode_frame(frame))
-        await self._writer.drain()
+        await self._timed(self._writer.drain(), "write to server")
 
     async def _receive(self) -> None:
         """Route incoming frames: windows to the live feed, rest to the queue.
@@ -249,7 +279,7 @@ class AuditClient:
                 chunk = await self._reader.read(1 << 16)
                 if not chunk:
                     await self._frames.put(
-                        ServiceError("server closed the connection")
+                        RetryableServiceError("server closed the connection")
                     )
                     return
                 for frame in decoder.feed(chunk):
@@ -264,21 +294,29 @@ class AuditClient:
                         continue
                     await self._frames.put(frame)
         except (ConnectionError, asyncio.IncompleteReadError):
-            await self._frames.put(ServiceError("connection to the server was lost"))
+            await self._frames.put(RetryableServiceError("connection to the server was lost"))
         except ServiceError as exc:
             await self._frames.put(exc)
         except Exception as exc:  # e.g. an over-limit frame: fail, don't hang
             await self._frames.put(
-                ServiceError(f"cannot read server frame: {exc}")
+                RetryableServiceError(f"cannot read server frame: {exc}")
             )
 
     async def _expect(self, frame_type: str) -> dict:
-        """Wait for the next non-window frame, requiring the given type."""
-        frame = await self._frames.get()
+        """Wait for the next non-window frame, requiring the given type.
+
+        ``error`` frames raise the typed exception their ``code`` names
+        (:func:`~repro.service.protocol.error_to_exception`); an unsolicited
+        ``draining`` frame — the server is gracefully shutting down — raises
+        :class:`~repro.core.errors.ServerDraining` carrying the resume token,
+        so callers (and the self-healing client) can reconnect cleanly
+        instead of mis-reading the shutdown as a protocol violation.
+        """
+        frame = await self._timed(self._frames.get(), f"waiting for {frame_type!r}")
         if isinstance(frame, Exception):
             raise frame
-        if frame.get("type") == "error":
-            raise ServiceError(frame.get("error", "unknown server error"))
+        if frame.get("type") in ("error", "draining"):
+            raise error_to_exception(frame)
         if frame.get("type") != frame_type:
             raise ServiceError(
                 f"expected a {frame_type!r} frame, got {frame.get('type')!r}"
@@ -298,6 +336,7 @@ def verify_remote(
     witness: bool = False,
     fmt: Optional[str] = None,
     on_window: Optional[Callable[[dict], None]] = None,
+    retry: Optional["RetryPolicy"] = None,
 ) -> RemoteReport:
     """Stream a trace to an audit server and return its final report.
 
@@ -309,6 +348,12 @@ def verify_remote(
     protocol records.  ``report.results`` equals what
     :func:`~repro.core.api.verify_trace` returns for the same operations, by
     the incremental checkers' batch-parity guarantee.
+
+    ``retry`` (a :class:`~repro.service.resilient.RetryPolicy`) runs the
+    stream through the self-healing
+    :class:`~repro.service.resilient.ResilientAuditClient` instead — it
+    requires an explicit ``session`` id and rides out connection loss,
+    server restarts, and drains.
     """
     if isinstance(trace, (str, Path)):
         ops: Iterable[Operation] = stream_trace(trace, fmt)
@@ -316,6 +361,24 @@ def verify_remote(
         ops = trace
 
     async def run() -> RemoteReport:
+        if retry is not None:
+            from .resilient import ResilientAuditClient
+
+            if session is None:
+                raise ServiceError("retry needs an explicit session id")
+            healing = ResilientAuditClient(
+                address,
+                session=session,
+                k=k,
+                algorithm=algorithm,
+                window=window,
+                witness=witness,
+                policy=retry,
+                on_window=on_window,
+            )
+            async with healing:
+                await healing.feed_ops(ops)
+                return await healing.finish()
         client = await AuditClient.connect(
             address,
             session=session,

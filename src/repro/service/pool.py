@@ -59,7 +59,12 @@ from ..analysis.report import (
     WindowStats,
     WorkerStats,
 )
-from ..core.errors import ReproError, ServiceError, VerificationError
+from ..core.errors import (
+    ReproError,
+    ServiceError,
+    VerificationError,
+    WorkerCrashLoopError,
+)
 from ..core.operation import Operation, ensure_op_ids_above
 from ..core.windows import Window, WindowAssembler
 from ..engine.codec import decode_feed_batches, encode_feed_batches
@@ -76,6 +81,18 @@ RECOVERY_TIMEOUT_S = 30.0
 
 #: Feed attempts per window batch before the pool declares the shard lost.
 _MAX_ATTEMPTS = 5
+
+#: Crash-loop detection default: this many respawns of one worker id...
+DEFAULT_CRASH_LOOP_THRESHOLD = 10
+
+#: ...within this many seconds stops respawning it and fails its shards.
+DEFAULT_CRASH_LOOP_WINDOW_S = 10.0
+
+#: First respawn delay; doubles per respawn inside the crash-loop window.
+_RESPAWN_BACKOFF_BASE_S = 0.05
+
+#: Longest delay the respawn backoff grows to.
+_RESPAWN_BACKOFF_CAP_S = 2.0
 
 
 def _default_context() -> multiprocessing.context.BaseContext:
@@ -106,6 +123,30 @@ def _make_checker(config: Dict):
     )
 
 
+def _close_inherited_fds(keep: Sequence[int]) -> None:
+    """Close every descriptor a forked worker inherited except ``keep``.
+
+    A ``fork`` start leaves the child holding duplicates of every parent
+    descriptor — listening sockets and *established connections* included.
+    A worker respawned mid-serving would then keep the parent's closed TCP
+    connections half-alive (the kernel only sends FIN once the last copy
+    closes), so a peer blocked on ``read`` never sees the disconnect.  The
+    worker talks exclusively over its pipe: everything else gets closed.
+    """
+    keep_fds = set(keep) | {0, 1, 2}
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except OSError:  # pragma: no cover - no procfs (spawn ctx: nothing leaks)
+        return
+    for fd in fds:
+        if fd in keep_fds:
+            continue
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover - already closed / listdir's own fd
+            pass
+
+
 def _worker_main(conn, worker_id: int) -> None:
     """Entry point of one pool worker process.
 
@@ -115,6 +156,7 @@ def _worker_main(conn, worker_id: int) -> None:
     exclusively, so there is no locking anywhere — the request order *is* the
     feed order.
     """
+    _close_inherited_fds([conn.fileno()])
     # The serving parent handles SIGINT/SIGTERM itself (graceful drain);
     # workers must not die out from under it when a Ctrl-C hits the group.
     try:
@@ -388,6 +430,15 @@ class WorkerPool:
     mp_context:
         ``multiprocessing`` start-method name (default: ``fork`` where
         available, else ``spawn``).
+    crash_loop_threshold, crash_loop_window_s:
+        Crash-loop breaker: after ``crash_loop_threshold`` respawns of one
+        worker id within ``crash_loop_window_s`` seconds, the pool stops
+        respawning it and every request routed there raises
+        :class:`~repro.core.errors.WorkerCrashLoopError` — a deterministic
+        crasher (poisoned input, broken native lib) must surface as a typed
+        error on the affected shards, not as an infinite respawn spin that
+        also starves healthy sessions.  Respawns inside the window back off
+        exponentially.  ``crash_loop_threshold=0`` disables the breaker.
 
     The pool is asyncio-native: create it on the event loop that will use it
     and ``await`` :meth:`start` before the first feed.
@@ -400,6 +451,8 @@ class WorkerPool:
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
         replicas: Optional[int] = None,
         mp_context: Optional[str] = None,
+        crash_loop_threshold: int = DEFAULT_CRASH_LOOP_THRESHOLD,
+        crash_loop_window_s: float = DEFAULT_CRASH_LOOP_WINDOW_S,
     ):
         from .routing import DEFAULT_REPLICAS, HashRing
 
@@ -430,6 +483,20 @@ class WorkerPool:
         self._active_feeds = 0
         self._feeds_idle: Optional[asyncio.Event] = None
         self._restarts = 0
+        if crash_loop_threshold < 0:
+            raise ServiceError(
+                f"crash_loop_threshold must be >= 0, got {crash_loop_threshold!r}"
+            )
+        if crash_loop_window_s <= 0:
+            raise ServiceError(
+                f"crash_loop_window_s must be positive, got {crash_loop_window_s!r}"
+            )
+        self.crash_loop_threshold = crash_loop_threshold
+        self.crash_loop_window_s = crash_loop_window_s
+        #: Recent respawn times per worker id (pruned to the breaker window).
+        self._respawn_times: Dict[int, List[float]] = {}
+        #: Worker ids the breaker tripped on: never respawned, always raise.
+        self._crash_looping: set = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -623,6 +690,13 @@ class WorkerPool:
     async def _ready_handle(self, worker_id: int) -> _WorkerHandle:
         deadline = time.monotonic() + RECOVERY_TIMEOUT_S
         while True:
+            if worker_id in self._crash_looping:
+                raise WorkerCrashLoopError(
+                    f"worker {worker_id} crash-looped "
+                    f"({self.crash_loop_threshold} respawns within "
+                    f"{self.crash_loop_window_s:.0f}s); its shards are "
+                    "unavailable until the pool is resized or restarted"
+                )
             handle = self._workers.get(worker_id)
             if handle is None:
                 raise ServiceError(f"no worker {worker_id} in the pool")
@@ -670,6 +744,24 @@ class WorkerPool:
         old = self._workers.get(worker_id)
         if old is None or old.generation != dead_generation:
             return
+        # Crash-loop breaker: count respawns inside the sliding window and
+        # back off exponentially between them; past the threshold, stop
+        # respawning and let _ready_handle fail this worker's shards typed.
+        now = time.monotonic()
+        recent = self._respawn_times.setdefault(worker_id, [])
+        recent[:] = [t for t in recent if now - t <= self.crash_loop_window_s]
+        if self.crash_loop_threshold and len(recent) >= self.crash_loop_threshold:
+            self._crash_looping.add(worker_id)
+            old.ready.set()  # wake parked feeders so they observe the verdict
+            return
+        recent.append(now)
+        if len(recent) > 1:
+            await asyncio.sleep(
+                min(
+                    _RESPAWN_BACKOFF_BASE_S * 2 ** (len(recent) - 2),
+                    _RESPAWN_BACKOFF_CAP_S,
+                )
+            )
         self._restarts += 1
         handle = self._spawn(worker_id, generation=dead_generation + 1)
         handle.ready.clear()  # hold feeds until the shards are rebuilt
@@ -708,7 +800,7 @@ class WorkerPool:
         if not self._started:
             raise ServiceError("worker pool is not started")
         async with self._resize_lock:
-            if new_size == self.size:
+            if new_size == self.size and not self._crash_looping:
                 return 0
             # Gate new feeds, then wait out the in-flight ones.
             self._resizing = self._loop.create_future()
@@ -717,8 +809,27 @@ class WorkerPool:
                 old_ring = self._ring
                 new_ids = list(range(new_size))
                 for worker_id in new_ids:
-                    if worker_id not in self._workers:
+                    existing = self._workers.get(worker_id)
+                    if existing is None:
                         self._spawn(worker_id, generation=0)
+                    elif worker_id in self._crash_looping:
+                        # A resize is the operator's reset lever: a worker id
+                        # the breaker gave up on gets a clean slate — a fresh
+                        # process rebuilt from the parent's shard copies.
+                        self._crash_looping.discard(worker_id)
+                        self._respawn_times.pop(worker_id, None)
+                        handle = self._spawn(
+                            worker_id, generation=existing.generation + 1
+                        )
+                        entries = [
+                            (shard_id, state.config, state.snapshot,
+                             list(state.replay))
+                            for shard_id, state in self._shards.items()
+                            if old_ring.route(shard_id) == worker_id
+                        ]
+                        if entries:
+                            restored = await handle.request("restore", entries)
+                            handle.restored_shards += restored
                 new_ring = old_ring.resized(new_ids)
                 moved = [
                     shard_id
@@ -1093,6 +1204,7 @@ class PooledAuditSession(AuditSession):
             elapsed_prior=payload.get("elapsed_s", 0.0),
         )
         session.alarmed_keys = set(payload.get("alarmed_keys", ()))
+        session.window_log = [dict(frame) for frame in payload.get("window_log", ())]
         return session
 
     # -- async surface ---------------------------------------------------
@@ -1115,6 +1227,7 @@ class PooledAuditSession(AuditSession):
             "stream": await self.stream.snapshot(),
             "checkpoints": self.checkpoints + 1,
             "alarmed_keys": list(self.alarmed_keys),
+            "window_log": [dict(frame) for frame in self.window_log],
             "elapsed_s": self.elapsed_s,
         }
 

@@ -27,7 +27,13 @@ Server → client frames::
      "uptime_s": S}
     {"type": "report", "session": ID, "k": K, "ops": N, "windows": N,
      "results": [[key, result], ...], "elapsed_s": S}
-    {"type": "error", "error": MESSAGE}
+    {"type": "error", "error": MESSAGE, "code": CODE, "retryable": bool}
+
+Error frames may carry a machine-readable ``code`` (``"overloaded"``,
+``"idle_timeout"``, ``"crash_loop"``, ...) and a ``retryable`` flag;
+:func:`error_to_exception` maps them onto the typed
+:class:`~repro.core.errors.ServiceError` hierarchy so clients can branch on
+the exception class instead of parsing messages.
 
 Verdict/result payloads are produced by :func:`result_to_dict` /
 :func:`verdict_to_dict` and decoded by their ``*_from_dict`` duals.  Register
@@ -41,13 +47,22 @@ from __future__ import annotations
 import json
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
-from ..core.errors import ServiceError
+from ..core.errors import (
+    RetryableServiceError,
+    ServerDraining,
+    ServerOverloaded,
+    ServiceError,
+    SessionIdleTimeout,
+    WorkerCrashLoopError,
+)
 from ..core.result import StreamVerdict, VerificationResult
 from ..io.formats import operation_from_dict, operation_to_dict
 
 __all__ = [
     "encode_frame",
     "decode_frame",
+    "error_frame",
+    "error_to_exception",
     "result_to_dict",
     "result_from_dict",
     "verdict_to_dict",
@@ -74,7 +89,10 @@ def encode_frame(frame: Dict) -> bytes:
 def decode_frame(line: Union[str, bytes]) -> Dict:
     """Decode one frame line; raises :class:`ServiceError` on malformed input."""
     if isinstance(line, bytes):
-        line = line.decode("utf-8")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServiceError(f"malformed protocol frame: {exc}") from exc
     try:
         frame = json.loads(line)
     except json.JSONDecodeError as exc:
@@ -84,6 +102,63 @@ def decode_frame(line: Union[str, bytes]) -> Dict:
             f"protocol frames must be JSON objects with a 'type' field, got {frame!r}"
         )
     return frame
+
+
+#: Error codes with a dedicated exception class (everything else maps to the
+#: base :class:`ServiceError`, or :class:`RetryableServiceError` when the
+#: frame says retrying may help).
+_ERROR_CLASSES = {
+    ServerOverloaded.code: ServerOverloaded,
+    SessionIdleTimeout.code: SessionIdleTimeout,
+    WorkerCrashLoopError.code: WorkerCrashLoopError,
+}
+
+
+def error_frame(
+    message: str,
+    *,
+    code: str = "",
+    retryable: bool = False,
+    session: Optional[str] = None,
+) -> Dict:
+    """Build one ``error`` frame, with optional code/retryable/session tags."""
+    frame: Dict = {"type": "error", "error": message}
+    if code:
+        frame["code"] = code
+    if retryable:
+        frame["retryable"] = True
+    if session is not None:
+        frame["session"] = session
+    return frame
+
+
+def error_to_exception(frame: Dict) -> ServiceError:
+    """Map a received ``error`` or ``draining`` frame to a typed exception.
+
+    ``draining`` frames become :class:`~repro.core.errors.ServerDraining`
+    carrying the resume token; ``error`` frames pick their class by ``code``
+    (falling back on the ``retryable`` flag, then the plain base class).
+    """
+    if frame.get("type") == "draining":
+        return ServerDraining(
+            "server is draining; reconnect with resume once it restarts",
+            session=frame.get("session"),
+            ops=frame.get("ops", 0),
+            checkpoints=frame.get("checkpoints", 0),
+            resumable=frame.get("resumable", False),
+        )
+    message = str(frame.get("error", "unknown server error"))
+    code = str(frame.get("code", ""))
+    cls = _ERROR_CLASSES.get(code)
+    if cls is not None:
+        return cls(message)
+    if frame.get("retryable"):
+        exc = RetryableServiceError(message)
+        exc.code = code
+        return exc
+    exc = ServiceError(message)
+    exc.code = code
+    return exc
 
 
 def hashable_key(key) -> Hashable:

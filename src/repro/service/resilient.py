@@ -1,0 +1,345 @@
+"""The self-healing audit client: retries, resume, and window dedup.
+
+:class:`ResilientAuditClient` wraps :class:`~repro.service.client.AuditClient`
+with the recovery loop a production collector needs against a faulty network
+or a restarting server:
+
+* every operation fed is kept in a **replay buffer**, so after any retryable
+  failure the client reconnects (exponential backoff with jitter, seeded —
+  chaos runs are reproducible end to end) and re-feeds exactly the suffix
+  the server did not checkpoint;
+* reconnects ask for ``resume`` once anything has been fed — the server's
+  ``ops_restored`` tells the client where to pick the buffer back up; if the
+  server has no checkpoint for the session (no store, or the checkpoint was
+  consumed), the client falls back to a fresh session and replays from the
+  start, which is still exactly-once *from the checkers' point of view*
+  because a fresh session starts from empty state;
+* re-delivered ``window`` frames (a resumed stream re-closes windows the
+  client already saw) are **deduplicated by window index**, so
+  :attr:`windows` and the ``on_window`` callback see each rolling verdict
+  exactly once, in index order — byte-identical to a fault-free run.
+
+The failure taxonomy is typed, not parsed: anything that is a
+:class:`ConnectionError`/:class:`OSError` or carries ``retryable=True``
+(:class:`~repro.core.errors.RetryableServiceError` and friends — including
+:class:`~repro.core.errors.ServerDraining`) is retried; everything else
+(malformed input, config mismatches, a crash-looped worker) propagates
+immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from ..core.errors import ServiceError
+from ..core.operation import Operation
+from ..core.windows import WindowPolicy
+from .client import AuditClient, RemoteReport
+
+__all__ = ["RetryPolicy", "ResilientAuditClient"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff and timeout settings of the self-healing client.
+
+    ``max_attempts`` bounds *consecutive* failures without progress — a
+    reconnect that restores ops or feeds further resets the count, so a long
+    chaos run is not capped at eight faults overall.  Delays grow as
+    ``base_delay_s * multiplier**n`` up to ``max_delay_s``, each multiplied
+    by ``1 + jitter * u`` with ``u`` uniform in ``[0, 1)`` from the client's
+    seeded stream.
+    """
+
+    max_attempts: int = 8
+    base_delay_s: float = 0.02
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.5
+    connect_timeout_s: Optional[float] = 5.0
+    #: Per-response wait before a connection is declared a black hole.  A
+    #: lost frame normally also severs the connection (an error the client
+    #: sees immediately) — the timeout is the backstop for the silent case.
+    io_timeout_s: Optional[float] = 30.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0 or self.jitter < 0:
+            raise ServiceError("retry delays and jitter must be non-negative")
+        if self.multiplier < 1.0:
+            raise ServiceError(
+                f"multiplier must be >= 1, got {self.multiplier!r}"
+            )
+
+    def delay_s(self, failure_index: int, rng: random.Random) -> float:
+        """The sleep before retry number ``failure_index`` (0-based)."""
+        base = min(
+            self.base_delay_s * self.multiplier**failure_index, self.max_delay_s
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+
+def _is_retryable(exc: BaseException) -> bool:
+    if isinstance(exc, (ConnectionError, OSError, asyncio.TimeoutError)):
+        return True
+    return bool(getattr(exc, "retryable", False))
+
+
+class ResilientAuditClient:
+    """An audit session that survives connection loss and server restarts.
+
+    Drop-in for the common :class:`AuditClient` flow::
+
+        client = ResilientAuditClient(address, session="audit-1", k=2)
+        for op in ops:
+            await client.feed(op)
+        report = await client.finish()
+
+    ``session`` is required (resume needs a stable id).  The ``address`` may
+    point at a :class:`~repro.service.chaos.ChaosProxy` — the client never
+    needs to know.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        session: str,
+        k: int = 2,
+        algorithm: str = "auto",
+        window: Optional[Union[WindowPolicy, int]] = None,
+        witness: bool = False,
+        policy: RetryPolicy = RetryPolicy(),
+        seed: int = 0,
+        on_window: Optional[Callable[[dict], None]] = None,
+        checkpoint_every: Optional[int] = None,
+    ):
+        if not session:
+            raise ServiceError("ResilientAuditClient requires a session id")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ServiceError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every!r}"
+            )
+        self.address = address
+        self.session = str(session)
+        self.k = k
+        self.algorithm = algorithm
+        self.window = window
+        self.witness = witness
+        self.policy = policy
+        #: Client-driven checkpoint cadence (ops between ``checkpoint``
+        #: frames).  Feeding is fire-and-forget — on a faulty path, hundreds
+        #: of writes can land in a dead socket's buffer — so on hostile
+        #: networks periodic checkpoints are what turns buffered ops into
+        #: *acknowledged, resumable* progress.  Requires a server with a
+        #: checkpoint store; ``None`` leaves cadence to the server.
+        self.checkpoint_every = checkpoint_every
+        self._rng = random.Random(f"{seed}:resilient:{session}")
+        self._on_window = on_window
+        #: Every operation ever fed, in feed order — the replay buffer.
+        self._ops: List[Operation] = []
+        #: Index into the buffer of the next operation to (re)send.
+        self._next = 0
+        #: Unique window frames by index (first arrival wins; re-deliveries
+        #: after a resume are byte-identical by the replay guarantee).
+        self._windows: Dict[int, dict] = {}
+        self._client: Optional[AuditClient] = None
+        #: True once any op reached a server — resume is worth asking for.
+        self._dirty = False
+        #: Highest op count a server has ever *acknowledged* (via a resume's
+        #: ``ops_restored`` or a ``checkpointed`` frame).  Feeding alone is
+        #: not acknowledgement — writes land in the local socket buffer long
+        #: before a faulty path delivers them, so this is the only honest
+        #: progress signal the retry budget can key on.
+        self._acked_high = 0
+        self._acked_at_last_failure = 0
+        #: Consecutive retryable failures since acked progress last rose —
+        #: drives the adaptive checkpoint cadence.
+        self._consecutive_failures = 0
+        #: Diagnostics: completed reconnects and faults ridden out.
+        self.reconnects = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def windows(self) -> List[dict]:
+        """Deduplicated window frames, in window-index order."""
+        return [self._windows[index] for index in sorted(self._windows)]
+
+    @property
+    def ops_buffered(self) -> int:
+        """Operations held in the replay buffer."""
+        return len(self._ops)
+
+    async def __aenter__(self) -> "ResilientAuditClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def feed(self, op: Operation) -> None:
+        """Buffer one operation and push the stream forward."""
+        self._ops.append(op)
+        await self._pump()
+
+    async def feed_ops(self, ops: Iterable[Operation]) -> int:
+        """Buffer and stream many operations; returns how many."""
+        count = 0
+        for op in ops:
+            await self.feed(op)
+            count += 1
+        return count
+
+    async def finish(self) -> RemoteReport:
+        """Flush the buffer, end the stream, and decode the final report.
+
+        Retryable failures after the ``end`` frame re-run the whole session:
+        if the server completed it (and consumed the checkpoint) the fresh
+        replay recomputes the identical report, checkers being deterministic.
+        """
+        failures = 0
+        while True:
+            try:
+                await self._pump()
+                assert self._client is not None
+                report = await self._client.finish()
+                self._client = None  # finish() closed the connection
+                return replace(report, windows=tuple(self.windows))
+            except Exception as exc:  # noqa: BLE001 - triaged right below
+                failures = await self._handle_failure(exc, failures)
+
+    async def checkpoint(self) -> dict:
+        """Force a server-side checkpoint (retrying like any other call)."""
+        failures = 0
+        while True:
+            try:
+                await self._pump()
+                assert self._client is not None
+                frame = await self._client.checkpoint()
+                self._acked_high = max(self._acked_high, int(frame.get("ops", 0)))
+                return frame
+            except Exception as exc:  # noqa: BLE001 - triaged right below
+                failures = await self._handle_failure(exc, failures)
+
+    async def close(self) -> None:
+        """Drop the current connection (the buffer is kept for reuse)."""
+        if self._client is not None:
+            client, self._client = self._client, None
+            await client.close()
+
+    # ------------------------------------------------------------------
+    async def _pump(self) -> None:
+        """Drive the buffer suffix to the server, healing as needed."""
+        failures = 0
+        while self._next < len(self._ops) or self._client is None:
+            if self._client is None:
+                try:
+                    await self._reconnect()
+                except Exception as exc:  # noqa: BLE001 - triaged right below
+                    failures = await self._handle_failure(exc, failures)
+                    continue
+            try:
+                while self._next < len(self._ops):
+                    await self._client.feed(self._ops[self._next])
+                    self._next += 1
+                    self._dirty = True
+                    if (
+                        self.checkpoint_every is not None
+                        and self._next - self._acked_high
+                        >= self._checkpoint_interval()
+                    ):
+                        frame = await self._client.checkpoint()
+                        self._record_ack(int(frame.get("ops", 0)))
+            except Exception as exc:  # noqa: BLE001 - triaged right below
+                failures = await self._handle_failure(exc, failures)
+
+    def _checkpoint_interval(self) -> int:
+        """Ops between checkpoints, shrinking while failures accumulate.
+
+        Feeding only counts once a checkpoint acknowledges it, so under a
+        sustained fault rate a fixed cadence can starve: every attempt dies
+        before reaching the next checkpoint and the stream never advances.
+        Halving the interval per consecutive failure (floor 1) guarantees an
+        interval short enough to survive eventually — acked progress then
+        resets both the failures and the cadence.
+        """
+        assert self.checkpoint_every is not None
+        return max(
+            1, self.checkpoint_every >> min(self._consecutive_failures, 10)
+        )
+
+    def _record_ack(self, acked_ops: int) -> None:
+        if acked_ops > self._acked_high:
+            self._acked_high = acked_ops
+            self._consecutive_failures = 0
+
+    async def _connect_once(self, resume: bool) -> AuditClient:
+        return await AuditClient.connect(
+            self.address,
+            session=self.session,
+            k=self.k,
+            algorithm=self.algorithm,
+            window=self.window,
+            resume=resume,
+            witness=self.witness,
+            on_window=self._collect_window,
+            connect_timeout=self.policy.connect_timeout_s,
+            io_timeout=self.policy.io_timeout_s,
+        )
+
+    async def _reconnect(self) -> None:
+        """Open a connection, preferring resume once anything was fed."""
+        want_resume = self._dirty
+        try:
+            client = await self._connect_once(want_resume)
+        except ServiceError as exc:
+            if not want_resume or _is_retryable(exc):
+                raise
+            # No checkpoint on the far side (no store, a consumed
+            # checkpoint, or a fresh server): start the session over and
+            # replay from the beginning.  Acked progress restarts with the
+            # session; this is bookkeeping, not a fault, so it retries the
+            # handshake inline rather than burning a failure.
+            self._dirty = False
+            self._next = 0
+            self._acked_high = 0
+            self._acked_at_last_failure = 0
+            client = await self._connect_once(False)
+        self._next = client.ops_restored if client.resumed else 0
+        self._record_ack(self._next)
+        self._client = client
+        self.reconnects += 1
+
+    async def _handle_failure(self, exc: BaseException, failures: int) -> int:
+        """Drop the connection and back off, or re-raise a fatal error."""
+        if not _is_retryable(exc):
+            raise exc
+        await self.close()
+        if self._acked_high > self._acked_at_last_failure:
+            failures = 0  # the server acknowledged new ops: not a stuck loop
+        self._acked_at_last_failure = self._acked_high
+        failures += 1
+        self._consecutive_failures = failures
+        self.retries += 1
+        if failures >= self.policy.max_attempts:
+            raise ServiceError(
+                f"giving up after {failures} consecutive failed attempts; "
+                f"last error: {exc}"
+            ) from exc
+        await asyncio.sleep(self.policy.delay_s(failures - 1, self._rng))
+        return failures
+
+    def _collect_window(self, frame: dict) -> None:
+        index = int(frame.get("index", -1))
+        if index in self._windows:
+            return  # re-delivery after a resume (or a duplicated frame)
+        self._windows[index] = frame
+        if self._on_window is not None:
+            self._on_window(frame)

@@ -57,7 +57,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..analysis.report import ServiceReport, SessionStats, WindowReport
-from ..core.errors import ReproError, ServiceError
+from ..core.errors import (
+    ReproError,
+    ServerOverloaded,
+    ServiceError,
+    SessionIdleTimeout,
+)
 from ..io.formats import JsonlDecoder
 from .checkpoint import CheckpointStore
 from .pool import PooledAuditSession, WorkerPool
@@ -65,6 +70,7 @@ from .protocol import (
     MAX_FRAME_BYTES,
     decode_frame,
     encode_frame,
+    error_frame,
     format_address,
     results_to_pairs,
     verdict_to_dict,
@@ -112,6 +118,16 @@ class AuditServer:
         Run the checkers on a :class:`~repro.service.pool.WorkerPool` of this
         many processes (``None``/``0``: in-process checkers, the
         single-core default).
+    session_idle_timeout:
+        Seconds a session's stream may sit idle (no frame, no operation)
+        before the server checkpoints it (when a store is attached), sends a
+        retryable ``idle_timeout`` error, and closes the connection —
+        reclaiming sessions whose clients stalled or vanished silently.
+        ``None`` (the default) waits forever.
+    max_active_sessions:
+        Load-shedding bound: a ``hello`` arriving while this many sessions
+        are already live is refused with a retryable ``overloaded`` error
+        instead of degrading every existing stream.  ``None`` admits all.
     """
 
     def __init__(
@@ -126,6 +142,8 @@ class AuditServer:
         default_config: SessionConfig = SessionConfig(),
         max_sessions: Optional[int] = None,
         workers: Optional[int] = None,
+        session_idle_timeout: Optional[float] = None,
+        max_active_sessions: Optional[int] = None,
     ):
         if port is None and unix_path is None:
             raise ServiceError("enable at least one endpoint (TCP port or unix path)")
@@ -151,6 +169,16 @@ class AuditServer:
         if workers is not None and workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers!r}")
         self.workers = workers or None  # 0 → in-process, same as None
+        if session_idle_timeout is not None and session_idle_timeout <= 0:
+            raise ServiceError(
+                f"session_idle_timeout must be positive, got {session_idle_timeout!r}"
+            )
+        self.session_idle_timeout = session_idle_timeout
+        if max_active_sessions is not None and max_active_sessions < 1:
+            raise ServiceError(
+                f"max_active_sessions must be >= 1, got {max_active_sessions!r}"
+            )
+        self.max_active_sessions = max_active_sessions
         self._pool: Optional[WorkerPool] = None
         self._worker_rows: tuple = ()
 
@@ -366,7 +394,7 @@ class AuditServer:
         try:
             first = decode_frame(line)
         except ServiceError as exc:
-            await self._send_error(writer, str(exc))
+            await self._send_error(writer, exc)
             return None
         if first.get("type") != "hello":
             await self._send_error(writer, "the first frame must be 'hello'")
@@ -374,7 +402,7 @@ class AuditServer:
         try:
             session = await self._open_session(first)
         except ReproError as exc:
-            await self._send_error(writer, str(exc))
+            await self._send_error(writer, exc)
             return None
         want_witness = bool(first.get("witness", False))
         try:
@@ -393,6 +421,16 @@ class AuditServer:
             # when the client vanishes, or cleanup never runs and the id
             # stays "already connected" forever.
             return session
+        if session.resumed and session.window_log:
+            # Re-deliver every window verdict the checkpoint covers: the
+            # previous connection may have died with frames in flight, and
+            # replay resumes *after* the checkpoint so it cannot re-close
+            # them.  Clients deduplicate by window index.
+            try:
+                for frame in session.window_log:
+                    await self._send(writer, frame)
+            except ConnectionError:
+                return session
 
         async def pump() -> None:
             try:
@@ -427,7 +465,36 @@ class AuditServer:
             # --- stream ----------------------------------------------------
             since_yield = 0
             while True:
-                item = await queue.get()
+                if self.session_idle_timeout is not None:
+                    try:
+                        item = await asyncio.wait_for(
+                            queue.get(), self.session_idle_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        # Idle watchdog: the client went quiet mid-stream.
+                        # Persist what we have (so a resume loses nothing),
+                        # tell the client why, and reclaim the connection.
+                        if self.store is not None and not session.finished:
+                            try:
+                                await self._save_checkpoint(session)
+                            except ServiceError:
+                                pass
+                        await self._send_error(
+                            writer,
+                            SessionIdleTimeout(
+                                "session idle for "
+                                f"{self.session_idle_timeout}s; closing"
+                                + (
+                                    " (checkpointed, resume to continue)"
+                                    if self.store is not None
+                                    else ""
+                                )
+                            ),
+                            session,
+                        )
+                        return session
+                else:
+                    item = await queue.get()
                 if item is _EOF:
                     # Abrupt disconnect: keep the session's checkpoint (if
                     # any) so the client can resume; drop the live state.
@@ -436,7 +503,7 @@ class AuditServer:
                     await self._drain_session(session, writer)
                     return session
                 if isinstance(item, Exception):
-                    await self._send_error(writer, str(item), session)
+                    await self._send_error(writer, item, session)
                     return session
                 if isinstance(item, dict):
                     if await self._handle_control(item, session, writer, want_witness):
@@ -445,7 +512,7 @@ class AuditServer:
                 try:
                     report = await session.afeed(item)
                 except ReproError as exc:
-                    await self._send_error(writer, str(exc), session)
+                    await self._send_error(writer, exc, session)
                     return session
                 since_yield += 1
                 if report is not None:
@@ -461,7 +528,7 @@ class AuditServer:
                     try:
                         await self._save_checkpoint(session)
                     except ServiceError as exc:  # e.g. checkpoint disk full
-                        await self._send_error(writer, str(exc), session)
+                        await self._send_error(writer, exc, session)
                         return session
         except ConnectionError:
             # Writing a verdict frame to a vanished client: same contract as
@@ -476,7 +543,7 @@ class AuditServer:
             try:
                 await self._save_checkpoint(session)
             except ServiceError as exc:
-                await self._send_error(writer, str(exc), session)
+                await self._send_error(writer, exc, session)
                 return
         try:
             await self._send(
@@ -504,6 +571,14 @@ class AuditServer:
         session_id = str(session_id)
         if session_id in self._active or session_id in self._opening:
             raise ServiceError(f"session {session_id!r} is already connected")
+        if (
+            self.max_active_sessions is not None
+            and len(self._active) + len(self._opening) >= self.max_active_sessions
+        ):
+            raise ServerOverloaded(
+                f"server is at its session limit ({self.max_active_sessions}); "
+                "retry shortly"
+            )
         self._opening.add(session_id)
         try:
             if resume:
@@ -555,7 +630,7 @@ class AuditServer:
             try:
                 report = await session.afinish()
             except ReproError as exc:
-                await self._send_error(writer, str(exc), session)
+                await self._send_error(writer, exc, session)
                 return True
             await self._send(
                 writer,
@@ -585,7 +660,7 @@ class AuditServer:
             try:
                 await self._save_checkpoint(session)
             except ServiceError as exc:
-                await self._send_error(writer, str(exc), session)
+                await self._send_error(writer, exc, session)
                 return True
             await self._send(
                 writer,
@@ -635,29 +710,39 @@ class AuditServer:
         self, writer, session: AuditSession, report: WindowReport
     ) -> None:
         stats = report.stats
-        await self._send(
-            writer,
-            {
-                "type": "window",
-                "session": session.session_id,
-                "index": stats.index,
-                "ops": stats.num_ops,
-                "registers": stats.num_registers,
-                "alarms": sorted(report.alarms(), key=repr),
-                "verdicts": [
-                    [key, verdict_to_dict(verdict)]
-                    for key, verdict in report.verdicts.items()
-                ],
-            },
-        )
+        frame = {
+            "type": "window",
+            "session": session.session_id,
+            "index": stats.index,
+            "ops": stats.num_ops,
+            "registers": stats.num_registers,
+            "alarms": sorted(report.alarms(), key=repr),
+            "verdicts": [
+                [key, verdict_to_dict(verdict)]
+                for key, verdict in report.verdicts.items()
+            ],
+        }
+        log = session.window_log
+        if not log or frame["index"] > log[-1]["index"]:
+            # Replayed ops after a resume re-close already-logged windows;
+            # indices only ever grow, so an equal-or-lower index is a rerun.
+            log.append(frame)
+        await self._send(writer, frame)
         await asyncio.sleep(0)  # window work is the CPU chunk: yield after it
 
     async def _send_error(
-        self, writer, message: str, session: Optional[AuditSession] = None
+        self,
+        writer,
+        error: Union[str, BaseException],
+        session: Optional[AuditSession] = None,
     ) -> None:
-        frame = {"type": "error", "error": message}
-        if session is not None:
-            frame["session"] = session.session_id
+        """Send one error frame; typed exceptions carry their code/retryable."""
+        frame = error_frame(
+            str(error),
+            code=getattr(error, "code", ""),
+            retryable=getattr(error, "retryable", False),
+            session=session.session_id if session is not None else None,
+        )
         try:
             await self._send(writer, frame)
         except ConnectionError:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..analysis.report import SessionStats, StreamVerificationReport, WindowReport
 from ..core.errors import ServiceError, VerificationError
@@ -108,6 +108,13 @@ class AuditSession:
         self.resumed = resumed
         self.checkpoints = checkpoints
         self.alarmed_keys = set()
+        #: Every window frame sent so far, in index order (no witnesses, so
+        #: they stay small).  Checkpoints persist the log and a resume
+        #: re-delivers it: a frame lost between a window close and a covering
+        #: checkpoint would otherwise be gone for good — replay restarts
+        #: *after* the checkpoint and never re-closes that window.  Clients
+        #: deduplicate by window index, so re-delivery is idempotent.
+        self.window_log: List[Dict] = []
         self.finished = False
         self._elapsed_prior = elapsed_prior
         self._t0 = time.monotonic()
@@ -151,6 +158,7 @@ class AuditSession:
             elapsed_prior=payload.get("elapsed_s", 0.0),
         )
         session.alarmed_keys = set(payload.get("alarmed_keys", ()))
+        session.window_log = [dict(frame) for frame in payload.get("window_log", ())]
         return session
 
     # ------------------------------------------------------------------
@@ -217,6 +225,7 @@ class AuditSession:
             "stream": self.stream.snapshot(),
             "checkpoints": self.checkpoints + 1,
             "alarmed_keys": list(self.alarmed_keys),
+            "window_log": [dict(frame) for frame in self.window_log],
             "elapsed_s": self.elapsed_s,
         }
 

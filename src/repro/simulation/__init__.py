@@ -11,9 +11,17 @@ introduction and conclusion describe.
 
 from .auditor import AuditSample, LiveAuditor
 from .client import Client
+from .clock import ClockModel, PerfectClocks, SkewedClocks
 from .coordinator import Coordinator, CoordinatorStats, QuorumConfig
 from .events import Event, EventLoop
-from .faults import FaultEvent, FaultKind, FaultSchedule, crash_window, partition_window
+from .faults import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    crash_window,
+    partition_window,
+    split_brain_window,
+)
 from .network import (
     ExponentialLatency,
     FixedLatency,
@@ -30,6 +38,7 @@ from .store import RunResult, SloppyQuorumStore, StoreConfig
 __all__ = [
     "AuditSample",
     "Client",
+    "ClockModel",
     "Coordinator",
     "CoordinatorStats",
     "Event",
@@ -45,14 +54,17 @@ __all__ = [
     "LogNormalLatency",
     "Network",
     "NetworkStats",
+    "PerfectClocks",
     "QuorumConfig",
     "Replica",
     "ReplicaStats",
     "RunResult",
+    "SkewedClocks",
     "SloppyQuorumStore",
     "StoreConfig",
     "StoredVersion",
     "UniformLatency",
     "crash_window",
     "partition_window",
+    "split_brain_window",
 ]

@@ -1,0 +1,92 @@
+"""Per-client clock models: skew and drift against the global simulated clock.
+
+The paper's algorithms assume all timestamps come from one global clock
+(Section II).  Real collectors timestamp at many machines whose clocks are
+offset (skew) and tick at slightly different rates (drift); this module
+models exactly that so experiments can quantify how sensitive the verdicts
+are to the global-clock assumption (see
+``experiments/clock_skew_sensitivity.toml``).
+
+A :class:`SkewedClocks` model assigns each client a fixed offset drawn
+uniformly from ``[-max_skew_ms, +max_skew_ms]`` and a rate error drawn from
+``[-drift_ppm, +drift_ppm]`` parts-per-million, both sampled deterministically
+from ``(seed, client)`` — the same client always gets the same clock no
+matter the observation order, so a model instance can stamp a live
+simulation (:class:`~repro.simulation.recorder.HistoryRecorder`) and re-stamp
+an already recorded trace (:func:`repro.workloads.chaos.apply_clock_skew`)
+identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+from ..core.errors import SimulationError
+
+__all__ = ["ClockModel", "PerfectClocks", "SkewedClocks"]
+
+
+class ClockModel:
+    """Base class: maps a (client, true time) pair to an observed timestamp."""
+
+    def offset(self, client: Hashable, t: float) -> float:
+        """The observed-minus-true clock error for ``client`` at time ``t``."""
+        raise NotImplementedError
+
+    def stamp(self, client: Hashable, t: float) -> float:
+        """The timestamp ``client`` records for true time ``t``."""
+        return t + self.offset(client, t)
+
+
+class PerfectClocks(ClockModel):
+    """The paper's assumption: every client reads the one global clock."""
+
+    def offset(self, client: Hashable, t: float) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class SkewedClocks(ClockModel):
+    """Fixed per-client offset plus linear drift.
+
+    Parameters
+    ----------
+    max_skew_ms:
+        Half-width of the uniform per-client constant offset.
+    drift_ppm:
+        Half-width of the uniform per-client rate error, in parts per
+        million: a client with drift ``d`` observes ``t * (1 + d * 1e-6)``.
+    seed:
+        Anchors the per-client parameter draws; the same ``(seed, client)``
+        always yields the same clock.
+    """
+
+    max_skew_ms: float = 0.0
+    drift_ppm: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_skew_ms < 0:
+            raise SimulationError("max_skew_ms must be non-negative")
+        if self.drift_ppm < 0:
+            raise SimulationError("drift_ppm must be non-negative")
+        object.__setattr__(self, "_params", {})
+
+    def params_for(self, client: Hashable) -> Tuple[float, float]:
+        """The (offset_ms, drift_ppm) pair of one client, sampled lazily."""
+        cache: Dict[Hashable, Tuple[float, float]] = self._params
+        found = cache.get(client)
+        if found is None:
+            rng = random.Random(f"{self.seed}:clock:{client!r}")
+            found = (
+                rng.uniform(-self.max_skew_ms, self.max_skew_ms),
+                rng.uniform(-self.drift_ppm, self.drift_ppm),
+            )
+            cache[client] = found
+        return found
+
+    def offset(self, client: Hashable, t: float) -> float:
+        skew, drift = self.params_for(client)
+        return skew + t * drift * 1e-6

@@ -18,7 +18,14 @@ from .events import EventLoop
 from .network import Network
 from .replica import Replica
 
-__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "crash_window", "partition_window"]
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultSchedule",
+    "crash_window",
+    "partition_window",
+    "split_brain_window",
+]
 
 
 class FaultKind:
@@ -28,8 +35,10 @@ class FaultKind:
     RECOVER = "recover"
     PARTITION = "partition"
     HEAL = "heal"
+    SPLIT_BRAIN = "split_brain"
+    HEAL_GROUPS = "heal_groups"
 
-    ALL = (CRASH, RECOVER, PARTITION, HEAL)
+    ALL = (CRASH, RECOVER, PARTITION, HEAL, SPLIT_BRAIN, HEAL_GROUPS)
 
 
 @dataclass(frozen=True)
@@ -77,6 +86,24 @@ class FaultSchedule:
         self.events.append(FaultEvent(at_ms, FaultKind.HEAL, (a, b)))
         return self
 
+    def add_split_brain(
+        self, groups: Sequence[Sequence[str]], at_ms: float
+    ) -> "FaultSchedule":
+        """Split the cluster into isolated groups at the given time."""
+        frozen = tuple(tuple(group) for group in groups)
+        if len(frozen) < 2:
+            raise SimulationError("a split-brain needs at least two groups")
+        self.events.append(FaultEvent(at_ms, FaultKind.SPLIT_BRAIN, frozen))
+        return self
+
+    def add_heal_groups(
+        self, groups: Sequence[Sequence[str]], at_ms: float
+    ) -> "FaultSchedule":
+        """Heal a split-brain previously installed with :meth:`add_split_brain`."""
+        frozen = tuple(tuple(group) for group in groups)
+        self.events.append(FaultEvent(at_ms, FaultKind.HEAL_GROUPS, frozen))
+        return self
+
     def install(self, loop: EventLoop, network: Network, replicas: Dict[str, Replica]) -> None:
         """Schedule every fault event on the given simulation."""
         for event in sorted(self.events, key=lambda e: e.time_ms):
@@ -87,6 +114,15 @@ class FaultSchedule:
                     raise SimulationError(f"fault targets unknown replica {replica_id!r}")
                 action = replica.crash if event.kind == FaultKind.CRASH else replica.recover
                 loop.schedule_at(event.time_ms, action)
+            elif event.kind in (FaultKind.SPLIT_BRAIN, FaultKind.HEAL_GROUPS):
+                # Group members may be any endpoint name — replicas *and*
+                # client coordinators — exactly like pairwise partitions.
+                action = (
+                    network.partition_groups
+                    if event.kind == FaultKind.SPLIT_BRAIN
+                    else network.heal_groups
+                )
+                loop.schedule_at(event.time_ms, action, event.target)
             else:
                 a, b = event.target
                 if event.kind == FaultKind.PARTITION:
@@ -96,6 +132,79 @@ class FaultSchedule:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_plan(
+        cls,
+        plan,
+        *,
+        replica_ids: Sequence[str],
+        client_ids: Sequence[str] = (),
+        horizon_ms: float = 1000.0,
+    ) -> "FaultSchedule":
+        """Build a schedule from the simulation clauses of a fault plan.
+
+        Each clause may pin its targets and times explicitly in ``params``;
+        anything left unspecified is drawn from the clause's deterministic
+        random stream (:meth:`repro.chaos.plan.FaultPlan.rng_for`), so the
+        same plan always yields the same schedule over the same cluster.
+        ``horizon_ms`` bounds the random fault windows — pick roughly the
+        expected simulated duration of the run.  ``client_ids`` (the
+        coordinator endpoint names, ``client-N`` in the store) lets a random
+        split-brain cut clients off from the far side's replicas — without
+        them a split only separates replica-to-replica repair traffic.
+        """
+        from ..chaos.plan import DOMAIN_SIMULATION
+
+        replica_ids = list(replica_ids)
+        client_ids = list(client_ids)
+        if not replica_ids:
+            raise SimulationError("from_plan needs at least one replica id")
+        schedule = cls()
+        for index, clause in plan.clauses_for(DOMAIN_SIMULATION):
+            rng = plan.rng_for(index)
+            start = float(
+                clause.param("at_ms", rng.uniform(0.0, horizon_ms * 0.5))
+            )
+            duration = float(
+                clause.param("duration_ms", rng.uniform(horizon_ms * 0.1, horizon_ms * 0.4))
+            )
+            if duration <= 0:
+                raise SimulationError("fault duration_ms must be positive")
+            if clause.kind == "crash":
+                replica = clause.param("replica") or rng.choice(replica_ids)
+                schedule.add_crash(str(replica), start)
+                schedule.add_recover(str(replica), start + duration)
+            elif clause.kind == "partition":
+                a = clause.param("a")
+                b = clause.param("b")
+                if a is None or b is None:
+                    if len(replica_ids) < 2:
+                        raise SimulationError("a partition needs two replicas")
+                    a, b = rng.sample(replica_ids, 2)
+                schedule.add_partition(str(a), str(b), start)
+                schedule.add_heal(str(a), str(b), start + duration)
+            elif clause.kind == "split_brain":
+                groups = clause.param("groups")
+                if groups is None:
+                    if len(replica_ids) < 2:
+                        raise SimulationError("a split-brain needs two replicas")
+                    shuffled = list(replica_ids)
+                    rng.shuffle(shuffled)
+                    cut = rng.randint(1, len(shuffled) - 1)
+                    groups = [shuffled[:cut], shuffled[cut:]]
+                    # Strand each client on one random side of the split.
+                    for client in client_ids:
+                        groups[rng.randrange(2)].append(client)
+                frozen = tuple(tuple(str(m) for m in group) for group in groups)
+                schedule.add_split_brain(frozen, start)
+                schedule.add_heal_groups(frozen, start + duration)
+            else:  # pragma: no cover - registry and this dispatch move together
+                raise SimulationError(
+                    f"simulation clause {clause.kind!r} is not supported here"
+                )
+        return schedule
 
 
 def crash_window(replica_id: str, start_ms: float, end_ms: float) -> FaultSchedule:
@@ -115,4 +224,16 @@ def partition_window(a: str, b: str, start_ms: float, end_ms: float) -> FaultSch
     schedule = FaultSchedule()
     schedule.add_partition(a, b, start_ms)
     schedule.add_heal(a, b, end_ms)
+    return schedule
+
+
+def split_brain_window(
+    groups: Sequence[Sequence[str]], start_ms: float, end_ms: float
+) -> FaultSchedule:
+    """A schedule holding a split-brain open for the window ``[start, end]``."""
+    if end_ms <= start_ms:
+        raise SimulationError("split-brain window must have positive length")
+    schedule = FaultSchedule()
+    schedule.add_split_brain(groups, start_ms)
+    schedule.add_heal_groups(groups, end_ms)
     return schedule

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, Optional, Sequence, Set, Tuple
 
 from ..core.errors import SimulationError
 from .events import EventLoop
@@ -151,6 +151,34 @@ class Network:
         """Remove a partition previously installed with :meth:`partition`."""
         self._partitioned.discard((a, b))
         self._partitioned.discard((b, a))
+
+    def partition_groups(self, groups: Sequence[Sequence[Hashable]]) -> None:
+        """Install a split-brain: endpoints in different groups cannot talk.
+
+        Traffic *within* each group still flows — the classic long-fork
+        topology where two sides of a cluster both keep serving.  Endpoints
+        not named in any group are unaffected.
+        """
+        flat = [member for group in groups for member in group]
+        if len(set(flat)) != len(flat):
+            raise SimulationError("split-brain groups must be disjoint")
+        for i, group_a in enumerate(groups):
+            for group_b in groups[i + 1 :]:
+                for a in group_a:
+                    for b in group_b:
+                        self.partition(a, b)
+
+    def heal_groups(self, groups: Sequence[Sequence[Hashable]]) -> None:
+        """Remove a split-brain installed with :meth:`partition_groups`."""
+        for i, group_a in enumerate(groups):
+            for group_b in groups[i + 1 :]:
+                for a in group_a:
+                    for b in group_b:
+                        self.heal(a, b)
+
+    def heal_all(self) -> None:
+        """Drop every active partition at once."""
+        self._partitioned.clear()
 
     def is_partitioned(self, a: Hashable, b: Hashable) -> bool:
         """True iff traffic between ``a`` and ``b`` is currently blocked."""

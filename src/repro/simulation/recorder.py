@@ -19,6 +19,7 @@ from typing import Callable, Dict, Hashable, List, Optional
 from ..core.builder import TraceBuilder
 from ..core.history import MultiHistory
 from ..core.operation import Operation, OpType
+from .clock import ClockModel
 from .events import EventLoop
 
 __all__ = ["PendingOperation", "HistoryRecorder"]
@@ -50,6 +51,10 @@ class HistoryRecorder:
         positive values let experiments probe sensitivity to clock error.
     rng:
         Random stream for the clock error (required when it is non-zero).
+    clock:
+        Optional per-client :class:`~repro.simulation.clock.ClockModel`
+        (skew and drift); applied before the uniform jitter, using the
+        client that issued the operation.  ``None`` keeps the global clock.
     """
 
     def __init__(
@@ -58,10 +63,12 @@ class HistoryRecorder:
         *,
         clock_error_ms: float = 0.0,
         rng: Optional[random.Random] = None,
+        clock: Optional["ClockModel"] = None,
     ):
         self.loop = loop
         self.clock_error_ms = clock_error_ms
         self.rng = rng if rng is not None else random.Random(0)
+        self.clock = clock
         self._tokens = itertools.count()
         self._pending: Dict[int, PendingOperation] = {}
         # Completed operations stream into the trace builder, which buckets
@@ -91,7 +98,9 @@ class HistoryRecorder:
             listener(op)
 
     # ------------------------------------------------------------------
-    def _stamp(self, t: float) -> float:
+    def _stamp(self, t: float, client: Hashable = None) -> float:
+        if self.clock is not None:
+            t = self.clock.stamp(client, t)
         if self.clock_error_ms <= 0:
             return t
         return t + self.rng.uniform(-self.clock_error_ms, self.clock_error_ms)
@@ -105,7 +114,7 @@ class HistoryRecorder:
             op_type=OpType.WRITE,
             key=key,
             client=client,
-            start=self._stamp(self.loop.now),
+            start=self._stamp(self.loop.now, client),
             value=value,
         )
         return token
@@ -118,7 +127,7 @@ class HistoryRecorder:
             op_type=OpType.READ,
             key=key,
             client=client,
-            start=self._stamp(self.loop.now),
+            start=self._stamp(self.loop.now, client),
         )
         return token
 
@@ -135,7 +144,7 @@ class HistoryRecorder:
         if not ok:
             self._failed += 1
             return
-        finish = self._stamp(self.loop.now)
+        finish = self._stamp(self.loop.now, pending.client)
         if finish <= pending.start:
             finish = pending.start + 1e-6
         if pending.op_type is OpType.WRITE:

@@ -31,6 +31,7 @@ from ..core.history import MultiHistory
 from ..workloads.spec import WorkloadSpec
 from .auditor import LiveAuditor
 from .client import Client
+from .clock import ClockModel
 from .coordinator import Coordinator, CoordinatorStats, QuorumConfig
 from .events import EventLoop
 from .faults import FaultSchedule
@@ -52,6 +53,9 @@ class StoreConfig:
     #: Bounded uniform error added to recorded timestamps (0 = perfect clocks,
     #: the paper's assumption backed by TrueTime-style infrastructure).
     clock_error_ms: float = 0.0
+    #: Optional per-client clock model (skew + drift); ``None`` keeps the
+    #: global simulated clock.  See :mod:`repro.simulation.clock`.
+    clock: Optional[ClockModel] = None
     #: Hard cap on simulated events, guarding against runaway configurations.
     max_events: int = 2_000_000
 
@@ -115,6 +119,7 @@ class SloppyQuorumStore:
             loop,
             clock_error_ms=config.clock_error_ms,
             rng=random.Random(f"{self.seed}-clock"),
+            clock=config.clock,
         )
         if auditor is not None:
             auditor.bind(recorder)

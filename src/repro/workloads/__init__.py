@@ -5,6 +5,13 @@ from .adversarial import (
     high_concurrency_history,
     non_2atomic_batch_history,
 )
+from .chaos import (
+    apply_clock_skew,
+    dump_chaos_fixtures,
+    history_from_plan,
+    hot_key_trace,
+    indeterminate_storm_trace,
+)
 from .spec import (
     HotspotKeys,
     KeySelector,
@@ -28,9 +35,14 @@ __all__ = [
     "UniformKeys",
     "WorkloadSpec",
     "ZipfianKeys",
+    "apply_clock_skew",
     "concurrent_batch_history",
+    "dump_chaos_fixtures",
     "exactly_k_atomic_history",
     "high_concurrency_history",
+    "history_from_plan",
+    "hot_key_trace",
+    "indeterminate_storm_trace",
     "non_2atomic_batch_history",
     "practical_history",
     "random_history",

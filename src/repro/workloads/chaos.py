@@ -1,0 +1,225 @@
+"""Hostile workload generators driven by the unified fault-plan schema.
+
+These generators grow the scenario corpus beyond the well-behaved
+sloppy-quorum regime: hot-key Zipfian traffic (contention concentrated on a
+few registers), indeterminate-operation storms (writes whose completion is
+never observed, extended past the end of the trace as the Jepsen adapter
+models them), and per-client clock skew applied to already-recorded traces.
+Every generator takes an explicit random stream or a seeded
+:class:`~repro.chaos.plan.FaultPlan`, so each hostile scenario is exactly
+reproducible — and :func:`dump_chaos_fixtures` exports any of them as
+Jepsen/Porcupine fixtures for cross-validation by external checkers.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.errors import SimulationError
+from ..core.operation import Operation, read, write
+from ..simulation.clock import ClockModel, SkewedClocks
+from .spec import ZipfianKeys
+from .synthetic import practical_history
+
+
+def _restamped(op: Operation, start: float, finish: float) -> Operation:
+    """A copy of ``op`` with a new interval (and a fresh op id)."""
+    factory = write if op.is_write else read
+    return factory(op.value, start, finish, key=op.key, client=op.client)
+
+__all__ = [
+    "hot_key_trace",
+    "indeterminate_storm_trace",
+    "apply_clock_skew",
+    "history_from_plan",
+    "dump_chaos_fixtures",
+]
+
+
+def hot_key_trace(
+    rng: random.Random,
+    *,
+    num_keys: int = 16,
+    num_operations: int = 800,
+    theta: float = 0.99,
+    num_clients: int = 8,
+    write_ratio: float = 0.2,
+    staleness_probability: float = 0.05,
+    max_staleness: int = 1,
+    key_prefix: str = "hot",
+) -> List[Operation]:
+    """A trace whose per-register traffic follows a Zipf distribution.
+
+    ``num_operations`` operations are allotted to ``num_keys`` registers by
+    Zipfian sampling (``theta ~ 0.99`` is the YCSB default), then each
+    register gets an anomaly-free :func:`practical_history` of its share —
+    so the hottest registers carry most of the contention, the regime where
+    sloppy quorums are most likely to expose staleness.
+    """
+    if num_operations < 2:
+        raise SimulationError("hot_key_trace needs at least two operations")
+    selector = ZipfianKeys(num_keys, theta=theta)
+    counts: Dict[str, int] = {}
+    for _ in range(num_operations):
+        key = selector.select(rng)
+        counts[key] = counts.get(key, 0) + 1
+    ops: List[Operation] = []
+    for key in sorted(counts):
+        register_rng = random.Random(rng.getrandbits(64))
+        history = practical_history(
+            register_rng,
+            max(2, counts[key]),
+            num_clients=num_clients,
+            write_ratio=write_ratio,
+            staleness_probability=staleness_probability,
+            max_staleness=max_staleness,
+            key=f"{key_prefix}-{key}",
+        )
+        ops.extend(history.operations)
+    ops.sort(key=lambda op: (op.start, op.op_id))
+    return ops
+
+
+def indeterminate_storm_trace(
+    rng: random.Random,
+    *,
+    num_keys: int = 4,
+    ops_per_key: int = 120,
+    fraction: float = 0.15,
+    num_clients: int = 8,
+    write_ratio: float = 0.3,
+    key_prefix: str = "storm",
+) -> List[Operation]:
+    """A trace where a fraction of writes never visibly complete.
+
+    An indeterminate write is one whose acknowledgement the collector never
+    saw; following the Jepsen ``info`` convention (see
+    :mod:`repro.io.interop`), its interval is extended past the last event of
+    the trace, making it concurrent with everything after its invocation.
+    The affected writes are chosen by the given stream, ``fraction`` of all
+    writes in expectation.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise SimulationError("fraction must lie in [0, 1]")
+    ops: List[Operation] = []
+    for i in range(num_keys):
+        register_rng = random.Random(rng.getrandbits(64))
+        history = practical_history(
+            register_rng,
+            max(2, ops_per_key),
+            num_clients=num_clients,
+            write_ratio=write_ratio,
+            key=f"{key_prefix}-{i:04d}",
+        )
+        ops.extend(history.operations)
+    horizon = max(op.finish for op in ops) + 1.0
+    stormed: List[Operation] = []
+    for op in ops:
+        if op.is_write and rng.random() < fraction:
+            op = _restamped(op, op.start, horizon)
+        stormed.append(op)
+    stormed.sort(key=lambda op: (op.start, op.op_id))
+    return stormed
+
+
+def apply_clock_skew(
+    ops: List[Operation], model: ClockModel
+) -> List[Operation]:
+    """Re-stamp a trace through a per-client clock model.
+
+    Every operation's start/finish is replaced by what *its own client's*
+    clock would have recorded; intervals that a hostile drift would invert
+    are clamped to a minimal positive length (a collector would never emit a
+    response before its invocation).  Returns new operations in the skewed
+    start order — the stream order an auditor consuming these clocks would
+    actually see.
+    """
+    skewed: List[Operation] = []
+    for op in ops:
+        start = model.stamp(op.client, op.start)
+        finish = model.stamp(op.client, op.finish)
+        if finish <= start:
+            finish = start + 1e-9
+        skewed.append(_restamped(op, start, finish))
+    skewed.sort(key=lambda op: (op.start, op.op_id))
+    return skewed
+
+
+def history_from_plan(plan, *, rng: Optional[random.Random] = None) -> List[Operation]:
+    """Build one hostile trace from the workload clauses of a fault plan.
+
+    ``hot_key`` and ``indeterminate_storm`` clauses each contribute a block
+    of registers (key prefixes carry the clause index, so composed plans
+    never collide); every ``clock_skew`` clause then re-stamps the whole
+    assembled trace through a :class:`~repro.simulation.clock.SkewedClocks`
+    model seeded from the plan.  A plan with no workload clauses yields an
+    empty list.
+    """
+    from ..chaos.plan import DOMAIN_WORKLOAD
+
+    ops: List[Operation] = []
+    skews: List[Tuple[int, object]] = []
+    for index, clause in plan.clauses_for(DOMAIN_WORKLOAD):
+        clause_rng = plan.rng_for(index)
+        if rng is not None:
+            clause_rng = random.Random(rng.getrandbits(64))
+        if clause.kind == "hot_key":
+            ops.extend(
+                hot_key_trace(
+                    clause_rng,
+                    num_keys=int(clause.param("num_keys", 16)),
+                    num_operations=int(clause.param("num_operations", 800)),
+                    theta=float(clause.param("theta", 0.99)),
+                    num_clients=int(clause.param("num_clients", 8)),
+                    write_ratio=float(clause.param("write_ratio", 0.2)),
+                    key_prefix=f"c{index}-hot",
+                )
+            )
+        elif clause.kind == "indeterminate_storm":
+            ops.extend(
+                indeterminate_storm_trace(
+                    clause_rng,
+                    num_keys=int(clause.param("num_keys", 4)),
+                    ops_per_key=int(clause.param("ops_per_key", 120)),
+                    fraction=float(clause.param("fraction", 0.15)),
+                    num_clients=int(clause.param("num_clients", 8)),
+                    key_prefix=f"c{index}-storm",
+                )
+            )
+        elif clause.kind == "clock_skew":
+            skews.append((index, clause))
+        else:  # pragma: no cover - registry and this dispatch move together
+            raise SimulationError(
+                f"workload clause {clause.kind!r} is not supported here"
+            )
+    for index, clause in skews:
+        model = SkewedClocks(
+            max_skew_ms=float(clause.param("max_skew_ms", 0.0)),
+            drift_ppm=float(clause.param("drift_ppm", 0.0)),
+            seed=plan.seed + index,
+        )
+        ops = apply_clock_skew(ops, model)
+    ops.sort(key=lambda op: (op.start, op.op_id))
+    return ops
+
+
+def dump_chaos_fixtures(
+    ops: List[Operation], directory: Union[str, Path], stem: str
+) -> Dict[str, Path]:
+    """Export one generated trace as Jepsen and Porcupine fixture files.
+
+    Returns ``{"jepsen": path, "porcupine": path}`` — the cross-validation
+    surface: external checkers (Knossos, Porcupine) can replay the exact
+    hostile scenario our own verifiers were judged on.
+    """
+    from ..io.interop import dump_jepsen, dump_porcupine
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    jepsen = directory / f"{stem}.jepsen.json"
+    porcupine = directory / f"{stem}.porcupine.jsonl"
+    dump_jepsen(ops, jepsen)
+    dump_porcupine(ops, porcupine)
+    return {"jepsen": jepsen, "porcupine": porcupine}

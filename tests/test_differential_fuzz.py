@@ -42,10 +42,12 @@ from repro.core.operation import Operation
 from repro.core.windows import WindowPolicy
 from repro.engine import Engine, StreamingEngine
 from repro.io.formats import dump_jsonl, load_jsonl
+from repro.simulation.clock import SkewedClocks
 from repro.workloads.adversarial import (
     concurrent_batch_history,
     non_2atomic_batch_history,
 )
+from repro.workloads.chaos import apply_clock_skew, indeterminate_storm_trace
 
 from tests.conftest import TEST_SEED, make_random_history
 
@@ -149,7 +151,7 @@ def report_divergence(ops: List[Operation], problems: List[str], origin: str) ->
 # ----------------------------------------------------------------------
 def random_case(rng: random.Random) -> tuple:
     """One random small history (oracle-sized) plus a description of it."""
-    shape = rng.randrange(4)
+    shape = rng.randrange(6)
     if shape == 0:
         writes, reads = rng.randint(2, 6), rng.randint(1, 7)
         span = rng.choice([2.0, 6.0, 12.0])
@@ -168,7 +170,7 @@ def random_case(rng: random.Random) -> tuple:
             ops = list(base.operations)
         history = History(ops)
         origin = f"concurrent_batch_history({batches}, {size}) with drops"
-    else:
+    elif shape == 3:
         batches, size = rng.randint(1, 2), 3
         base = non_2atomic_batch_history(batches, size)
         ops = [op for op in base.operations if rng.random() > 0.1]
@@ -176,6 +178,29 @@ def random_case(rng: random.Random) -> tuple:
             ops = list(base.operations)
         history = History(ops)
         origin = f"non_2atomic_batch_history({batches}, {size}) with drops"
+    elif shape == 4:
+        # Chaos-layer generator: indeterminate-op storm on one register.
+        per = rng.randint(4, 8)
+        ops = indeterminate_storm_trace(
+            rng, num_keys=1, ops_per_key=per, fraction=0.4
+        )
+        history = History(ops)
+        origin = f"indeterminate_storm_trace(1, {per})"
+    else:
+        # Chaos-layer clock model: re-stamp a random history through
+        # per-client skewed clocks before verification.
+        writes, reads = rng.randint(2, 5), rng.randint(1, 6)
+        base = make_random_history(rng, writes, reads, span=4.0)
+        model = SkewedClocks(
+            max_skew_ms=rng.choice([0.05, 0.2, 1.0]),
+            drift_ppm=rng.choice([0.0, 500.0]),
+            seed=rng.getrandbits(32),
+        )
+        history = History(apply_clock_skew(list(base.operations), model))
+        origin = (
+            f"make_random_history({writes}, {reads}) + SkewedClocks"
+            f"({model.max_skew_ms}, {model.drift_ppm})"
+        )
     return history, origin
 
 

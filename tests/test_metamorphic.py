@@ -27,9 +27,15 @@ from repro.core.api import verify, verify_trace
 from repro.core.builder import TraceBuilder
 from repro.core.history import History
 from repro.core.operation import read, write
+from repro.simulation.clock import SkewedClocks
 from repro.workloads.adversarial import (
     concurrent_batch_history,
     non_2atomic_batch_history,
+)
+from repro.workloads.chaos import (
+    apply_clock_skew,
+    hot_key_trace,
+    indeterminate_storm_trace,
 )
 from repro.workloads.synthetic import synthetic_trace
 
@@ -97,6 +103,12 @@ def sample_histories(rng: random.Random):
                 )
             ]
         ),
+        # The chaos layer's hostile single-register generators obey the
+        # same symmetries as every other history.
+        History(hot_key_trace(rng, num_keys=1, num_operations=12)),
+        History(
+            indeterminate_storm_trace(rng, num_keys=1, ops_per_key=8, fraction=0.3)
+        ),
     ]
     return histories
 
@@ -147,6 +159,35 @@ def test_composed_transforms_preserve_verdict(k):
             f"case {case}: composed transform changed the k={k} verdict "
             f"(seed {TEST_SEED:#x})"
         )
+
+
+def test_sub_resolution_clock_skew_preserves_verdicts():
+    """Per-client skew below half the minimal boundary gap changes nothing.
+
+    With constant offsets of half-width ``eps`` and ``4 * eps`` smaller than
+    the smallest gap between any two distinct interval boundaries, no pair
+    of boundaries can reorder — so the precedence relation, and with it
+    every verdict, is untouched.  This is the quantitative floor under the
+    ``clock_skew_sensitivity`` experiment: flips only start once clock
+    error reaches inter-operation spacing.
+    """
+    rng = random.Random(TEST_SEED + 7)
+    for case, history in enumerate(sample_histories(rng)):
+        times = sorted(
+            t for op in history.operations for t in (op.start, op.finish)
+        )
+        if len(set(times)) != len(times):
+            # Tied boundaries across clients can legitimately reorder under
+            # any nonzero skew; the property only claims sub-gap safety.
+            continue
+        eps = min(b - a for a, b in zip(times, times[1:])) / 4.0
+        model = SkewedClocks(max_skew_ms=eps, drift_ppm=0.0, seed=case)
+        skewed = History(apply_clock_skew(list(history.operations), model))
+        for k in (1, 2):
+            assert verdicts_all_paths(history, k) == verdicts_all_paths(skewed, k), (
+                f"case {case}: sub-resolution skew flipped the k={k} verdict "
+                f"(seed {TEST_SEED:#x})"
+            )
 
 
 def test_minimal_k_invariant_under_time_symmetries():
