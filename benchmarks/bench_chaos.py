@@ -78,8 +78,10 @@ def fault_plan(seed: int, rate: float) -> FaultPlan:
     )
 
 
-async def baseline_run(ops, tmp_dir):
-    server = AuditServer(port=0, checkpoint_dir=tmp_dir / "baseline")
+async def baseline_run(ops, tmp_dir, state_backend="json"):
+    server = AuditServer(
+        port=0, checkpoint_dir=tmp_dir / "baseline", state_backend=state_backend
+    )
     await server.start()
     try:
         windows = []
@@ -95,8 +97,10 @@ async def baseline_run(ops, tmp_dir):
         await server.stop()
 
 
-async def chaos_run(ops, plan, tmp_dir):
-    server = AuditServer(port=0, checkpoint_dir=tmp_dir / plan.name)
+async def chaos_run(ops, plan, tmp_dir, state_backend="json"):
+    server = AuditServer(
+        port=0, checkpoint_dir=tmp_dir / plan.name, state_backend=state_backend
+    )
     await server.start()
     try:
         async with ChaosProxy(server.addresses[0], plan) as proxy:
@@ -130,7 +134,7 @@ def run_bench(args, tmp_dir):
         random.Random(args.seed), args.ops, num_clients=8
     ).operations
     base_report, base_windows, base_elapsed = asyncio.run(
-        baseline_run(ops, tmp_dir)
+        baseline_run(ops, tmp_dir, args.state_backend)
     )
     rows = [
         {
@@ -148,7 +152,7 @@ def run_bench(args, tmp_dir):
             continue
         plan = fault_plan(args.seed, rate)
         report, client, counts, elapsed = asyncio.run(
-            chaos_run(ops, plan, tmp_dir)
+            chaos_run(ops, plan, tmp_dir, args.state_backend)
         )
         assert_parity(base_report, base_windows, report, client.windows, rate)
         rows.append(
@@ -175,6 +179,13 @@ def main(argv=None):
         help="comma-separated frame-fault rates to sweep",
     )
     parser.add_argument("--seed", type=int, default=0xC0FFEE)
+    parser.add_argument(
+        "--state-backend",
+        default="json",
+        dest="state_backend",
+        help="checkpoint state-store backend the servers run on "
+        "(json, sqlite, segments)",
+    )
     parser.add_argument("--json", type=Path, default=None)
     parser.add_argument(
         "--check",

@@ -48,6 +48,10 @@ SECTIONS = [
      ["Engine"]),
     ("Streaming engine", "repro.engine.streaming",
      ["StreamingEngine", "StreamSession"]),
+    ("Durable state stores", "repro.state",
+     ["StateStore", "open_state_store", "available_backends",
+      "write_file_atomic", "fsync_directory", "JsonFileStateStore",
+      "SqliteStateStore", "SegmentStateStore", "TimelineRetention"]),
     ("Audit service", "repro.service.server",
      ["AuditServer"]),
     ("Service client", "repro.service.client",

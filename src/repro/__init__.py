@@ -27,6 +27,12 @@ The library provides:
   backpressure, checkpoint/resume via the checkers'
   ``snapshot()``/``restore()`` state API, and a remote-verification client
   (``repro serve`` / ``repro verify --remote``),
+* **durable state stores** (:mod:`repro.state`): pluggable
+  ``(namespace, key) -> bytes`` backends — fsync-ed file-per-key, WAL-mode
+  SQLite, log-structured footer-indexed segments with segment-level
+  eviction — behind one interface, carrying session checkpoints, the
+  worker pool's failover journal and spilled window timelines
+  (``repro serve --state-backend``),
 * **foreign-trace interop** (:mod:`repro.io`): Jepsen/Knossos event
   histories and Porcupine operation logs behind one format registry, so
   every entry point accepts ``--format jepsen|porcupine|jsonl|csv``
@@ -78,7 +84,7 @@ from .engine import Engine, StreamingEngine
 #: Single source of truth for the package version: ``pyproject.toml`` reads
 #: it via ``[tool.setuptools.dynamic]`` and the CLI exposes it as
 #: ``repro --version``.  Bump it here and nowhere else.
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Engine",

@@ -267,11 +267,29 @@ def _cmd_verify_online(args: argparse.Namespace, out) -> int:
 
 def _cmd_watch(args: argparse.Namespace, out) -> int:
     """Rolling verdicts over a JSONL stream: stdin, a file, or a growing log."""
+    state_store = None
+    if args.retain_windows is not None:
+        if args.state_dir is None:
+            print("error: --retain-windows needs --state-dir", file=out)
+            return 2
+        from .core.errors import StateError
+        from .state import open_state_store
+
+        try:
+            state_store = open_state_store(args.state_backend, args.state_dir)
+        except StateError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    elif args.state_dir is not None:
+        print("error: --state-dir needs --retain-windows", file=out)
+        return 2
     engine = StreamingEngine(
         window=_window_policy(args),
         mode=args.stream_mode,
         algorithm=args.algorithm,
         executor="serial",
+        state_store=state_store,
+        retain_windows=args.retain_windows,
     )
     if args.trace == "-":
         if args.fmt not in (None, "jsonl"):
@@ -308,7 +326,11 @@ def _cmd_watch(args: argparse.Namespace, out) -> int:
         if hasattr(out, "flush"):
             out.flush()
 
-    report = engine.verify_stream(ops, args.k, on_window=on_window)
+    try:
+        report = engine.verify_stream(ops, args.k, on_window=on_window)
+    finally:
+        if state_store is not None:
+            state_store.close()
     print("", file=out)
     print(report.summary(), file=out)
     failures = report.failures
@@ -331,7 +353,7 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     from .service import AuditServer
     from .service.session import SessionConfig
 
-    from .core.errors import ServiceError
+    from .core.errors import ServiceError, StateError
 
     port = args.port
     if port is None and args.unix is None:
@@ -345,12 +367,17 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             checkpoint_every=args.checkpoint_every,
             queue_size=args.queue_size,
             max_sessions=args.max_sessions,
-            default_config=SessionConfig(k=args.k, algorithm=args.algorithm),
+            default_config=SessionConfig(
+                k=args.k,
+                algorithm=args.algorithm,
+                state_backend=args.state_backend,
+            ),
+            state_backend=args.state_backend,
             workers=args.workers,
             session_idle_timeout=args.idle_timeout,
             max_active_sessions=args.max_active,
         )
-    except ServiceError as exc:
+    except (ServiceError, StateError) as exc:
         print(f"error: {exc}", file=out)
         return 2
 
@@ -699,6 +726,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit with status 1 if any register fails verification",
     )
+    p_watch.add_argument(
+        "--state-dir",
+        dest="state_dir",
+        default=None,
+        metavar="DIR",
+        help="spill cold window reports to a state store in DIR so "
+        "long-running watches hold a bounded working set (needs "
+        "--retain-windows)",
+    )
+    p_watch.add_argument(
+        "--state-backend",
+        dest="state_backend",
+        default="segments",
+        metavar="NAME",
+        help="state-store backend for --state-dir: json, sqlite or segments "
+        "(default segments)",
+    )
+    p_watch.add_argument(
+        "--retain-windows",
+        dest="retain_windows",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="keep only the N most recent window reports in memory, spilling "
+        "older ones to --state-dir",
+    )
     _add_format_flag(p_watch)
     p_watch.set_defaults(func=_cmd_watch)
 
@@ -732,6 +785,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="checkpoint each session every N operations (needs --checkpoint-dir)",
+    )
+    p_serve.add_argument(
+        "--state-backend",
+        dest="state_backend",
+        default="json",
+        metavar="NAME",
+        help="durable state-store backend under --checkpoint-dir: json "
+        "(one fsync-ed file per session, the default), sqlite (one WAL "
+        "database) or segments (log-structured segment files); checkpoint "
+        "payloads are byte-identical across backends",
     )
     p_serve.add_argument(
         "--queue-size",

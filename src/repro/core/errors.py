@@ -61,6 +61,24 @@ class TraceFormatError(ReproError):
     """A trace file could not be parsed into a history."""
 
 
+class StateError(ReproError):
+    """A durable state-store operation failed (missing entry, backend I/O).
+
+    Raised by the pluggable :mod:`repro.state` backends; the checkpoint
+    layer re-wraps it in :class:`ServiceError` so the audit service's
+    in-band error contract is unchanged by the choice of backend.
+    """
+
+
+class CorruptStateError(StateError):
+    """A stored blob or segment failed validation (torn write, bad checksum).
+
+    The durability contract of :class:`repro.state.StateStore` is that a
+    reader never observes partial state: a value interrupted mid-write
+    either loads as the previous value or raises this typed error.
+    """
+
+
 class ServiceError(ReproError):
     """The audit service (or its wire protocol) was used incorrectly.
 

@@ -35,6 +35,7 @@ because checker state persists across windows; windowed mode may also use
 
 from __future__ import annotations
 
+import itertools
 import time
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
@@ -52,6 +53,7 @@ from ..core.operation import Operation
 from ..core.result import StreamVerdict, VerificationResult
 from ..core.windows import Window, WindowAssembler, WindowPolicy
 from ..analysis.report import StreamVerificationReport, WindowReport, WindowStats
+from ..state.retention import TimelineRetention
 from .engine import Engine
 from .executors import ShardExecutor, default_jobs, get_executor
 
@@ -59,6 +61,10 @@ __all__ = ["StreamingEngine", "StreamSession", "DEFAULT_WINDOW"]
 
 #: Default window policy: tumbling, 256 fresh operations per window.
 DEFAULT_WINDOW = WindowPolicy.count(256)
+
+#: Distinguishes the spilled-timeline key prefixes of concurrent streams
+#: sharing one state store (several sessions in one server process).
+_TIMELINE_SEQ = itertools.count()
 
 
 class _RegisterCarry:
@@ -154,10 +160,16 @@ class StreamingEngine:
         cadence_growth: float = DEFAULT_CADENCE_GROWTH,
         check_per_window: bool = True,
         max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+        state_store=None,
+        retain_windows: Optional[int] = None,
     ):
         if mode not in ("rolling", "windowed"):
             raise VerificationError(
                 f"streaming mode must be 'rolling' or 'windowed', got {mode!r}"
+            )
+        if retain_windows is not None and retain_windows < 1:
+            raise VerificationError(
+                f"retain_windows must be >= 1, got {retain_windows}"
             )
         self.window = window
         self.mode = mode
@@ -180,12 +192,29 @@ class StreamingEngine:
         self.cadence_growth = cadence_growth
         self.check_per_window = check_per_window
         self.max_exact_ops = max_exact_ops
+        #: Optional :class:`repro.state.StateStore` + bound: when both are
+        #: set, closed-window timelines keep only the ``retain_windows`` most
+        #: recent reports hot and spill colder ones to the store, so
+        #: long-running ``repro watch`` sessions hold a bounded working set.
+        self.state_store = state_store
+        self.retain_windows = retain_windows
         self._batch_engine = Engine(
             executor=self.executor,
             jobs=self.jobs,
             algorithm=algorithm,
             max_exact_ops=max_exact_ops,
         )
+
+    # ------------------------------------------------------------------
+    def _new_timeline(self) -> TimelineRetention:
+        """A timeline container honouring this engine's retention policy."""
+        if self.state_store is not None and self.retain_windows is not None:
+            return TimelineRetention(
+                self.state_store,
+                self.retain_windows,
+                prefix=f"stream-{next(_TIMELINE_SEQ)}",
+            )
+        return TimelineRetention()
 
     # ------------------------------------------------------------------
     def verify_stream(
@@ -205,7 +234,7 @@ class StreamingEngine:
         if k < 1:
             raise VerificationError(f"k must be a positive integer, got {k!r}")
         t0 = time.perf_counter()
-        timeline: List[WindowReport] = []
+        timeline = self._new_timeline()
         checkers: Dict[Hashable, Checker] = {}
         carries: Dict[Hashable, _RegisterCarry] = {}
         latched: Dict[Hashable, VerificationResult] = {}
@@ -472,7 +501,7 @@ class StreamSession:
         self._assembler = WindowAssembler(engine.window)
         self._checkers: Dict[Hashable, Checker] = {}
         self._key_order: List[Hashable] = []
-        self._timeline: List[WindowReport] = []
+        self._timeline = engine._new_timeline()
         self._ops_fed = 0
         self._elapsed_prior = 0.0
         self._t0 = time.perf_counter()
@@ -577,7 +606,8 @@ class StreamSession:
         for key, checker_state in state["checkers"]:
             self._checkers[key] = restore_checker(checker_state)
             self._key_order.append(key)
-        self._timeline = list(state["timeline"])
+        self._timeline = self.engine._new_timeline()
+        self._timeline.extend(state["timeline"])
         self._ops_fed = state["ops_fed"]
         self._elapsed_prior = state["elapsed_s"]
         self._t0 = time.perf_counter()

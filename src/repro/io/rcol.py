@@ -47,6 +47,7 @@ the format registers itself with an explanatory description either way.
 from __future__ import annotations
 
 import json
+import os
 import struct
 from pathlib import Path
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
@@ -58,6 +59,7 @@ except ImportError:  # pragma: no cover
 
 from ..core.builder import TraceBuilder
 from ..core.errors import MalformedOperationError, TraceFormatError
+from ..state.base import fsync_directory
 from ..core.history import History, MultiHistory
 from ..core.operation import Operation, OpType, trusted_operation
 from ..core import operation as _operation
@@ -168,6 +170,7 @@ class RcolWriter:
 
     def __init__(self, path: Union[str, Path]):
         _require_numpy()
+        self._path = Path(path)
         self._fh = open(path, "wb")
         self._fh.write(MAGIC)
         self._pos = len(MAGIC)
@@ -313,7 +316,13 @@ class RcolWriter:
         self._value_count = 0
 
     def close(self) -> None:
-        """Write the footer and close the file."""
+        """Write the footer, sync the file to stable storage, and close it.
+
+        Without the ``fsync`` (and the directory sync for a freshly created
+        trace) the footer — the only thing that makes the file a readable
+        container — could still sit in the page cache when a power cut hits,
+        leaving a truncated trace that passed "successful" conversion.
+        """
         if self._current is not None:
             raise TraceFormatError("close() inside an unfinished register")
         footer = json.dumps(
@@ -323,7 +332,10 @@ class RcolWriter:
         self._fh.write(footer)
         self._fh.write(struct.pack("<Q", len(footer)))
         self._fh.write(END_MAGIC)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
         self._fh.close()
+        fsync_directory(self._path.parent)
 
 
 # ======================================================================

@@ -1,96 +1,121 @@
 """Durable session checkpoints for the audit service.
 
-A checkpoint is one pickle file per session holding the payload produced by
-:meth:`repro.service.session.AuditSession.checkpoint_payload` — the complete
+A checkpoint is one pickled payload per session — produced by
+:meth:`repro.service.session.AuditSession.checkpoint_payload`, the complete
 engine-session snapshot (checker buffers, cadence state, monitor indexes,
 open-window buffer, closed-window timeline) plus the session's own
 accounting.  Restoring it yields verdicts identical to an uninterrupted run;
 the parity tests in ``tests/test_checkpoint.py`` assert exactly that.
 
-Writes are atomic (temp file + ``os.replace``) so a crash mid-checkpoint
-leaves the previous checkpoint intact, and session identifiers are quoted
-into safe file names so arbitrary client-chosen ids cannot escape the
-checkpoint directory.
+Storage goes through the pluggable :mod:`repro.state` backends (``json`` —
+one fsync-ed file per session, the historical layout — ``sqlite`` or
+``segments``), selected by ``repro serve --state-backend``.  All backends
+store the *same pickled bytes* for the same payload, so checkpoints are
+byte-interchangeable across backends and a directory can be migrated by
+re-putting each blob.  Writes are atomic and, by default, durable: the
+blob is flushed and fsync-ed before it replaces the previous checkpoint,
+and session identifiers are quoted/escaped by the backend so arbitrary
+client-chosen ids cannot escape the store directory.
 """
 
 from __future__ import annotations
 
-import os
 import pickle
-import urllib.parse
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
-from ..core.errors import ServiceError
+from ..core.errors import ServiceError, StateError
+from ..state import DEFAULT_STATE_BACKEND, StateStore, open_state_store
 
-__all__ = ["CheckpointStore"]
+__all__ = ["CheckpointStore", "SESSIONS_NAMESPACE"]
 
-_SUFFIX = ".ckpt"
+#: State-store namespace holding session checkpoint payloads.
+SESSIONS_NAMESPACE = "sessions"
 
 
 class CheckpointStore:
-    """Directory-backed store of per-session checkpoint files."""
+    """Per-session checkpoint persistence over a :class:`StateStore` backend.
 
-    def __init__(self, directory: Union[str, Path]):
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+    Construct with a directory and a backend name, or wrap an existing
+    store with ``CheckpointStore(store=...)`` (the server does this so the
+    checkpoint layer and the worker-pool journal share one store).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path, None] = None,
+        *,
+        backend: str = DEFAULT_STATE_BACKEND,
+        store: Optional[StateStore] = None,
+    ):
+        if store is not None:
+            self.store = store
+            self._owns_store = False
+        else:
+            if directory is None:
+                raise ServiceError("CheckpointStore needs a directory or a store")
+            self.store = open_state_store(backend, directory)
+            self._owns_store = True
+        self.backend = self.store.backend
+        self.directory = Path(getattr(self.store, "directory", directory or "."))
 
     # ------------------------------------------------------------------
     def path_for(self, session_id: str) -> Path:
-        """The checkpoint file a session persists to (quoted file name)."""
-        name = urllib.parse.quote(str(session_id), safe="")
-        return self.directory / f"{name}{_SUFFIX}"
+        """The file a session persists to (``json`` backend only layout)."""
+        if hasattr(self.store, "path_for"):
+            return self.store.path_for(SESSIONS_NAMESPACE, str(session_id))
+        # Single-container backends have no per-session file; point at the
+        # container so error messages and tooling still name a real path.
+        return Path(getattr(self.store, "path", self.directory))
 
     def session_ids(self) -> List[str]:
         """Identifiers of every checkpointed session, sorted."""
-        return sorted(
-            urllib.parse.unquote(path.name[: -len(_SUFFIX)])
-            for path in self.directory.glob(f"*{_SUFFIX}")
-        )
+        return self.store.keys(SESSIONS_NAMESPACE)
 
     def __contains__(self, session_id: str) -> bool:
-        return self.path_for(session_id).exists()
+        return self.store.contains(SESSIONS_NAMESPACE, str(session_id))
 
     # ------------------------------------------------------------------
     def save(self, session_id: str, payload: Dict) -> Path:
-        """Persist one checkpoint payload atomically; returns its path."""
-        path = self.path_for(session_id)
-        tmp = path.with_name(path.name + ".tmp")
+        """Persist one checkpoint payload atomically and durably."""
         try:
-            with open(tmp, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except (OSError, pickle.PickleError, TypeError, ValueError, AttributeError) as exc:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            self.store.put(SESSIONS_NAMESPACE, str(session_id), blob)
+        except (StateError, pickle.PickleError, TypeError, ValueError, AttributeError) as exc:
             # pickle failures (unpicklable payload member) and I/O failures
             # alike must surface as ServiceError: the server's error handling
             # relies on this contract to answer in-band instead of dying.
             raise ServiceError(
                 f"cannot write checkpoint for session {session_id!r}: {exc}"
             ) from exc
-        finally:
-            if tmp.exists():  # a failed dump leaves the temp file behind
-                tmp.unlink(missing_ok=True)
-        return path
+        return self.path_for(session_id)
+
+    def raw(self, session_id: str) -> bytes:
+        """The stored pickle bytes — what the interchange tests compare."""
+        try:
+            return self.store.get(SESSIONS_NAMESPACE, str(session_id))
+        except StateError as exc:
+            raise ServiceError(str(exc)) from exc
 
     def load(self, session_id: str) -> Dict:
         """Load one checkpoint payload; raises :class:`ServiceError` if absent."""
-        path = self.path_for(session_id)
-        if not path.exists():
+        if not self.store.contains(SESSIONS_NAMESPACE, str(session_id)):
             raise ServiceError(
                 f"no checkpoint for session {session_id!r} in {self.directory}"
             )
         try:
-            with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            blob = self.store.get(SESSIONS_NAMESPACE, str(session_id))
+            return pickle.loads(blob)
+        except (StateError, pickle.UnpicklingError, EOFError) as exc:
             raise ServiceError(
                 f"cannot read checkpoint for session {session_id!r}: {exc}"
             ) from exc
 
     def discard(self, session_id: str) -> bool:
         """Delete a session's checkpoint; returns whether one existed."""
-        path = self.path_for(session_id)
-        if path.exists():
-            path.unlink()
-            return True
-        return False
+        return self.store.delete(SESSIONS_NAMESPACE, str(session_id))
+
+    def close(self) -> None:
+        """Close the underlying store if this facade opened it."""
+        if self._owns_store:
+            self.store.close()

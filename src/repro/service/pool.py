@@ -38,7 +38,10 @@ Architecture
 Memory trade-off: the parent's snapshot+replay copy roughly doubles resident
 checker state versus single-process serving; ``snapshot_every`` bounds the
 replay log, and a session checkpoint (which pulls fresh snapshots anyway)
-resets it for free.
+resets it for free.  Passing a :class:`repro.state.StateStore` as the pool's
+``journal`` moves that copy out of parent memory instead: snapshots land in
+the ``pool-snap`` namespace and replay batches in ``pool-log``, loaded back
+only on the (rare) failover or resize path.
 """
 
 from __future__ import annotations
@@ -400,18 +403,142 @@ class _WorkerHandle:
             pass
 
 
+#: State-store namespaces of the journalled worker-pool failover state.
+POOL_SNAP_NAMESPACE = "pool-snap"
+POOL_LOG_NAMESPACE = "pool-log"
+
+
+class _ReplayLog:
+    """The feed batches logged since a shard's last snapshot.
+
+    List-shaped (``append``/``clear``/``bool``/iteration — all the pool
+    uses); with a journal attached, entries live in the ``pool-log``
+    namespace of the state store instead of parent memory and are loaded
+    back only when failover or resize actually replays them.
+    """
+
+    __slots__ = ("_journal", "_prefix", "_entries", "_count")
+
+    def __init__(self, journal, prefix: str):
+        self._journal = journal
+        self._prefix = prefix
+        self._entries: Optional[List[Tuple[bytes, str]]] = (
+            [] if journal is None else None
+        )
+        self._count = 0
+
+    def _key(self, index: int) -> str:
+        return f"{self._prefix}:{index:08d}"
+
+    def append(self, entry: Tuple[bytes, str]) -> None:
+        if self._journal is None:
+            self._entries.append(entry)
+        else:
+            self._journal.put(
+                POOL_LOG_NAMESPACE,
+                self._key(self._count),
+                pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL),
+                durable=False,
+            )
+        self._count += 1
+
+    def clear(self) -> None:
+        if self._journal is None:
+            self._entries.clear()
+        else:
+            for index in range(self._count):
+                self._journal.delete(POOL_LOG_NAMESPACE, self._key(index))
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def __iter__(self):
+        if self._journal is None:
+            return iter(list(self._entries))
+        return iter(
+            [
+                pickle.loads(self._journal.get(POOL_LOG_NAMESPACE, self._key(i)))
+                for i in range(self._count)
+            ]
+        )
+
+
 class _ShardState:
-    """What the parent remembers about one shard, for failover and resize."""
+    """What the parent remembers about one shard, for failover and resize.
 
-    __slots__ = ("session_id", "key", "config", "snapshot", "replay", "since_snapshot")
+    With a journal (a :class:`repro.state.StateStore`), the snapshot blob
+    and replay log are persisted there rather than held in parent memory;
+    the hot path only ever touches the cheap ``has_snapshot`` flag and the
+    replay count.
+    """
 
-    def __init__(self, session_id: str, key: Hashable, config: Dict):
+    __slots__ = (
+        "session_id",
+        "key",
+        "config",
+        "replay",
+        "since_snapshot",
+        "_journal",
+        "_journal_key",
+        "_snapshot",
+        "_has_snapshot",
+    )
+
+    def __init__(self, session_id: str, key: Hashable, config: Dict, journal=None):
         self.session_id = session_id
         self.key = key
         self.config = config
-        self.snapshot: Optional[Dict] = None  # None = started from scratch
-        self.replay: List[Tuple[bytes, str]] = []  # (feed blob, check mode)
+        self._journal = journal
+        # \x1f (unit separator) cannot collide with ':'-indexed log keys.
+        self._journal_key = f"{session_id}\x1f{key!r}"
+        self._snapshot: Optional[Dict] = None  # in-memory copy (no journal)
+        self._has_snapshot = False
+        self.replay = _ReplayLog(journal, self._journal_key)
         self.since_snapshot = 0
+
+    @property
+    def has_snapshot(self) -> bool:
+        """Cheap presence test — never loads the journalled blob."""
+        if self._journal is None:
+            return self._snapshot is not None
+        return self._has_snapshot
+
+    @property
+    def snapshot(self) -> Optional[Dict]:
+        if self._journal is None:
+            return self._snapshot
+        if not self._has_snapshot:
+            return None
+        return pickle.loads(
+            self._journal.get(POOL_SNAP_NAMESPACE, self._journal_key)
+        )
+
+    @snapshot.setter
+    def snapshot(self, value: Optional[Dict]) -> None:
+        if self._journal is None:
+            self._snapshot = value
+            return
+        if value is None:
+            self._journal.delete(POOL_SNAP_NAMESPACE, self._journal_key)
+            self._has_snapshot = False
+        else:
+            self._journal.put(
+                POOL_SNAP_NAMESPACE,
+                self._journal_key,
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+                durable=False,
+            )
+            self._has_snapshot = True
+
+    def discard_journal(self) -> None:
+        """Drop journalled state when the shard is retired."""
+        if self._journal is not None:
+            self._journal.delete(POOL_SNAP_NAMESPACE, self._journal_key)
+            self.replay.clear()
 
 
 class WorkerPool:
@@ -439,6 +566,12 @@ class WorkerPool:
         error on the affected shards, not as an infinite respawn spin that
         also starves healthy sessions.  Respawns inside the window back off
         exponentially.  ``crash_loop_threshold=0`` disables the breaker.
+    journal:
+        Optional :class:`repro.state.StateStore`: per-shard failover
+        snapshots and replay logs are persisted there (``pool-snap`` /
+        ``pool-log`` namespaces) instead of parent memory, read back only
+        on failover or resize.  Stale journal entries from a previous run
+        are swept at :meth:`start`.
 
     The pool is asyncio-native: create it on the event loop that will use it
     and ``await`` :meth:`start` before the first feed.
@@ -453,6 +586,7 @@ class WorkerPool:
         mp_context: Optional[str] = None,
         crash_loop_threshold: int = DEFAULT_CRASH_LOOP_THRESHOLD,
         crash_loop_window_s: float = DEFAULT_CRASH_LOOP_WINDOW_S,
+        journal=None,
     ):
         from .routing import DEFAULT_REPLICAS, HashRing
 
@@ -464,6 +598,9 @@ class WorkerPool:
             )
         self.size = size
         self.snapshot_every = snapshot_every
+        #: Optional :class:`repro.state.StateStore` holding the failover
+        #: snapshots and replay logs instead of parent memory.
+        self.journal = journal
         self.replicas = replicas if replicas is not None else DEFAULT_REPLICAS
         self._ring_class = HashRing
         self._ctx = (
@@ -505,6 +642,12 @@ class WorkerPool:
         """Spawn the worker processes and build the routing ring."""
         if self._started:
             raise ServiceError("worker pool already started")
+        if self.journal is not None:
+            # Failover state is only meaningful within one parent process:
+            # sweep whatever a previous (crashed) run left in the store.
+            for namespace in (POOL_SNAP_NAMESPACE, POOL_LOG_NAMESPACE):
+                for key in self.journal.keys(namespace):
+                    self.journal.delete(namespace, key)
         self._loop = asyncio.get_running_loop()
         self._feeds_idle = asyncio.Event()
         self._feeds_idle.set()
@@ -530,6 +673,8 @@ class WorkerPool:
             *(handle.stop() for handle in self._workers.values()),
             return_exceptions=True,
         )
+        for state in self._shards.values():
+            state.discard_journal()
         self._workers.clear()
         self._shards.clear()
 
@@ -614,7 +759,9 @@ class WorkerPool:
                             f"shard {shard_id!r} is new but no checker config "
                             "was provided"
                         )
-                    self._shards[shard_id] = _ShardState(session_id, key, dict(config))
+                    self._shards[shard_id] = _ShardState(
+                        session_id, key, dict(config), journal=self.journal
+                    )
                 home = self._ring.route(shard_id)
                 by_worker.setdefault(home, []).append((key, ops))
             results = await asyncio.gather(
@@ -641,7 +788,7 @@ class WorkerPool:
         for key, ops in batches:
             shard_id = (session_id, key)
             state = self._shards[shard_id]
-            fresh = state.snapshot is None and not state.replay
+            fresh = not state.has_snapshot and not state.replay
             want_snapshot = (
                 self.snapshot_every > 0
                 and state.since_snapshot + 1 >= self.snapshot_every
@@ -918,7 +1065,9 @@ class WorkerPool:
         for chunk in gathered:
             for (session, key), result in chunk:
                 results[key] = result
-                self._shards.pop((session, key), None)
+                retired = self._shards.pop((session, key), None)
+                if retired is not None:
+                    retired.discard_journal()
         return results
 
     async def snapshot_session(
@@ -961,7 +1110,7 @@ class WorkerPool:
         by_worker: Dict[int, List] = {}
         for key, checker_state in entries:
             shard_id = (session_id, key)
-            state = _ShardState(session_id, key, dict(config))
+            state = _ShardState(session_id, key, dict(config), journal=self.journal)
             state.snapshot = checker_state
             self._shards[shard_id] = state
             by_worker.setdefault(self._ring.route(shard_id), []).append(
@@ -977,7 +1126,9 @@ class WorkerPool:
         """Discard a session's shards (disconnect without ``end``)."""
         by_worker = self._session_shards(session_id, keys)
         for key in keys:
-            self._shards.pop((session_id, key), None)
+            retired = self._shards.pop((session_id, key), None)
+            if retired is not None:
+                retired.discard_journal()
         for worker_id, shard_ids in by_worker.items():
             handle = self._workers.get(worker_id)
             if handle is None or handle.dead:

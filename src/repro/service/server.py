@@ -64,6 +64,7 @@ from ..core.errors import (
     SessionIdleTimeout,
 )
 from ..io.formats import JsonlDecoder
+from ..state import available_backends
 from .checkpoint import CheckpointStore
 from .pool import PooledAuditSession, WorkerPool
 from .protocol import (
@@ -128,6 +129,13 @@ class AuditServer:
         Load-shedding bound: a ``hello`` arriving while this many sessions
         are already live is refused with a retryable ``overloaded`` error
         instead of degrading every existing stream.  ``None`` admits all.
+    state_backend:
+        Which :mod:`repro.state` backend persists checkpoints under
+        ``checkpoint_dir`` (``json``, ``sqlite`` or ``segments``); defaults
+        to ``default_config.state_backend``.  Checkpoint payloads are
+        byte-identical across backends, so a deployment can switch by
+        re-putting each session's blob.  Non-default backends additionally
+        journal the worker pool's failover state through the same store.
     """
 
     def __init__(
@@ -144,6 +152,7 @@ class AuditServer:
         workers: Optional[int] = None,
         session_idle_timeout: Optional[float] = None,
         max_active_sessions: Optional[int] = None,
+        state_backend: Optional[str] = None,
     ):
         if port is None and unix_path is None:
             raise ServiceError("enable at least one endpoint (TCP port or unix path)")
@@ -159,8 +168,24 @@ class AuditServer:
         self.host = host
         self.port = port
         self.unix_path = str(unix_path) if unix_path is not None else None
+        #: Which repro.state backend persists checkpoints (and, for the
+        #: non-default backends, the worker pool's failover journal).
+        self.state_backend = (
+            state_backend
+            if state_backend is not None
+            else default_config.state_backend
+        )
+        if self.state_backend not in available_backends():
+            # Validate even without a checkpoint_dir — a typo'd backend must
+            # fail at construction, not serve silently without durability.
+            raise ServiceError(
+                f"unknown state backend {self.state_backend!r}; "
+                f"expected one of {', '.join(available_backends())}"
+            )
         self.store = (
-            CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+            CheckpointStore(checkpoint_dir, backend=self.state_backend)
+            if checkpoint_dir is not None
+            else None
         )
         self.checkpoint_every = checkpoint_every
         self.queue_size = queue_size
@@ -214,7 +239,16 @@ class AuditServer:
         self._stop_event = asyncio.Event()
         self._started_at = time.monotonic()
         if self.workers is not None:
-            self._pool = WorkerPool(self.workers)
+            # Non-default state backends also journal the pool's failover
+            # state (snapshots + replay logs) instead of holding it in
+            # parent memory; the default json backend keeps the historical
+            # in-memory copy, whose per-window file churn it would not absorb.
+            journal = (
+                self.store.store
+                if self.store is not None and self.state_backend != "json"
+                else None
+            )
+            self._pool = WorkerPool(self.workers, journal=journal)
             await self._pool.start()
         if self.port is not None:
             self._servers.append(
@@ -274,6 +308,8 @@ class AuditServer:
         if self._pool is not None:
             self._worker_rows = self._pool.worker_stats()
             await self._pool.stop()
+        if self.store is not None:
+            self.store.close()
         if self._stop_event is not None:
             self._stop_event.set()
 

@@ -20,6 +20,7 @@ from ..core.errors import ServiceError, VerificationError
 from ..core.operation import Operation
 from ..core.windows import WindowPolicy
 from ..engine.streaming import StreamingEngine, StreamSession
+from ..state import available_backends
 
 __all__ = ["SessionConfig", "AuditSession", "DEFAULT_SESSION_WINDOW"]
 
@@ -41,6 +42,11 @@ class SessionConfig:
     window_mode: str = "count"
     window_size: float = DEFAULT_SESSION_WINDOW
     window_overlap: float = 0.0
+    #: Which :mod:`repro.state` backend the service persists this session
+    #: with.  Deliberately excluded from :meth:`to_dict`: the backend is an
+    #: operational choice, and keeping it out of the checkpoint payload is
+    #: what makes payloads byte-interchangeable across backends.
+    state_backend: str = "json"
 
     def window_policy(self) -> WindowPolicy:
         """The window policy the configuration describes (validating it)."""
@@ -49,7 +55,10 @@ class SessionConfig:
         )
 
     def to_dict(self) -> Dict:
-        """JSON/pickle-friendly form (stored in checkpoints)."""
+        """JSON/pickle-friendly form (stored in checkpoints).
+
+        ``state_backend`` is intentionally absent — see the field comment.
+        """
         return {
             "k": self.k,
             "algorithm": self.algorithm,
@@ -71,6 +80,7 @@ class SessionConfig:
                 window_mode=str(window.get("mode", "count")),
                 window_size=float(window.get("size", DEFAULT_SESSION_WINDOW)),
                 window_overlap=float(window.get("overlap", 0.0)),
+                state_backend=str(record.get("state_backend", "json")),
             )
         except (TypeError, ValueError) as exc:
             raise ServiceError(f"malformed session configuration: {record!r}") from exc
@@ -80,6 +90,11 @@ class SessionConfig:
             raise ServiceError(str(exc)) from exc
         if config.k < 1:
             raise ServiceError(f"k must be a positive integer, got {config.k!r}")
+        if config.state_backend not in available_backends():
+            raise ServiceError(
+                f"unknown state backend {config.state_backend!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
         return config
 
 

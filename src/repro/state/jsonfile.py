@@ -1,0 +1,143 @@
+"""File-per-key state store — the behaviour-preserving default backend.
+
+Each ``(namespace, key)`` is one file; writes are atomic *and durable*
+(temp file + ``fsync`` + ``os.replace`` + directory sync, see
+:func:`repro.state.base.write_file_atomic`) and keys are percent-quoted so
+arbitrary client-chosen ids cannot escape the store directory.
+
+On-disk layout (compatible with pre-1.8 checkpoint directories)::
+
+    <directory>/<quoted-key>.ckpt          # the "sessions" namespace
+    <directory>/<namespace>/<quoted-key>.blob   # every other namespace
+
+The ``sessions`` namespace lives at the top level with the historical
+``.ckpt`` suffix so checkpoint directories written by earlier releases load
+unchanged, and ``repro serve --checkpoint-dir`` directories remain greppable
+one-file-per-session.
+
+Opening the store sweeps orphaned ``*.tmp`` files: a crash between creating
+the temp file and renaming it used to leave the orphan behind forever (the
+store only ever globbed ``*.ckpt``), accumulating garbage in long-lived
+service directories.  The sweep removes them — they are by construction
+incomplete and must never be loaded as state.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from pathlib import Path
+from typing import List, Union
+
+from ..core.errors import CorruptStateError, StateError
+from .base import STATE_BACKENDS, StateStore, write_file_atomic
+
+__all__ = ["JsonFileStateStore"]
+
+#: Suffix of the top-level (``sessions``) namespace — the historical layout.
+_SESSION_SUFFIX = ".ckpt"
+#: Suffix of namespaced entries.
+_BLOB_SUFFIX = ".blob"
+_TMP_SUFFIX = ".tmp"
+#: The namespace stored at the directory root for backward compatibility.
+_ROOT_NAMESPACE = "sessions"
+
+
+def _quote(text: str) -> str:
+    return urllib.parse.quote(str(text), safe="")
+
+
+def _unquote(text: str) -> str:
+    return urllib.parse.unquote(text)
+
+
+class JsonFileStateStore(StateStore):
+    """One file per entry under a directory tree (the ``json`` backend).
+
+    ``durable=False`` at construction downgrades *every* put to
+    crash-atomic-but-unsynced (for tests and scratch stores); per-call
+    ``put(..., durable=False)`` does the same for one write.
+    """
+
+    backend = "json"
+
+    def __init__(self, directory: Union[str, Path], *, durable: bool = True):
+        super().__init__()
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.durable = durable
+        self.swept_tmp = self._sweep_orphans()
+
+    # ------------------------------------------------------------------
+    def _sweep_orphans(self) -> int:
+        """Remove ``*.tmp`` files a crash mid-write left behind."""
+        removed = 0
+        for tmp in self.directory.glob(f"*{_TMP_SUFFIX}"):
+            tmp.unlink(missing_ok=True)
+            removed += 1
+        for sub in self.directory.iterdir():
+            if sub.is_dir():
+                for tmp in sub.glob(f"*{_TMP_SUFFIX}"):
+                    tmp.unlink(missing_ok=True)
+                    removed += 1
+        return removed
+
+    def path_for(self, namespace: str, key: str) -> Path:
+        """The file an entry persists to (quoted, always inside the store)."""
+        if namespace == _ROOT_NAMESPACE:
+            return self.directory / f"{_quote(key)}{_SESSION_SUFFIX}"
+        return self.directory / _quote(namespace) / f"{_quote(key)}{_BLOB_SUFFIX}"
+
+    # ------------------------------------------------------------------
+    def put(self, namespace: str, key: str, blob: bytes, *, durable: bool = True) -> None:
+        path = self.path_for(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            write_file_atomic(
+                path, blob, durable=durable and self.durable, tmp_suffix=_TMP_SUFFIX
+            )
+        except OSError as exc:
+            raise StateError(
+                f"cannot write state entry {key!r} ({namespace}): {exc}"
+            ) from exc
+        self.puts += 1
+        self.bytes_written += len(blob)
+
+    def get(self, namespace: str, key: str) -> bytes:
+        path = self.path_for(namespace, key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            raise self._missing(namespace, key) from None
+        except OSError as exc:
+            raise CorruptStateError(
+                f"cannot read state entry {key!r} ({namespace}): {exc}"
+            ) from exc
+        self.gets += 1
+        self.bytes_read += len(blob)
+        return blob
+
+    def contains(self, namespace: str, key: str) -> bool:
+        return self.path_for(namespace, key).exists()
+
+    def delete(self, namespace: str, key: str) -> bool:
+        path = self.path_for(namespace, key)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    def keys(self, namespace: str) -> List[str]:
+        if namespace == _ROOT_NAMESPACE:
+            root, suffix = self.directory, _SESSION_SUFFIX
+        else:
+            root, suffix = self.directory / _quote(namespace), _BLOB_SUFFIX
+        if not root.is_dir():
+            return []
+        return sorted(
+            _unquote(path.name[: -len(suffix)])
+            for path in root.glob(f"*{suffix}")
+        )
+
+
+STATE_BACKENDS["json"] = JsonFileStateStore

@@ -1,0 +1,495 @@
+"""Log-structured segment-file state store with footer-indexed segments.
+
+Writes are appends to the *active* segment file; a segment that reaches
+``max_segment_bytes`` is *sealed* — a JSON footer indexing every record is
+appended, mirroring the ``.rcol`` trace container's chunk/footer idiom
+(payload, footer JSON, little-endian ``u64`` footer length, end magic) — and
+a fresh segment becomes active.  Updates never rewrite in place: a new
+record supersedes the old one and a tombstone record supersedes a delete,
+so crash atomicity falls out of the format rather than being bolted on.
+
+Segment file layout::
+
+    MAGIC ("RSEGSTO1")
+    record*                      u32 body_len | u32 crc32(body) | body
+    [footer JSON | u64 footer_len | END_MAGIC ("RSEGEND1")]   # sealed only
+
+    body := u16 ns_len | ns | u16 key_len | key | u8 flags | blob
+    flags bit 0: tombstone (blob empty)
+
+Recovery opens sealed segments straight from their footers (no payload
+scan).  The active segment of a crashed process has no footer; it is
+scanned record-by-record and the scan *stops at the first torn record* —
+a truncated tail therefore yields exactly the state before the interrupted
+write, never a partial blob — and the file is truncated back to the last
+whole record so appends continue from a clean boundary.
+
+Reads of sealed segments go through ``mmap`` with segment-level eviction:
+at most ``cache_segments`` mappings stay open (LRU), colder segments are
+unmapped and transparently re-mapped on next access.  Long-running sessions
+therefore hold a bounded working set regardless of total history size —
+the property ``bench_statestore.py`` demonstrates for ``repro watch``.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import threading
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.errors import CorruptStateError, StateError
+from .base import STATE_BACKENDS, StateStore, fsync_directory
+
+__all__ = ["SegmentStateStore"]
+
+MAGIC = b"RSEGSTO1"
+END_MAGIC = b"RSEGEND1"
+_HEADER = struct.Struct("<II")  # body_len, crc32(body)
+_U16 = struct.Struct("<H")
+_U64 = struct.Struct("<Q")
+_TOMBSTONE = 0x01
+
+#: Rotate the active segment once it exceeds this many bytes.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+#: Keep at most this many sealed segments mapped at once.
+DEFAULT_CACHE_SEGMENTS = 8
+
+
+def _segment_name(seg_id: int) -> str:
+    return f"seg-{seg_id:08d}.seg"
+
+
+def _encode_record(namespace: str, key: str, blob: bytes, flags: int) -> bytes:
+    ns_b = namespace.encode("utf-8")
+    key_b = key.encode("utf-8")
+    body = b"".join(
+        (
+            _U16.pack(len(ns_b)),
+            ns_b,
+            _U16.pack(len(key_b)),
+            key_b,
+            bytes((flags,)),
+            blob,
+        )
+    )
+    return _HEADER.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def _decode_body(body: bytes) -> Tuple[str, str, int, bytes]:
+    """Split a record body into ``(namespace, key, flags, blob)``."""
+    pos = 0
+    (ns_len,) = _U16.unpack_from(body, pos)
+    pos += _U16.size
+    namespace = body[pos : pos + ns_len].decode("utf-8")
+    pos += ns_len
+    (key_len,) = _U16.unpack_from(body, pos)
+    pos += _U16.size
+    key = body[pos : pos + key_len].decode("utf-8")
+    pos += key_len
+    flags = body[pos]
+    pos += 1
+    return namespace, key, flags, bytes(body[pos:])
+
+
+class SegmentStateStore(StateStore):
+    """Append-only segment files with footer indexes (the ``segments`` backend)."""
+
+    backend = "segments"
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        durable: bool = True,
+        max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        cache_segments: int = DEFAULT_CACHE_SEGMENTS,
+    ):
+        super().__init__()
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.durable = durable
+        self.max_segment_bytes = max(4096, int(max_segment_bytes))
+        self.cache_segments = max(1, int(cache_segments))
+        self._lock = threading.RLock()
+        #: ``(namespace, key) -> (segment id, record offset)``.
+        self._index: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        #: Sealed-segment LRU: ``seg_id -> (mmap, file object)``.
+        self._maps: "OrderedDict[int, Tuple[mmap.mmap, object]]" = OrderedDict()
+        self._active_id = 0
+        self._active_fh = None
+        self._active_size = 0
+        #: Tombstones appended to the active segment, for its footer.
+        self._active_tombstones: List[Tuple[str, str, int]] = []
+        #: Eviction observability (read by the state-store benchmark).
+        self.evictions = 0
+        self.remaps = 0
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _segment_path(self, seg_id: int) -> Path:
+        return self.directory / _segment_name(seg_id)
+
+    def _segment_ids(self) -> List[int]:
+        ids = []
+        for path in self.directory.glob("seg-*.seg"):
+            try:
+                ids.append(int(path.stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return sorted(ids)
+
+    def _recover(self) -> None:
+        ids = self._segment_ids()
+        last_entries: List[Tuple[str, str, int, int]] = []
+        for seg_id in ids:
+            entries = self._load_segment(seg_id, seal_if_open=(seg_id != ids[-1]))
+            for namespace, key, flags, offset in entries:
+                if flags & _TOMBSTONE:
+                    self._index.pop((namespace, key), None)
+                else:
+                    self._index[(namespace, key)] = (seg_id, offset)
+            if seg_id == ids[-1]:
+                last_entries = entries
+        if ids and not self._is_sealed(self._segment_path(ids[-1])):
+            self._open_active(ids[-1])
+            self._active_tombstones = [
+                (ns, key, off)
+                for ns, key, flags, off in last_entries
+                if flags & _TOMBSTONE
+            ]
+        else:
+            self._start_segment((ids[-1] + 1) if ids else 0)
+
+    def _is_sealed(self, path: Path) -> bool:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return False
+        if size < len(MAGIC) + _U64.size + len(END_MAGIC):
+            return False
+        with open(path, "rb") as fh:
+            fh.seek(size - len(END_MAGIC))
+            return fh.read(len(END_MAGIC)) == END_MAGIC
+
+    def _read_footer(self, path: Path) -> Optional[List[Tuple[str, str, int, int]]]:
+        """Footer entries of a sealed segment, or ``None`` to force a scan."""
+        try:
+            size = path.stat().st_size
+            with open(path, "rb") as fh:
+                fh.seek(size - len(END_MAGIC) - _U64.size)
+                (footer_len,) = _U64.unpack(fh.read(_U64.size))
+                footer_start = size - len(END_MAGIC) - _U64.size - footer_len
+                if footer_start < len(MAGIC):
+                    return None
+                fh.seek(footer_start)
+                footer = json.loads(fh.read(footer_len).decode("utf-8"))
+            return [
+                (str(ns), str(key), int(flags), int(offset))
+                for ns, key, flags, offset in footer["entries"]
+            ]
+        except (OSError, ValueError, KeyError, TypeError, struct.error):
+            return None
+
+    def _scan_segment(self, path: Path) -> Tuple[List[Tuple[str, str, int, int]], int]:
+        """Tolerantly scan records; returns ``(entries, clean_length)``.
+
+        The scan stops at the first incomplete or checksum-failing record —
+        the torn tail a crash mid-append leaves — so recovery surfaces the
+        last fully written state and nothing after it.
+        """
+        entries: List[Tuple[str, str, int, int]] = []
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise CorruptStateError(f"cannot read segment {path}: {exc}") from exc
+        if data[: len(MAGIC)] != MAGIC:
+            raise CorruptStateError(f"{path} is not a state segment (bad magic)")
+        pos = len(MAGIC)
+        while pos + _HEADER.size <= len(data):
+            body_len, crc = _HEADER.unpack_from(data, pos)
+            body_end = pos + _HEADER.size + body_len
+            if body_end > len(data):
+                break
+            body = data[pos + _HEADER.size : body_end]
+            if zlib.crc32(body) & 0xFFFFFFFF != crc:
+                break
+            try:
+                namespace, key, flags, _ = _decode_body(body)
+            except (struct.error, UnicodeDecodeError, IndexError):
+                break
+            entries.append((namespace, key, flags, pos))
+            pos = body_end
+        return entries, pos
+
+    def _load_segment(
+        self, seg_id: int, *, seal_if_open: bool
+    ) -> List[Tuple[str, str, int, int]]:
+        path = self._segment_path(seg_id)
+        if self._is_sealed(path):
+            entries = self._read_footer(path)
+            if entries is not None:
+                return entries
+        entries, clean_len = self._scan_segment(path)
+        if clean_len < path.stat().st_size:
+            # Torn tail from a crash mid-append: cut back to the last whole
+            # record so future appends start at a clean boundary.
+            with open(path, "r+b") as fh:
+                fh.truncate(clean_len)
+                fh.flush()
+                os.fsync(fh.fileno())
+        if seal_if_open:
+            self._seal_path(path, entries)
+        return entries
+
+    # ------------------------------------------------------------------
+    # Active segment management
+    # ------------------------------------------------------------------
+    def _start_segment(self, seg_id: int) -> None:
+        path = self._segment_path(seg_id)
+        fh = open(path, "w+b")
+        fh.write(MAGIC)
+        fh.flush()
+        if self.durable:
+            os.fsync(fh.fileno())
+            fsync_directory(self.directory)
+        self._active_id = seg_id
+        self._active_fh = fh
+        self._active_size = len(MAGIC)
+        self._active_tombstones = []
+
+    def _open_active(self, seg_id: int) -> None:
+        path = self._segment_path(seg_id)
+        fh = open(path, "r+b")
+        fh.seek(0, os.SEEK_END)
+        self._active_id = seg_id
+        self._active_fh = fh
+        self._active_size = fh.tell()
+
+    def _active_entries(self) -> List[Tuple[str, str, int, int]]:
+        """Footer entries for the active segment: live records plus the
+        tombstones it carries, in append (offset) order so replaying the
+        footer reproduces the segment's final effect on the index."""
+        entries = [
+            (ns, key, 0, offset)
+            for (ns, key), (seg_id, offset) in self._index.items()
+            if seg_id == self._active_id
+        ]
+        entries.extend(
+            (ns, key, _TOMBSTONE, offset)
+            for ns, key, offset in self._active_tombstones
+        )
+        entries.sort(key=lambda entry: entry[3])
+        return entries
+
+    def _seal_path(self, path: Path, entries: List[Tuple[str, str, int, int]]) -> None:
+        footer = json.dumps(
+            {"entries": [[ns, key, flags, off] for ns, key, flags, off in entries]},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        with open(path, "ab") as fh:
+            fh.write(footer)
+            fh.write(_U64.pack(len(footer)))
+            fh.write(END_MAGIC)
+            fh.flush()
+            if self.durable:
+                os.fsync(fh.fileno())
+        if self.durable:
+            fsync_directory(self.directory)
+
+    def _rotate(self) -> None:
+        fh = self._active_fh
+        self._active_fh = None
+        fh.flush()
+        if self.durable:
+            os.fsync(fh.fileno())
+        fh.close()
+        self._seal_path(self._segment_path(self._active_id), self._active_entries())
+        self._start_segment(self._active_id + 1)
+
+    def _append(self, record: bytes, *, durable: bool) -> int:
+        if self._active_size >= self.max_segment_bytes:
+            self._rotate()
+        fh = self._active_fh
+        offset = self._active_size
+        fh.seek(0, os.SEEK_END)
+        fh.write(record)
+        fh.flush()
+        if durable and self.durable:
+            os.fsync(fh.fileno())
+        self._active_size += len(record)
+        return offset
+
+    # ------------------------------------------------------------------
+    # Sealed-segment mapping with LRU eviction
+    # ------------------------------------------------------------------
+    def _map_segment(self, seg_id: int) -> mmap.mmap:
+        cached = self._maps.get(seg_id)
+        if cached is not None:
+            self._maps.move_to_end(seg_id)
+            return cached[0]
+        path = self._segment_path(seg_id)
+        try:
+            fh = open(path, "rb")
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            raise CorruptStateError(f"cannot map segment {path}: {exc}") from exc
+        self._maps[seg_id] = (mapped, fh)
+        self.remaps += 1
+        while len(self._maps) > self.cache_segments:
+            _, (old_map, old_fh) = self._maps.popitem(last=False)
+            old_map.close()
+            old_fh.close()
+            self.evictions += 1
+        return mapped
+
+    def _read_record(self, seg_id: int, offset: int) -> bytes:
+        if seg_id == self._active_id:
+            fh = self._active_fh
+            fh.seek(offset)
+            header = fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise CorruptStateError(
+                    f"torn record at segment {seg_id} offset {offset}"
+                )
+            body_len, crc = _HEADER.unpack(header)
+            body = fh.read(body_len)
+            fh.seek(0, os.SEEK_END)
+        else:
+            mapped = self._map_segment(seg_id)
+            body_end = offset + _HEADER.size
+            if body_end > len(mapped):
+                raise CorruptStateError(
+                    f"torn record at segment {seg_id} offset {offset}"
+                )
+            body_len, crc = _HEADER.unpack(mapped[offset:body_end])
+            body = bytes(mapped[body_end : body_end + body_len])
+        if len(body) < body_len or zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise CorruptStateError(
+                f"checksum mismatch at segment {seg_id} offset {offset}"
+            )
+        _, _, _, blob = _decode_body(body)
+        return blob
+
+    # ------------------------------------------------------------------
+    # StateStore interface
+    # ------------------------------------------------------------------
+    def put(self, namespace: str, key: str, blob: bytes, *, durable: bool = True) -> None:
+        record = _encode_record(namespace, key, blob, 0)
+        try:
+            with self._lock:
+                offset = self._append(record, durable=durable)
+                self._index[(namespace, key)] = (self._active_id, offset)
+        except OSError as exc:
+            raise StateError(
+                f"cannot write state entry {key!r} ({namespace}): {exc}"
+            ) from exc
+        self.puts += 1
+        self.bytes_written += len(record)
+
+    def get(self, namespace: str, key: str) -> bytes:
+        with self._lock:
+            loc = self._index.get((namespace, key))
+            if loc is None:
+                raise self._missing(namespace, key)
+            blob = self._read_record(*loc)
+        self.gets += 1
+        self.bytes_read += len(blob)
+        return blob
+
+    def contains(self, namespace: str, key: str) -> bool:
+        with self._lock:
+            return (namespace, key) in self._index
+
+    def delete(self, namespace: str, key: str) -> bool:
+        with self._lock:
+            if (namespace, key) not in self._index:
+                return False
+            record = _encode_record(namespace, key, b"", _TOMBSTONE)
+            try:
+                offset = self._append(record, durable=True)
+            except OSError as exc:
+                raise StateError(
+                    f"cannot delete state entry {key!r} ({namespace}): {exc}"
+                ) from exc
+            self._active_tombstones.append((namespace, key, offset))
+            del self._index[(namespace, key)]
+        return True
+
+    def keys(self, namespace: str) -> List[str]:
+        with self._lock:
+            return sorted(key for ns, key in self._index if ns == namespace)
+
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite live entries into fresh segments; returns bytes reclaimed.
+
+        Superseded records and tombstones accumulate until compaction; a
+        long-lived store should compact when :meth:`stats` shows
+        ``bytes_written`` far above the live payload size.
+        """
+        with self._lock:
+            live = [
+                (ns, key, self._read_record(seg_id, offset))
+                for (ns, key), (seg_id, offset) in sorted(self._index.items())
+            ]
+            before = sum(
+                self._segment_path(i).stat().st_size for i in self._segment_ids()
+            )
+            old_ids = self._segment_ids()
+            self._close_maps()
+            fh = self._active_fh
+            self._active_fh = None
+            fh.close()
+            self._index.clear()
+            self._start_segment((old_ids[-1] + 1) if old_ids else 0)
+            for ns, key, blob in live:
+                record = _encode_record(ns, key, blob, 0)
+                offset = self._append(record, durable=False)
+                self._index[(ns, key)] = (self._active_id, offset)
+            self.flush()
+            for seg_id in old_ids:
+                self._segment_path(seg_id).unlink(missing_ok=True)
+            if self.durable:
+                fsync_directory(self.directory)
+            after = sum(
+                self._segment_path(i).stat().st_size for i in self._segment_ids()
+            )
+        return max(0, before - after)
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._active_fh is not None:
+                self._active_fh.flush()
+                if self.durable:
+                    os.fsync(self._active_fh.fileno())
+
+    def _close_maps(self) -> None:
+        while self._maps:
+            _, (mapped, fh) = self._maps.popitem(last=False)
+            mapped.close()
+            fh.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_maps()
+            if self._active_fh is not None:
+                fh = self._active_fh
+                self._active_fh = None
+                fh.flush()
+                if self.durable:
+                    os.fsync(fh.fileno())
+                fh.close()
+                self._seal_path(
+                    self._segment_path(self._active_id), self._active_entries()
+                )
+
+
+STATE_BACKENDS["segments"] = SegmentStateStore

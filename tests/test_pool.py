@@ -26,8 +26,11 @@ from repro.service import (
     PooledAuditSession,
     WorkerPool,
 )
+from repro.service.checkpoint import CheckpointStore
+from repro.service.pool import POOL_LOG_NAMESPACE, POOL_SNAP_NAMESPACE
 from repro.service.routing import canonical_key_bytes
 from repro.service.session import SessionConfig
+from repro.state import available_backends, open_state_store
 
 from tests.conftest import TEST_SEED
 from tests.test_service import make_trace_ops, result_signature
@@ -437,3 +440,79 @@ def test_pool_rejects_bad_sizes():
         WorkerPool(2, snapshot_every=-1)
     with pytest.raises(ServiceError):
         AuditServer(workers=-1)
+
+
+# ----------------------------------------------------------------------
+# State-backend axis: journalled failover state and checkpoint interchange
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", available_backends())
+def test_pooled_checkpoint_interchange_through_every_backend(tmp_path, backend):
+    """PR 7's pooled↔in-process interchange, routed through each backend."""
+    _trace, stream = make_trace_ops(
+        random.Random(TEST_SEED + 4), registers=5, ops=60, staleness=0.15
+    )
+    _ref_windows, ref_report = run_single_process(stream)
+    half = len(stream) // 2
+    store = CheckpointStore(tmp_path / backend, backend=backend)
+
+    async def pooled_half():
+        pool = WorkerPool(2)
+        await pool.start()
+        try:
+            session = PooledAuditSession.start("x1", CONFIG, pool)
+            for op in stream[:half]:
+                await session.afeed(op)
+            store.save("x1", await session.acheckpoint_payload())
+            await session.aclose()
+        finally:
+            await pool.stop()
+
+    asyncio.run(pooled_half())
+    # The checkpoint persisted by the pooled session finishes in-process.
+    resumed = AuditSession.resume(store.load("x1"))
+    for op in stream[half:]:
+        resumed.feed(op)
+    assert_report_parity(ref_report, resumed.finish())
+    store.close()
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "segments"])
+def test_journalled_pool_failover_keeps_parity(tmp_path, backend):
+    """Failover state lives in the journal, not parent memory — and a worker
+    kill recovers from it with exact verdict parity."""
+    _trace, stream = make_trace_ops(
+        random.Random(TEST_SEED + 9), registers=5, ops=60, staleness=0.15
+    )
+    ref_windows, ref_report = run_single_process(stream)
+    journal = open_state_store(backend, tmp_path / backend)
+    kill_at = len(stream) // 2
+
+    async def scenario():
+        pool = WorkerPool(2, journal=journal)
+        await pool.start()
+        try:
+            session = PooledAuditSession.start("jf", CONFIG, pool)
+            windows = []
+            for index, op in enumerate(stream):
+                if index == kill_at:
+                    victim = sorted(pool.worker_pids().values())[0]
+                    os.kill(victim, signal.SIGKILL)
+                report = await session.afeed(op)
+                if report is not None:
+                    windows.append(report)
+            final = await session.afinish()
+            return windows, final, pool.worker_stats()
+        finally:
+            await pool.stop()
+
+    windows, report, stats = asyncio.run(scenario())
+    assert_window_parity(ref_windows, windows)
+    assert_report_parity(ref_report, report)
+    assert sum(row.restarts for row in stats) >= 1
+    assert sum(row.restored_shards for row in stats) >= 1
+    # The failover copies actually flowed through the journal...
+    assert journal.puts > 0
+    # ...and retiring the session cleaned its journalled state back out.
+    assert journal.keys(POOL_SNAP_NAMESPACE) == []
+    assert journal.keys(POOL_LOG_NAMESPACE) == []
+    journal.close()

@@ -336,6 +336,62 @@ def test_checkpoint_resume_across_server_restart(tmp_path):
     assert "crashy" not in CheckpointStore(tmp_path)
 
 
+def test_server_rejects_unknown_state_backend(tmp_path):
+    # Even without a checkpoint_dir the backend name must be validated at
+    # construction — a typo'd --state-backend must not serve silently.
+    with pytest.raises(ServiceError, match="unknown state backend"):
+        AuditServer(port=0, state_backend="bogus")
+    with pytest.raises(ServiceError, match="unknown state backend"):
+        AuditServer(port=0, checkpoint_dir=tmp_path, state_backend="bogus")
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "segments"])
+def test_checkpoint_resume_across_restart_on_every_backend(tmp_path, backend):
+    """The restart-resume contract holds verbatim on the non-default
+    state backends (``repro serve --state-backend``)."""
+    rng = random.Random(TEST_SEED + 71)
+    trace, stream = make_trace_ops(rng, registers=3, ops=30, staleness=0.1)
+    reference = verify_trace(trace, 2, algorithm="lbt")
+    cut = len(stream) // 2
+
+    async def phase_one():
+        server = AuditServer(checkpoint_dir=tmp_path, state_backend=backend)
+        await server.start()
+        client = await AuditClient.connect(
+            server.addresses[0], session="crashy", k=2, algorithm="lbt", window=8
+        )
+        await client.feed_ops(stream[:cut])
+        ack = await client.checkpoint()
+        await client.close()
+        await server.stop()
+        return ack
+
+    ack = asyncio.run(phase_one())
+    assert ack["ops"] == cut
+    probe = CheckpointStore(tmp_path, backend=backend)
+    assert "crashy" in probe
+    probe.close()
+
+    async def phase_two():
+        server = AuditServer(checkpoint_dir=tmp_path, state_backend=backend)
+        await server.start()
+        client = await AuditClient.connect(
+            server.addresses[0], session="crashy", resume=True, witness=True
+        )
+        assert client.resumed and client.ops_restored == cut
+        await client.feed_ops(stream[cut:])
+        report = await client.finish()
+        await server.stop()
+        return report
+
+    report = asyncio.run(phase_two())
+    assert set(report.results) == set(reference)
+    for key, result in reference.items():
+        assert result_signature(report.results[key]) == result_signature(result), (
+            f"register {key!r} after {backend} resume (seed {TEST_SEED:#x})"
+        )
+
+
 def test_automatic_checkpoints_every_n_ops(tmp_path):
     rng = random.Random(TEST_SEED + 80)
     _, stream = make_trace_ops(rng, registers=2, ops=15)
