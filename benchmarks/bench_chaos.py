@@ -18,7 +18,12 @@ Fault schedules derive from ``--seed``, so a failing run reproduces exactly.
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_chaos.py
-        [--ops N] [--rates 0,0.01,0.05] [--seed S] [--json PATH] [--check]
+        [--ops N] [--rates 0,0.01,0.05] [--seed S] [--tier auto]
+        [--json PATH] [--check]
+
+``--tier`` runs every session — baseline and chaotic alike — under an
+adaptive verification tier, so the parity gate also proves the tiered
+window stream deduplicates identically under faults.
 """
 
 from __future__ import annotations
@@ -78,7 +83,7 @@ def fault_plan(seed: int, rate: float) -> FaultPlan:
     )
 
 
-async def baseline_run(ops, tmp_dir, state_backend="json"):
+async def baseline_run(ops, tmp_dir, state_backend="json", tier=None):
     server = AuditServer(
         port=0, checkpoint_dir=tmp_dir / "baseline", state_backend=state_backend
     )
@@ -88,7 +93,7 @@ async def baseline_run(ops, tmp_dir, state_backend="json"):
         t0 = time.perf_counter()
         client = await AuditClient.connect(
             server.addresses[0], session="baseline", k=2, window=50,
-            witness=True, on_window=windows.append,
+            witness=True, tier=tier, on_window=windows.append,
         )
         await client.feed_ops(ops)
         report = await client.finish()
@@ -97,7 +102,7 @@ async def baseline_run(ops, tmp_dir, state_backend="json"):
         await server.stop()
 
 
-async def chaos_run(ops, plan, tmp_dir, state_backend="json"):
+async def chaos_run(ops, plan, tmp_dir, state_backend="json", tier=None):
     server = AuditServer(
         port=0, checkpoint_dir=tmp_dir / plan.name, state_backend=state_backend
     )
@@ -107,7 +112,7 @@ async def chaos_run(ops, plan, tmp_dir, state_backend="json"):
             t0 = time.perf_counter()
             client = ResilientAuditClient(
                 proxy.address, session="chaotic", k=2, window=50,
-                witness=True, seed=plan.seed, checkpoint_every=25,
+                witness=True, tier=tier, seed=plan.seed, checkpoint_every=25,
                 policy=RetryPolicy(
                     max_attempts=12, base_delay_s=0.02, io_timeout_s=10.0
                 ),
@@ -134,7 +139,7 @@ def run_bench(args, tmp_dir):
         random.Random(args.seed), args.ops, num_clients=8
     ).operations
     base_report, base_windows, base_elapsed = asyncio.run(
-        baseline_run(ops, tmp_dir, args.state_backend)
+        baseline_run(ops, tmp_dir, args.state_backend, args.tier)
     )
     rows = [
         {
@@ -152,7 +157,7 @@ def run_bench(args, tmp_dir):
             continue
         plan = fault_plan(args.seed, rate)
         report, client, counts, elapsed = asyncio.run(
-            chaos_run(ops, plan, tmp_dir, args.state_backend)
+            chaos_run(ops, plan, tmp_dir, args.state_backend, args.tier)
         )
         assert_parity(base_report, base_windows, report, client.windows, rate)
         rows.append(
@@ -185,6 +190,14 @@ def main(argv=None):
         dest="state_backend",
         help="checkpoint state-store backend the servers run on "
         "(json, sqlite, segments)",
+    )
+    parser.add_argument(
+        "--tier",
+        choices=("exact", "screen", "auto"),
+        default=None,
+        help="run every session (baseline and chaotic alike) under this "
+        "adaptive verification tier — parity then also covers the tiered "
+        "window stream under faults",
     )
     parser.add_argument("--json", type=Path, default=None)
     parser.add_argument(

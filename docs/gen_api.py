@@ -48,6 +48,9 @@ SECTIONS = [
      ["Engine"]),
     ("Streaming engine", "repro.engine.streaming",
      ["StreamingEngine", "StreamSession"]),
+    ("Adaptive tier ladder", "repro.engine.tiering",
+     ["get_tier_policy", "TierPolicy", "TierDecision", "TierStats",
+      "TierStreamState", "TraceFeatures", "CostModel"]),
     ("Durable state stores", "repro.state",
      ["StateStore", "open_state_store", "available_backends",
       "write_file_atomic", "fsync_directory", "JsonFileStateStore",

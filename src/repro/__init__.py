@@ -84,7 +84,7 @@ from .engine import Engine, StreamingEngine
 #: Single source of truth for the package version: ``pyproject.toml`` reads
 #: it via ``[tool.setuptools.dynamic]`` and the CLI exposes it as
 #: ``repro --version``.  Bump it here and nowhere else.
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Engine",

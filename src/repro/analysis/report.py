@@ -147,6 +147,14 @@ class TraceVerificationReport:
     elapsed_s: float
     #: Registers left unverified because the engine short-circuited.
     skipped_keys: Tuple[Hashable, ...] = ()
+    #: Tier policy the run used (``"exact"`` when tiering was off).
+    tier: str = "exact"
+    #: Aggregate tier hit-rates (:meth:`repro.engine.tiering.TierStats.to_dict`)
+    #: — empty when tiering was off.
+    tier_stats: Mapping[str, object] = field(default_factory=dict)
+    #: Per-register :class:`~repro.engine.tiering.TierDecision` routes, so a
+    #: skipped exact check is never silent.
+    tier_decisions: Mapping[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -194,6 +202,12 @@ class TraceVerificationReport:
         ]
         if self.skipped_keys:
             parts.append(f"{len(self.skipped_keys)} registers skipped after first failure")
+        if self.tier != "exact" and self.tier_stats:
+            ts = self.tier_stats
+            parts.append(
+                f"tier={self.tier}: {ts.get('screened', 0)}/{ts.get('total', 0)} "
+                f"screened, {ts.get('exact', 0)} exact"
+            )
         return " — ".join(parts)
 
     def render(self) -> str:
@@ -261,6 +275,17 @@ class WindowReport:
 
     stats: WindowStats
     verdicts: Mapping[Hashable, StreamVerdict]
+    #: Per-register check mode this window under a tier policy: ``"check"``
+    #: (authoritative) or ``"peek"`` (O(1) screen).  Empty when tiering off.
+    tiers: Mapping[Hashable, str] = field(default_factory=dict)
+    #: Per-register escalation triggers (why ``"check"`` ran), so a bypassed
+    #: exact check is never silent.  Empty when tiering off.
+    escalations: Mapping[Hashable, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def num_escalated(self) -> int:
+        """Registers forced to an authoritative check by a trigger."""
+        return sum(1 for trigs in self.escalations.values() if trigs)
 
     @property
     def has_alarm(self) -> bool:
@@ -283,6 +308,11 @@ class WindowReport:
             mark = "NO " if not verdict else "yes"
             strength = "final" if verdict.final else "provisional"
             line = f"  {key!r}: {mark} ({strength})"
+            if self.tiers.get(key):
+                line += f" [{self.tiers[key]}"
+                if self.escalations.get(key):
+                    line += ": " + ", ".join(self.escalations[key])
+                line += "]"
             if not verdict and verdict.result.reason:
                 line += f" — {verdict.result.reason}"
             lines.append(line)
@@ -310,6 +340,8 @@ class StreamVerificationReport:
     executor: str
     jobs: int
     elapsed_s: float
+    #: Tier policy the run used (``"exact"`` when tiering was off).
+    tier: str = "exact"
 
     # ------------------------------------------------------------------
     @property
@@ -346,6 +378,36 @@ class StreamVerificationReport:
                     return (window.stats.index, key, verdict)
         return None
 
+    # -- tiering accounting (no silent caps) ---------------------------
+    @property
+    def windows_bypassed_exact(self) -> int:
+        """Windows whose every touched register skipped the authoritative check.
+
+        Under a tier policy the O(1) ``peek`` screen may stand in for the
+        per-window authoritative check; this counter keeps those bypasses
+        visible (the end-of-stream verdicts are still exact — ``finish()``
+        always runs the authoritative checker).  Always 0 when tiering off.
+        """
+        return sum(
+            1
+            for w in self.timeline
+            if w.tiers and all(mode != "check" for mode in w.tiers.values())
+        )
+
+    @property
+    def register_windows_bypassed(self) -> int:
+        """(register, window) units that peeked instead of checking."""
+        return sum(
+            sum(1 for mode in w.tiers.values() if mode != "check")
+            for w in self.timeline
+        )
+
+    @property
+    def escalated_checks(self) -> int:
+        """(register, window) units escalated to an authoritative check by a
+        trigger (checker alarm, anomaly, value lag, overlap, periodic)."""
+        return sum(w.num_escalated for w in self.timeline)
+
     # ------------------------------------------------------------------
     def to_trace_report(self) -> TraceVerificationReport:
         """Merge the timeline into the batch :class:`TraceVerificationReport`.
@@ -372,6 +434,7 @@ class StreamVerificationReport:
                 for w in self.timeline
             ),
             elapsed_s=self.elapsed_s,
+            tier=self.tier,
         )
 
     def summary(self) -> str:
@@ -384,6 +447,12 @@ class StreamVerificationReport:
             f"({self.executor}, jobs={self.jobs})",
             f"{self.elapsed_s:.3f}s",
         ]
+        if self.tier != "exact":
+            parts.append(
+                f"tier={self.tier}: {self.windows_bypassed_exact}/"
+                f"{self.num_windows} windows bypassed exact, "
+                f"{self.escalated_checks} escalations"
+            )
         alarm = self.first_alarm
         if alarm is not None:
             index, key, verdict_obj = alarm
@@ -450,6 +519,12 @@ class SessionStats:
     #: False once the session's connection has gone away without an ``end``
     #: frame — it is resumable (detached), but nothing is streaming.
     connected: bool = True
+    #: Tier policy of the session (``"exact"`` when tiering off).
+    tier: str = "exact"
+    #: (register, window) units escalated to an authoritative check.
+    escalations: int = 0
+    #: Windows whose every touched register skipped the authoritative check.
+    windows_bypassed: int = 0
 
     @property
     def ops_per_second(self) -> float:
@@ -563,6 +638,19 @@ class ServiceReport:
                             f"{s.ops_per_second:,.0f}",
                         ]
                         for s in self.sessions
+                    ],
+                )
+            )
+        tiered = [s for s in self.sessions if s.tier != "exact"]
+        if tiered:
+            lines.append("")
+            lines.append("tiering (escalations are never silent):")
+            lines.append(
+                format_table(
+                    ["session", "tier", "escalations", "windows bypassed"],
+                    [
+                        [s.session_id, s.tier, s.escalations, s.windows_bypassed]
+                        for s in tiered
                     ],
                 )
             )

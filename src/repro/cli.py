@@ -161,6 +161,7 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         max_exact_ops=args.max_exact_ops,
         columnar=False if args.no_columnar else None,
         kernel=args.kernel,
+        tier=args.tier,
     )
     from .io.registry import resolve_format
 
@@ -181,7 +182,9 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
     failures = _print_results_table(
         report.results, args.k, out, op_counts=op_counts
     )
-    if args.engine != "serial" or args.jobs:
+    if args.engine != "serial" or args.jobs or args.tier:
+        # A tiered run always prints the summary: the tier hit-rates in it
+        # are how a skipped exact check stays visible.
         print(report.summary(), file=out)
     return 1 if failures and args.strict else 0
 
@@ -202,6 +205,7 @@ def _cmd_verify_remote(args: argparse.Namespace, out) -> int:
             ("--partitioner", args.partitioner != "size-balanced"),
             ("--no-columnar", args.no_columnar),
             ("--kernel", args.kernel is not None),
+            ("--tier", args.tier is not None),
             ("--stream-mode", args.stream_mode != "rolling"),
         )
         if used
@@ -254,9 +258,12 @@ def _cmd_verify_online(args: argparse.Namespace, out) -> int:
         executor=args.engine,
         jobs=args.jobs,
         max_exact_ops=args.max_exact_ops,
+        tier=args.tier,
     )
     report = engine.verify_stream(stream_trace(args.trace, args.fmt), args.k)
     print(report.render(), file=out)
+    if args.tier:
+        print(report.summary(), file=out)
     print(
         f"\n{report.num_registers - len(report.failures)}/{report.num_registers} "
         f"registers are {args.k}-atomic",
@@ -371,6 +378,7 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
                 k=args.k,
                 algorithm=args.algorithm,
                 state_backend=args.state_backend,
+                tier=args.tier,
             ),
             state_backend=args.state_backend,
             workers=args.workers,
@@ -664,6 +672,16 @@ def build_parser() -> argparse.ArgumentParser:
         "produce identical verdicts",
     )
     p_verify.add_argument(
+        "--tier",
+        choices=["exact", "screen", "auto"],
+        default=None,
+        help="adaptive verification tier: exact (every register pays the "
+        "full check), screen (k-monotone GK/FZF screen with escalation to "
+        "exact), or auto (screen plus feature gating and cost-model kernel "
+        "selection); unknown names fail the parse — there is no silent "
+        "fallback (default: exact)",
+    )
+    p_verify.add_argument(
         "--online",
         action="store_true",
         help="stream the trace through windows and report a verdict timeline "
@@ -815,6 +833,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--algorithm", default="auto", help="default algorithm for sessions"
+    )
+    p_serve.add_argument(
+        "--tier",
+        choices=["exact", "screen", "auto"],
+        default="exact",
+        help="default adaptive tier for sessions (exact, screen or auto); "
+        "escalations and bypassed windows surface per session in the "
+        "service report",
     )
     p_serve.add_argument(
         "--workers",

@@ -16,6 +16,16 @@ from .engine import (
     run_shard,
 )
 from .streaming import DEFAULT_WINDOW, StreamingEngine
+from .tiering import (
+    TIER_NAMES,
+    CostModel,
+    TierDecision,
+    TierPolicy,
+    TierStats,
+    TierStreamState,
+    TraceFeatures,
+    get_tier_policy,
+)
 from .executors import (
     EXECUTORS,
     ProcessExecutor,
@@ -35,6 +45,7 @@ from .partition import (
 )
 
 __all__ = [
+    "CostModel",
     "DEFAULT_WINDOW",
     "EXECUTORS",
     "EncodedShardTask",
@@ -51,11 +62,18 @@ __all__ = [
     "ShardTask",
     "SizeBalancedPartitioner",
     "StreamingEngine",
+    "TIER_NAMES",
     "ThreadExecutor",
+    "TierDecision",
+    "TierPolicy",
+    "TierStats",
+    "TierStreamState",
+    "TraceFeatures",
     "decode_shard_items",
     "default_jobs",
     "encode_shard_items",
     "get_executor",
     "get_partitioner",
+    "get_tier_policy",
     "run_shard",
 ]

@@ -35,6 +35,7 @@ from ..core.result import VerificationResult
 from ..analysis.report import ShardStats, TraceVerificationReport
 from .executors import ShardExecutor, default_jobs, get_executor
 from .partition import Partitioner, get_partitioner
+from .tiering import TierDecision, TierPolicy, TierStats, get_tier_policy
 
 __all__ = [
     "ShardTask",
@@ -69,6 +70,7 @@ class ShardTask:
     max_exact_ops: int
     columnar: Optional[bool] = None
     kernel: Optional[str] = None
+    tier: Optional[TierPolicy] = None
 
     @property
     def num_ops(self) -> int:
@@ -87,6 +89,7 @@ class ShardTask:
             max_exact_ops=self.max_exact_ops,
             columnar=self.columnar,
             kernel=self.kernel,
+            tier=self.tier,
         )
 
 
@@ -111,6 +114,7 @@ class EncodedShardTask:
     max_exact_ops: int
     columnar: Optional[bool] = None
     kernel: Optional[str] = None
+    tier: Optional[TierPolicy] = None
 
     def decode_items(self) -> Tuple[Tuple[Hashable, History], ...]:
         """Rebuild the ``(key, History)`` pairs inside the worker."""
@@ -139,6 +143,7 @@ class RcolShardTask:
     max_exact_ops: int
     columnar: Optional[bool] = None
     kernel: Optional[str] = None
+    tier: Optional[TierPolicy] = None
 
     def effective_kernel(self) -> Optional[str]:
         """The kernel request to forward, folding in the legacy flag."""
@@ -155,6 +160,8 @@ class ShardOutcome:
     results: Tuple[Tuple[Hashable, VerificationResult], ...]
     num_ops: int
     elapsed_s: float
+    #: Per-register tier routes when the shard ran under a tier policy.
+    tier_decisions: Tuple[TierDecision, ...] = ()
 
     @property
     def has_failure(self) -> bool:
@@ -170,28 +177,39 @@ def _run_rcol_shard(task: RcolShardTask) -> ShardOutcome:
     t0 = time.perf_counter()
     kernel = task.effective_kernel()
     results = []
+    decisions: List[TierDecision] = []
     with RcolFile(task.path) as rf:
         for key in task.keys:
             col = rf.load_columnar(key)
-            results.append(
-                (
-                    key,
-                    vector.verify_columnar(
-                        col,
-                        task.k,
-                        algorithm=task.algorithm,
-                        preprocess=task.preprocess,
-                        max_exact_ops=task.max_exact_ops,
-                        kernel=kernel,
-                        decode_witness=False,
-                    ),
+            if task.tier is not None and task.tier.active:
+                result, decision = task.tier.verify_columnar_with_decision(
+                    col,
+                    task.k,
+                    key=str(key),
+                    algorithm=task.algorithm,
+                    preprocess=task.preprocess,
+                    max_exact_ops=task.max_exact_ops,
+                    kernel=kernel,
+                    decode_witness=False,
                 )
-            )
+                decisions.append(decision)
+            else:
+                result = vector.verify_columnar(
+                    col,
+                    task.k,
+                    algorithm=task.algorithm,
+                    preprocess=task.preprocess,
+                    max_exact_ops=task.max_exact_ops,
+                    kernel=kernel,
+                    decode_witness=False,
+                )
+            results.append((key, result))
     return ShardOutcome(
         shard_id=task.shard_id,
         results=tuple(results),
         num_ops=task.num_ops,
         elapsed_s=time.perf_counter() - t0,
+        tier_decisions=tuple(decisions),
     )
 
 
@@ -212,10 +230,23 @@ def run_shard(
         return _run_rcol_shard(task)
     t0 = time.perf_counter()
     items = task.decode_items() if isinstance(task, EncodedShardTask) else task.items
-    results = tuple(
-        (
-            key,
-            verify(
+    results: List[Tuple[Hashable, VerificationResult]] = []
+    decisions: List[TierDecision] = []
+    for key, history in items:
+        if task.tier is not None and task.tier.active:
+            result, decision = task.tier.verify_with_decision(
+                history,
+                task.k,
+                key=str(key),
+                algorithm=task.algorithm,
+                preprocess=task.preprocess,
+                max_exact_ops=task.max_exact_ops,
+                columnar=task.columnar,
+                kernel=task.kernel,
+            )
+            decisions.append(decision)
+        else:
+            result = verify(
                 history,
                 task.k,
                 algorithm=task.algorithm,
@@ -223,15 +254,14 @@ def run_shard(
                 max_exact_ops=task.max_exact_ops,
                 columnar=task.columnar,
                 kernel=task.kernel,
-            ),
-        )
-        for key, history in items
-    )
+            )
+        results.append((key, result))
     return ShardOutcome(
         shard_id=task.shard_id,
-        results=results,
+        results=tuple(results),
         num_ops=task.num_ops,
         elapsed_s=time.perf_counter() - t0,
+        tier_decisions=tuple(decisions),
     )
 
 
@@ -263,6 +293,15 @@ class Engine:
         Kernel tier (``"object"``, ``"columnar"``, ``"numpy"``) forwarded to
         :func:`repro.core.api.verify`; ``None`` picks the fastest enabled
         tier.  Carried inside the shard task like ``columnar``.
+    tier:
+        Adaptive tier policy (:mod:`repro.engine.tiering`): ``None`` or
+        ``"exact"`` (default, every register pays the authoritative
+        checker), ``"screen"`` (cheap-ladder screening with sound
+        escalation) or ``"auto"`` (adds feature gating and cost-model knob
+        picks), or a :class:`~repro.engine.tiering.TierPolicy` instance.
+        Unknown names raise.  Escalation decisions surface in the report's
+        ``tier_stats``/``tier_decisions`` so skipped exact checks are never
+        silent.
     compact_ipc:
         When true (default), executors that cross the process boundary ship
         shards as compact column buffers (:mod:`repro.engine.codec`) instead
@@ -298,6 +337,7 @@ class Engine:
         max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
         columnar: Optional[bool] = None,
         kernel: Optional[str] = None,
+        tier: "Union[None, str, TierPolicy]" = None,
         compact_ipc: bool = True,
         fail_fast: bool = False,
     ):
@@ -318,6 +358,8 @@ class Engine:
         self.max_exact_ops = max_exact_ops
         self.columnar = columnar
         self.kernel = kernel
+        self.tier = get_tier_policy(tier)  # raises on unknown names
+        self.tier_name = self.tier.name if self.tier is not None else "exact"
         self.compact_ipc = compact_ipc
         self.fail_fast = fail_fast
 
@@ -358,6 +400,7 @@ class Engine:
                     max_exact_ops=self.max_exact_ops,
                     columnar=self.columnar,
                     kernel=self.kernel,
+                    tier=self.tier,
                 )
             )
         return tasks
@@ -412,6 +455,7 @@ class Engine:
                     max_exact_ops=self.max_exact_ops,
                     columnar=self.columnar,
                     kernel=self.kernel,
+                    tier=self.tier,
                 )
             )
         return self._execute(tasks, key_order, k)
@@ -429,6 +473,8 @@ class Engine:
         """Run planned shard tasks and merge their outcomes into a report."""
         merged: Dict[Hashable, VerificationResult] = {}
         stats: List[ShardStats] = []
+        tier_stats = TierStats() if self.tier is not None else None
+        tier_decisions: Dict[str, TierDecision] = {}
         t0 = time.perf_counter()
         outcome_stream = self.executor.run(run_shard, tasks, self.jobs)
         try:
@@ -442,6 +488,10 @@ class Engine:
                         elapsed_s=outcome.elapsed_s,
                     )
                 )
+                if tier_stats is not None:
+                    for decision in outcome.tier_decisions:
+                        tier_stats.record(decision)
+                        tier_decisions[decision.key] = decision
                 if self.fail_fast and outcome.has_failure:
                     break
         finally:
@@ -460,4 +510,7 @@ class Engine:
             shard_stats=tuple(stats),
             elapsed_s=elapsed,
             skipped_keys=skipped,
+            tier=self.tier_name,
+            tier_stats=tier_stats.to_dict() if tier_stats is not None else {},
+            tier_decisions=tier_decisions,
         )

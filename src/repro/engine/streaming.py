@@ -56,6 +56,7 @@ from ..analysis.report import StreamVerificationReport, WindowReport, WindowStat
 from ..state.retention import TimelineRetention
 from .engine import Engine
 from .executors import ShardExecutor, default_jobs, get_executor
+from .tiering import TierPolicy, TierStreamState, get_tier_policy
 
 __all__ = ["StreamingEngine", "StreamSession", "DEFAULT_WINDOW"]
 
@@ -160,6 +161,7 @@ class StreamingEngine:
         cadence_growth: float = DEFAULT_CADENCE_GROWTH,
         check_per_window: bool = True,
         max_exact_ops: int = DEFAULT_MAX_EXACT_OPS,
+        tier=None,
         state_store=None,
         retain_windows: Optional[int] = None,
     ):
@@ -192,6 +194,15 @@ class StreamingEngine:
         self.cadence_growth = cadence_growth
         self.check_per_window = check_per_window
         self.max_exact_ops = max_exact_ops
+        #: Adaptive tier policy (:mod:`repro.engine.tiering`).  In rolling
+        #: mode it decides per (register, window) whether the authoritative
+        #: ``check_now`` runs or the O(1) ``peek`` screen suffices —
+        #: NO-capable windows (checker alarms, anomalous reads, value lag
+        #: >= k) always escalate, and ``finish()`` stays authoritative, so
+        #: final verdicts are exact either way.  In windowed mode the policy
+        #: rides the per-window batch engine.  ``None``/``"exact"`` disables.
+        self.tier: Optional[TierPolicy] = get_tier_policy(tier)
+        self.tier_name = self.tier.name if self.tier is not None else "exact"
         #: Optional :class:`repro.state.StateStore` + bound: when both are
         #: set, closed-window timelines keep only the ``retain_windows`` most
         #: recent reports hot and spill colder ones to the store, so
@@ -203,6 +214,7 @@ class StreamingEngine:
             jobs=self.jobs,
             algorithm=algorithm,
             max_exact_ops=max_exact_ops,
+            tier=self.tier,
         )
 
     # ------------------------------------------------------------------
@@ -239,10 +251,17 @@ class StreamingEngine:
         carries: Dict[Hashable, _RegisterCarry] = {}
         latched: Dict[Hashable, VerificationResult] = {}
         key_order: List[Hashable] = []
+        tier_state = (
+            TierStreamState(self.tier, k)
+            if self.tier is not None and self.mode == "rolling"
+            else None
+        )
 
         def handle(window: Window) -> None:
             if self.mode == "rolling":
-                report = self._run_rolling_window(window, k, checkers, key_order)
+                report = self._run_rolling_window(
+                    window, k, checkers, key_order, tier_state=tier_state
+                )
             else:
                 report = self._run_windowed_window(window, k, carries, latched, key_order)
             timeline.append(report)
@@ -271,6 +290,7 @@ class StreamingEngine:
             executor=self.executor.name,
             jobs=self.jobs,
             elapsed_s=time.perf_counter() - t0,
+            tier=self.tier_name,
         )
 
     def verify_file(
@@ -337,6 +357,7 @@ class StreamingEngine:
         k: int,
         checkers: Dict[Hashable, Checker],
         key_order: List[Hashable],
+        tier_state: Optional[TierStreamState] = None,
     ) -> WindowReport:
         t0 = time.perf_counter()
         by_key: Dict[Hashable, List[Operation]] = {}
@@ -346,22 +367,43 @@ class StreamingEngine:
             if key not in checkers:
                 checkers[key] = self._make_checker(k)
                 key_order.append(key)
+            if tier_state is not None:
+                tier_state._state_for(key)  # materialised on the main thread
 
         def feed_register(task: Tuple[Hashable, List[Operation]]):
             key, register_ops = task
             checker = checkers[key]
             for op in register_ops:
                 checker.feed(op)
-            verdict = checker.check_now() if self.check_per_window else checker.peek()
-            return key, verdict
+            if tier_state is None:
+                verdict = (
+                    checker.check_now() if self.check_per_window else checker.peek()
+                )
+                return key, verdict, None, ()
+            # Tiered: the O(1) peek is the screen; the tier state decides
+            # whether this (register, window) is NO-capable and must pay the
+            # authoritative check.  A latched alarm in the peek counts too.
+            quick = checker.peek()
+            mode, triggers = tier_state.decide(
+                key, register_ops, alarmed=not quick.result.is_k_atomic
+            )
+            verdict = checker.check_now() if mode == "check" else quick
+            tier_state.note_verdict(key, verdict.result.is_k_atomic)
+            return key, verdict, mode, triggers
 
         # Each register appears in exactly one task, so pool executors never
-        # touch the same checker from two workers within a window.
+        # touch the same checker (or tier entry) from two workers in a window.
         verdicts: Dict[Hashable, StreamVerdict] = {}
+        tiers: Dict[Hashable, str] = {}
+        escalations: Dict[Hashable, Tuple[str, ...]] = {}
         outcome_stream = self.executor.run(feed_register, list(by_key.items()), self.jobs)
         try:
-            for key, verdict in outcome_stream:
+            for key, verdict, mode, triggers in outcome_stream:
                 verdicts[key] = verdict
+                if mode is not None:
+                    tiers[key] = mode
+                    if triggers:
+                        escalations[key] = tuple(triggers)
         finally:
             outcome_stream.close()
         ordered = {key: verdicts[key] for key in by_key if key in verdicts}
@@ -375,6 +417,10 @@ class StreamingEngine:
                 elapsed_s=time.perf_counter() - t0,
             ),
             verdicts=ordered,
+            tiers={key: tiers[key] for key in by_key if key in tiers},
+            escalations={
+                key: escalations[key] for key in by_key if key in escalations
+            },
         )
 
     # ------------------------------------------------------------------
@@ -501,6 +547,9 @@ class StreamSession:
         self._assembler = WindowAssembler(engine.window)
         self._checkers: Dict[Hashable, Checker] = {}
         self._key_order: List[Hashable] = []
+        self._tier_state = (
+            TierStreamState(engine.tier, k) if engine.tier is not None else None
+        )
         self._timeline = engine._new_timeline()
         self._ops_fed = 0
         self._elapsed_prior = 0.0
@@ -564,6 +613,7 @@ class StreamSession:
             executor=self.engine.executor.name,
             jobs=self.engine.jobs,
             elapsed_s=self._elapsed(),
+            tier=self.engine.tier_name,
         )
 
     # ------------------------------------------------------------------
@@ -587,6 +637,13 @@ class StreamSession:
             "ops_fed": self._ops_fed,
             "elapsed_s": self._elapsed(),
             "finished": self._finished,
+            # Tier escalation state rides along only when tiering is active,
+            # keeping default snapshots byte-identical to pre-tiering builds.
+            **(
+                {"tier": self._tier_state.snapshot()}
+                if self._tier_state is not None
+                else {}
+            ),
         }
 
     def restore(self, state: dict) -> None:
@@ -606,6 +663,14 @@ class StreamSession:
         for key, checker_state in state["checkers"]:
             self._checkers[key] = restore_checker(checker_state)
             self._key_order.append(key)
+        if self.engine.tier is not None:
+            # A pre-tiering snapshot simply restarts the escalation state —
+            # conservative (extra authoritative checks), never unsound.
+            self._tier_state = (
+                TierStreamState.restore(self.engine.tier, state["tier"])
+                if "tier" in state
+                else TierStreamState(self.engine.tier, self.k)
+            )
         self._timeline = self.engine._new_timeline()
         self._timeline.extend(state["timeline"])
         self._ops_fed = state["ops_fed"]
@@ -624,7 +689,8 @@ class StreamSession:
     # ------------------------------------------------------------------
     def _handle(self, window: Window) -> WindowReport:
         report = self.engine._run_rolling_window(
-            window, self.k, self._checkers, self._key_order
+            window, self.k, self._checkers, self._key_order,
+            tier_state=self._tier_state,
         )
         self._timeline.append(report)
         return report

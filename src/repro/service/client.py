@@ -114,6 +114,7 @@ class AuditClient:
         window: Optional[Union[WindowPolicy, int]] = None,
         resume: bool = False,
         witness: bool = False,
+        tier: Optional[str] = None,
         on_window: Optional[Callable[[dict], None]] = None,
         connect_timeout: Optional[float] = None,
         io_timeout: Optional[float] = None,
@@ -123,9 +124,11 @@ class AuditClient:
         ``address`` is ``HOST:PORT`` or ``unix:PATH``; ``window`` is a
         :class:`WindowPolicy` or a plain count-window size.  ``resume=True``
         asks the server to rehydrate ``session`` from its checkpoint store.
-        ``connect_timeout`` caps the dial; ``io_timeout`` caps every
-        subsequent await on the connection (both in seconds, ``None`` =
-        unbounded).
+        ``tier`` selects the session's adaptive verification ladder
+        (``"screen"`` / ``"auto"``; the server rejects unknown names at the
+        handshake).  ``connect_timeout`` caps the dial; ``io_timeout`` caps
+        every subsequent await on the connection (both in seconds, ``None``
+        = unbounded).
         """
         kind, endpoint = parse_address(address)
 
@@ -154,6 +157,8 @@ class AuditClient:
             hello["resume"] = True
         if witness:
             hello["witness"] = True
+        if tier is not None:
+            hello["tier"] = tier
         if window is not None:
             if isinstance(window, WindowPolicy):
                 hello["window"] = {

@@ -71,6 +71,7 @@ from ..core.errors import (
 from ..core.operation import Operation, ensure_op_ids_above
 from ..core.windows import Window, WindowAssembler
 from ..engine.codec import decode_feed_batches, encode_feed_batches
+from ..engine.tiering import TierStreamState, get_tier_policy
 from .session import AuditSession, SessionConfig
 
 __all__ = ["WorkerPool", "PooledStreamSession", "PooledAuditSession"]
@@ -736,6 +737,7 @@ class WorkerPool:
         batches: Sequence[Tuple[Hashable, Sequence[Operation]]],
         *,
         mode: str = "check",
+        modes: Optional[Dict[Hashable, str]] = None,
         config: Optional[Dict] = None,
     ) -> Dict[Hashable, object]:
         """Feed one closed window's per-register batches; return verdicts.
@@ -745,6 +747,12 @@ class WorkerPool:
         configuration for shards this call sees first.  Batches ship to their
         home workers concurrently; worker death mid-call triggers transparent
         failover and a retry, so the caller only ever sees complete windows.
+
+        ``modes`` overrides ``mode`` per register key.  The pooled tier path
+        uses it for per-shard escalation: only the shards the parent's tier
+        state flags pay the authoritative ``check_now``, the rest answer with
+        the O(1) ``peek``.  Per-key modes are journalled with their batches,
+        so failover replay re-issues the original cadence per shard.
         """
         if not self._started:
             raise ServiceError("worker pool is not started")
@@ -766,7 +774,9 @@ class WorkerPool:
                 by_worker.setdefault(home, []).append((key, ops))
             results = await asyncio.gather(
                 *(
-                    self._feed_worker(worker_id, session_id, worker_batches, mode)
+                    self._feed_worker(
+                        worker_id, session_id, worker_batches, mode, modes
+                    )
                     for worker_id, worker_batches in by_worker.items()
                 )
             )
@@ -783,6 +793,7 @@ class WorkerPool:
         session_id: str,
         batches: List[Tuple[Hashable, Sequence[Operation]]],
         mode: str,
+        modes: Optional[Dict[Hashable, str]] = None,
     ) -> Dict[Hashable, object]:
         entries = []
         for key, ops in batches:
@@ -793,8 +804,9 @@ class WorkerPool:
                 self.snapshot_every > 0
                 and state.since_snapshot + 1 >= self.snapshot_every
             )
+            key_mode = mode if modes is None else modes.get(key, mode)
             entries.append(
-                (shard_id, mode, state.config if fresh else None, want_snapshot)
+                (shard_id, key_mode, state.config if fresh else None, want_snapshot)
             )
         blob = encode_feed_batches(batches)
         replies = await self._request_with_failover(
@@ -815,8 +827,10 @@ class WorkerPool:
             else:
                 # Log this batch alone (not the worker-level multi-shard
                 # blob): failover replays per shard, to possibly different
-                # new homes.
-                state.replay.append((encode_feed_batches([(key, ops)]), mode))
+                # new homes.  The shard's own mode is what replay must
+                # re-issue — state identity depends on the check cadence.
+                key_mode = mode if modes is None else modes.get(key, mode)
+                state.replay.append((encode_feed_batches([(key, ops)]), key_mode))
                 state.since_snapshot += 1
             verdicts[key] = verdict
         return verdicts
@@ -1151,6 +1165,15 @@ class PooledStreamSession:
     and the feed/finish/snapshot paths are coroutines.  Snapshots use the
     exact schema of the in-process ``StreamSession``, so a checkpoint written
     by a pooled server resumes on a single-process one and vice versa.
+
+    With a tiered :class:`SessionConfig` the parent keeps the
+    :class:`~repro.engine.tiering.TierStreamState` and routes each window's
+    shards individually: escalated shards are fed in ``check`` mode, the
+    rest in ``peek`` — so only hot shards pay the authoritative per-window
+    re-check, and a worker owning cold shards does O(1) work per window.
+    Soundness is inherited from the worker protocol: a NO a ``peek`` missed
+    is latched inside the checker and surfaces on the next ``peek``, and
+    :meth:`finish` always runs every checker's authoritative ``finish``.
     """
 
     def __init__(self, pool: WorkerPool, session_id: str, config: SessionConfig):
@@ -1158,6 +1181,15 @@ class PooledStreamSession:
         self.session_id = session_id
         self.config = config
         self.k = config.k
+        self._tier_policy = get_tier_policy(config.tier)
+        self._tier_name = (
+            self._tier_policy.name if self._tier_policy is not None else "exact"
+        )
+        self._tier_state = (
+            TierStreamState(self._tier_policy, config.k)
+            if self._tier_policy is not None
+            else None
+        )
         self._window_policy = config.window_policy()
         self._assembler = WindowAssembler(self._window_policy)
         self._key_order: List[Hashable] = []
@@ -1214,13 +1246,34 @@ class PooledStreamSession:
             if key not in self._known_keys:
                 self._known_keys.add(key)
                 self._key_order.append(key)
+        tiers: Dict[Hashable, str] = {}
+        escalations: Dict[Hashable, Tuple[str, ...]] = {}
+        modes: Optional[Dict[Hashable, str]] = None
+        if self._tier_state is not None:
+            # Parent-side routing: decide per shard before the batches ship.
+            # There is no free checker peek on this side of the pipe, so the
+            # checker-alarm trigger rides on verdicts already seen — a NO
+            # returned by an earlier window's peek latches via note_verdict
+            # below and escalates this shard from here on.
+            modes = {}
+            for key, register_ops in by_key.items():
+                key_mode, triggers = self._tier_state.decide(key, register_ops)
+                modes[key] = key_mode
+                tiers[key] = key_mode
+                if triggers:
+                    escalations[key] = tuple(triggers)
         verdicts = await self.pool.feed_window(
             self.session_id,
             list(by_key.items()),
             mode="check",
+            modes=modes,
             config=self._checker_config(),
         )
         ordered = {key: verdicts[key] for key in by_key if key in verdicts}
+        if self._tier_state is not None:
+            for key, verdict in ordered.items():
+                if verdict is not None:
+                    self._tier_state.note_verdict(key, verdict.result.is_k_atomic)
         report = WindowReport(
             stats=WindowStats(
                 index=window.index,
@@ -1231,6 +1284,8 @@ class PooledStreamSession:
                 elapsed_s=time.perf_counter() - t0,
             ),
             verdicts=ordered,
+            tiers=tiers,
+            escalations=escalations,
         )
         self._timeline.append(report)
         return report
@@ -1253,13 +1308,14 @@ class PooledStreamSession:
             executor="pool",
             jobs=self.pool.size,
             elapsed_s=self._elapsed(),
+            tier=self._tier_name,
         )
 
     # -- checkpointing ---------------------------------------------------
     async def snapshot(self) -> Dict:
         """Capture the session in ``StreamSession.snapshot`` schema."""
         checkers = await self.pool.snapshot_session(self.session_id, self._key_order)
-        return {
+        state = {
             "k": self.k,
             "algorithm": self.config.algorithm,
             "window": (
@@ -1274,6 +1330,11 @@ class PooledStreamSession:
             "elapsed_s": self._elapsed(),
             "finished": self._finished,
         }
+        if self._tier_state is not None:
+            # Same conditional key as StreamSession.snapshot: default
+            # checkpoints stay byte-identical to pre-tiering payloads.
+            state["tier"] = self._tier_state.snapshot()
+        return state
 
     async def restore(self, state: Dict) -> None:
         """Rehydrate a :meth:`snapshot` (or in-process ``StreamSession``) state."""
@@ -1287,6 +1348,14 @@ class PooledStreamSession:
                 f"is configured with {self.config.algorithm!r}"
             )
         self._assembler.restore(state["assembler"])
+        if self._tier_policy is not None:
+            # A pre-tiering (or untiered) snapshot restarts the escalation
+            # state — conservative (extra checks), never unsound.
+            self._tier_state = (
+                TierStreamState.restore(self._tier_policy, state["tier"])
+                if "tier" in state
+                else TierStreamState(self._tier_policy, self.k)
+            )
         self._key_order = [key for key, _state in state["checkers"]]
         self._known_keys = set(self._key_order)
         self._timeline = list(state["timeline"])
@@ -1356,6 +1425,9 @@ class PooledAuditSession(AuditSession):
         )
         session.alarmed_keys = set(payload.get("alarmed_keys", ()))
         session.window_log = [dict(frame) for frame in payload.get("window_log", ())]
+        tiering = payload.get("tiering") or {}
+        session.escalations = int(tiering.get("escalations", 0))
+        session.windows_bypassed = int(tiering.get("windows_bypassed", 0))
         return session
 
     # -- async surface ---------------------------------------------------
@@ -1363,6 +1435,7 @@ class PooledAuditSession(AuditSession):
         report = await self.stream.feed(op)
         if report is not None:
             self.alarmed_keys.update(report.alarms())
+            self._note_tiering(report)
         return report
 
     async def afinish(self) -> StreamVerificationReport:
@@ -1372,7 +1445,7 @@ class PooledAuditSession(AuditSession):
         return report
 
     async def acheckpoint_payload(self) -> Dict:
-        return {
+        payload = {
             "session_id": self.session_id,
             "config": self.config.to_dict(),
             "stream": await self.stream.snapshot(),
@@ -1381,6 +1454,12 @@ class PooledAuditSession(AuditSession):
             "window_log": [dict(frame) for frame in self.window_log],
             "elapsed_s": self.elapsed_s,
         }
+        if self.config.tier != "exact":
+            payload["tiering"] = {
+                "escalations": self.escalations,
+                "windows_bypassed": self.windows_bypassed,
+            }
+        return payload
 
     async def aclose(self) -> None:
         await self.stream.close()

@@ -115,6 +115,7 @@ class ResilientAuditClient:
         algorithm: str = "auto",
         window: Optional[Union[WindowPolicy, int]] = None,
         witness: bool = False,
+        tier: Optional[str] = None,
         policy: RetryPolicy = RetryPolicy(),
         seed: int = 0,
         on_window: Optional[Callable[[dict], None]] = None,
@@ -132,6 +133,7 @@ class ResilientAuditClient:
         self.algorithm = algorithm
         self.window = window
         self.witness = witness
+        self.tier = tier
         self.policy = policy
         #: Client-driven checkpoint cadence (ops between ``checkpoint``
         #: frames).  Feeding is fire-and-forget — on a faulty path, hundreds
@@ -289,6 +291,7 @@ class ResilientAuditClient:
             window=self.window,
             resume=resume,
             witness=self.witness,
+            tier=self.tier,
             on_window=self._collect_window,
             connect_timeout=self.policy.connect_timeout_s,
             io_timeout=self.policy.io_timeout_s,

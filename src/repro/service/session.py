@@ -20,6 +20,7 @@ from ..core.errors import ServiceError, VerificationError
 from ..core.operation import Operation
 from ..core.windows import WindowPolicy
 from ..engine.streaming import StreamingEngine, StreamSession
+from ..engine.tiering import TIER_NAMES
 from ..state import available_backends
 
 __all__ = ["SessionConfig", "AuditSession", "DEFAULT_SESSION_WINDOW"]
@@ -47,6 +48,11 @@ class SessionConfig:
     #: operational choice, and keeping it out of the checkpoint payload is
     #: what makes payloads byte-interchangeable across backends.
     state_backend: str = "json"
+    #: Adaptive tier policy (:data:`repro.engine.tiering.TIER_NAMES`).  The
+    #: default ``"exact"`` keeps the pre-tiering behaviour — and is omitted
+    #: from :meth:`to_dict` so default checkpoint payloads stay byte-identical
+    #: to earlier releases.
+    tier: str = "exact"
 
     def window_policy(self) -> WindowPolicy:
         """The window policy the configuration describes (validating it)."""
@@ -59,7 +65,7 @@ class SessionConfig:
 
         ``state_backend`` is intentionally absent — see the field comment.
         """
-        return {
+        record: Dict = {
             "k": self.k,
             "algorithm": self.algorithm,
             "window": {
@@ -68,6 +74,9 @@ class SessionConfig:
                 "overlap": self.window_overlap,
             },
         }
+        if self.tier != "exact":
+            record["tier"] = self.tier
+        return record
 
     @classmethod
     def from_dict(cls, record: Dict) -> "SessionConfig":
@@ -81,6 +90,7 @@ class SessionConfig:
                 window_size=float(window.get("size", DEFAULT_SESSION_WINDOW)),
                 window_overlap=float(window.get("overlap", 0.0)),
                 state_backend=str(record.get("state_backend", "json")),
+                tier=str(record.get("tier", "exact")),
             )
         except (TypeError, ValueError) as exc:
             raise ServiceError(f"malformed session configuration: {record!r}") from exc
@@ -94,6 +104,10 @@ class SessionConfig:
             raise ServiceError(
                 f"unknown state backend {config.state_backend!r}; "
                 f"available: {', '.join(available_backends())}"
+            )
+        if config.tier not in TIER_NAMES:
+            raise ServiceError(
+                f"unknown tier {config.tier!r}; available: {', '.join(TIER_NAMES)}"
             )
         return config
 
@@ -130,6 +144,9 @@ class AuditSession:
         #: *after* the checkpoint and never re-closes that window.  Clients
         #: deduplicate by window index, so re-delivery is idempotent.
         self.window_log: List[Dict] = []
+        #: Tiering accounting for :meth:`stats` (zero when tier == "exact").
+        self.escalations = 0
+        self.windows_bypassed = 0
         self.finished = False
         self._elapsed_prior = elapsed_prior
         self._t0 = time.monotonic()
@@ -137,6 +154,14 @@ class AuditSession:
     # ------------------------------------------------------------------
     @classmethod
     def _engine(cls, config: SessionConfig) -> StreamingEngine:
+        if config.tier != "exact":
+            return StreamingEngine(
+                window=config.window_policy(),
+                mode="rolling",
+                algorithm=config.algorithm,
+                executor="serial",
+                tier=config.tier,
+            )
         return StreamingEngine(
             window=config.window_policy(),
             mode="rolling",
@@ -174,6 +199,9 @@ class AuditSession:
         )
         session.alarmed_keys = set(payload.get("alarmed_keys", ()))
         session.window_log = [dict(frame) for frame in payload.get("window_log", ())]
+        tiering = payload.get("tiering") or {}
+        session.escalations = int(tiering.get("escalations", 0))
+        session.windows_bypassed = int(tiering.get("windows_bypassed", 0))
         return session
 
     # ------------------------------------------------------------------
@@ -192,7 +220,16 @@ class AuditSession:
         report = self.stream.feed(op)
         if report is not None:
             self.alarmed_keys.update(report.alarms())
+            self._note_tiering(report)
         return report
+
+    def _note_tiering(self, report: WindowReport) -> None:
+        """Fold one window's tier routing into the session counters."""
+        if not report.tiers:
+            return
+        self.escalations += report.num_escalated
+        if all(mode != "check" for mode in report.tiers.values()):
+            self.windows_bypassed += 1
 
     def finish(self) -> StreamVerificationReport:
         """Seal the stream and return the final (batch-equal) report."""
@@ -234,7 +271,7 @@ class AuditSession:
         only once the save actually lands, so a failed save never inflates
         the session's statistics.
         """
-        return {
+        payload = {
             "session_id": self.session_id,
             "config": self.config.to_dict(),
             "stream": self.stream.snapshot(),
@@ -243,6 +280,14 @@ class AuditSession:
             "window_log": [dict(frame) for frame in self.window_log],
             "elapsed_s": self.elapsed_s,
         }
+        if self.config.tier != "exact":
+            # Conditional like SessionConfig.tier: default payloads stay
+            # byte-identical to pre-tiering releases.
+            payload["tiering"] = {
+                "escalations": self.escalations,
+                "windows_bypassed": self.windows_bypassed,
+            }
+        return payload
 
     @property
     def elapsed_s(self) -> float:
@@ -263,4 +308,7 @@ class AuditSession:
             resumed=self.resumed,
             finished=self.finished,
             elapsed_s=self.elapsed_s,
+            tier=self.config.tier,
+            escalations=self.escalations,
+            windows_bypassed=self.windows_bypassed,
         )

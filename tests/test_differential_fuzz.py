@@ -7,6 +7,8 @@ through every redundant implementation the library carries:
 * GK (k=1) and LBT / LBT-reference / FZF (k=2), through every kernel tier
   (object, columnar and — when numpy is importable — the vectorized tier),
 * the incremental (rolling) checkers,
+* the adaptive tier ladder (``screen`` and ``auto`` policies, whose cheap
+  screens are sound only by k-monotonicity),
 * windowed streaming (whose NO verdicts must be *sound*: a windowed NO on a
   history the oracle accepts is a bug),
 * the serial/threads/processes shard executors (on a combined trace),
@@ -41,6 +43,7 @@ from repro.core.history import History
 from repro.core.operation import Operation
 from repro.core.windows import WindowPolicy
 from repro.engine import Engine, StreamingEngine
+from repro.engine.tiering import get_tier_policy
 from repro.io.formats import dump_jsonl, load_jsonl
 from repro.simulation.clock import SkewedClocks
 from repro.workloads.adversarial import (
@@ -92,6 +95,17 @@ def disagreements(ops: Sequence[Operation]) -> List[str]:
                 f"incremental checker says {online} but the exact oracle says "
                 f"{oracle} at k={k}"
             )
+        # Tier ladder: the screened route must reproduce the oracle verdict
+        # on every screening tier — a screen YES is only sound because of
+        # k-monotonicity, and this is where that claim gets fuzzed.
+        for tier in ("screen", "auto"):
+            policy = get_tier_policy(tier)
+            tiered, decision = policy.verify_with_decision(history, k, key="x")
+            if bool(tiered) != oracle:
+                problems.append(
+                    f"tier={tier} says {bool(tiered)} via {decision.tier!r} "
+                    f"but the exact oracle says {oracle} at k={k}"
+                )
         # Windowed streaming: NO verdicts are final and sound, so a windowed
         # NO on an oracle-YES history is a divergence.  (A windowed YES is an
         # approximation and proves nothing.)

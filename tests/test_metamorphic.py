@@ -13,6 +13,11 @@ Each invariance is checked through *four* redundant verification paths —
 object-model vs columnar kernels, and batch vs incremental (online)
 checkers — so these tests simultaneously pin the symmetry property and
 cross-validate the independent implementations against each other.
+
+The adaptive tier ladder rides the same symmetries: its escalation
+*decisions* are computed from transform-invariant trigger features
+(anomaly score, value lag, overlap density), so the tiered route — not
+just the verdict — must be identical before and after every transform.
 """
 
 from __future__ import annotations
@@ -202,6 +207,56 @@ def test_minimal_k_invariant_under_time_symmetries():
         scaled = minimal_k_bound(time_scale(history, 0.5))
         assert (bound.k, bound.exact) == (shifted.k, shifted.exact)
         assert (bound.k, bound.exact) == (scaled.k, scaled.exact)
+
+
+# ----------------------------------------------------------------------
+# Tier-ladder invariance: decisions and verdicts survive the symmetries
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("transform", TRANSFORMS)
+def test_tier_features_invariant_under_transform(transform):
+    """The trigger features that gate escalation are symmetry-invariant.
+
+    ``op_rate`` and ``duration`` legitimately change under time scaling —
+    they only feed verdict-neutral knob picks (kernel, window size) — so
+    the invariance claim covers exactly the fields ``gate_triggers`` reads.
+    """
+    from repro.engine.tiering import TraceFeatures, get_tier_policy
+
+    policy = get_tier_policy("auto")
+    rng = random.Random(TEST_SEED + 5)
+    for case, history in enumerate(sample_histories(rng)):
+        before = TraceFeatures.from_history(history)
+        after = TraceFeatures.from_history(transform(history))
+        context = f"case {case} under {transform} (seed {TEST_SEED:#x})"
+        assert before.anomaly_score == after.anomaly_score, context
+        assert before.max_value_lag == after.max_value_lag, context
+        assert before.overlap_density == pytest.approx(
+            after.overlap_density
+        ), context
+        for k in (1, 2, 3):
+            assert policy.gate_triggers(before, k) == policy.gate_triggers(
+                after, k
+            ), f"{context}: escalation decision changed at k={k}"
+
+
+@pytest.mark.parametrize("transform", TRANSFORMS)
+@pytest.mark.parametrize("tier", ["screen", "auto"])
+@pytest.mark.parametrize("k", [1, 2])
+def test_tiered_verdict_invariant_under_transform(transform, tier, k):
+    """The tiered route agrees with the untiered paths on both sides of
+    every symmetry — verdicts never depend on which rung answered."""
+    from repro.engine.tiering import get_tier_policy
+
+    policy = get_tier_policy(tier)
+    rng = random.Random(TEST_SEED + 6)
+    for case, history in enumerate(sample_histories(rng)):
+        for h in (history, transform(history)):
+            expected = verdicts_all_paths(h, k)
+            tiered, decision = policy.verify_with_decision(h, k, key="m")
+            assert bool(tiered) == expected, (
+                f"case {case}: tier={tier} via {decision.tier!r} diverges "
+                f"at k={k} under {transform} (seed {TEST_SEED:#x})"
+            )
 
 
 # ----------------------------------------------------------------------
